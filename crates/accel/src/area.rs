@@ -1,0 +1,72 @@
+//! Area budget (paper Sec. VI, "Area").
+//!
+//! *"SPLATONIC has a smaller area (1.07 mm²) compared to other 3DGS
+//! accelerators, such as GSCore (1.77 mm²) and GSArch (3.42 mm²), with all
+//! areas scaled down to 16 nm … its efficient rasterization engine …
+//! accounts for only 28% of the total area. The remaining stages occupy
+//! 57% … SRAMs … comprise 15%."*
+
+/// Area budget of an accelerator at the 16 nm node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBudget {
+    /// Rasterization-engine area, mm².
+    pub raster_engine_mm2: f64,
+    /// Remaining compute stages (projection, sorting, aggregation), mm².
+    pub other_stages_mm2: f64,
+    /// SRAM area, mm².
+    pub sram_mm2: f64,
+}
+
+impl AreaBudget {
+    /// SPLATONIC's budget: 1.07 mm² split 28% / 57% / 15%.
+    pub fn splatonic() -> Self {
+        const TOTAL: f64 = 1.07;
+        AreaBudget {
+            raster_engine_mm2: TOTAL * 0.28,
+            other_stages_mm2: TOTAL * 0.57,
+            sram_mm2: TOTAL * 0.15,
+        }
+    }
+
+    /// GSCore total area for comparison (mm² at 16 nm).
+    pub const GSCORE_MM2: f64 = 1.77;
+    /// GSArch total area for comparison (mm² at 16 nm).
+    pub const GSARCH_MM2: f64 = 3.42;
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.raster_engine_mm2 + self.other_stages_mm2 + self.sram_mm2
+    }
+
+    /// Fractional breakdown `(raster, other, sram)`.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_mm2();
+        (
+            self.raster_engine_mm2 / t,
+            self.other_stages_mm2 / t,
+            self.sram_mm2 / t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splatonic_totals_match_paper() {
+        let a = AreaBudget::splatonic();
+        assert!((a.total_mm2() - 1.07).abs() < 1e-9);
+        let (r, o, s) = a.fractions();
+        assert!((r - 0.28).abs() < 1e-9);
+        assert!((o - 0.57).abs() < 1e-9);
+        assert!((s - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splatonic_smaller_than_baselines() {
+        let a = AreaBudget::splatonic();
+        assert!(a.total_mm2() < AreaBudget::GSCORE_MM2);
+        assert!(a.total_mm2() < AreaBudget::GSARCH_MM2);
+    }
+}

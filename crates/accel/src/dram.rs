@@ -1,0 +1,86 @@
+//! DRAM model.
+//!
+//! The paper models *"4 channels of Micron 16 Gb LPDDR3-1600 memory"*
+//! (Sec. VI). We model sustained bandwidth plus a fixed access latency —
+//! what the pipeline stages and the aggregation unit's latency-hiding logic
+//! actually interact with.
+
+/// Bandwidth + latency DRAM model.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_accel::DramModel;
+/// let dram = DramModel::lpddr3_1600_x4();
+/// // 64 bytes at 25.6 GB/s on a 500 MHz consumer ≈ 1.25 cycles of
+/// // occupancy (plus latency for the first access).
+/// assert!(dram.transfer_cycles(64, 500e6) > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Random-access latency in nanoseconds.
+    pub access_latency_ns: f64,
+    /// Maximum outstanding fills (memory-level parallelism).
+    pub max_outstanding: usize,
+}
+
+impl DramModel {
+    /// Four channels of LPDDR3-1600 (≈ 6.4 GB/s each).
+    pub fn lpddr3_1600_x4() -> Self {
+        DramModel {
+            bandwidth_bytes_per_sec: 25.6e9,
+            access_latency_ns: 90.0,
+            max_outstanding: 16,
+        }
+    }
+
+    /// Bandwidth-occupancy cycles to stream `bytes` at `clock_hz`.
+    pub fn transfer_cycles(&self, bytes: u64, clock_hz: f64) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_sec * clock_hz
+    }
+
+    /// Access latency in cycles at `clock_hz`.
+    pub fn latency_cycles(&self, clock_hz: f64) -> f64 {
+        self.access_latency_ns * 1e-9 * clock_hz
+    }
+
+    /// Seconds to stream `bytes` (bandwidth-bound).
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel::lpddr3_1600_x4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_math() {
+        let d = DramModel::lpddr3_1600_x4();
+        // 25.6 GB in one second.
+        assert!((d.transfer_seconds(25_600_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_cycles_at_500mhz() {
+        let d = DramModel::lpddr3_1600_x4();
+        // 90 ns at 500 MHz = 45 cycles.
+        assert!((d.latency_cycles(500e6) - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_bytes() {
+        let d = DramModel::lpddr3_1600_x4();
+        let one = d.transfer_cycles(1_000, 500e6);
+        let two = d.transfer_cycles(2_000, 500e6);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,30 @@
+//! Accelerator models: the SPLATONIC pipelined architecture (paper Sec. V)
+//! plus the two prior-work baselines it is compared against (GSArch \[29]
+//! and GauSPU \[77]).
+//!
+//! The SPLATONIC model follows the paper's microarchitecture: projection
+//! units with α-filter LUTs, hierarchical sorters, rasterization engines
+//! with render / reverse-render units and the Γ/C double buffer, and the
+//! scoreboard-based aggregation unit of Fig. 16 — the latter simulated
+//! cycle-by-cycle against the *real* gradient stream, because latency
+//! hiding under irregular accumulation is precisely what the unit exists
+//! for. The RTL/synthesis numbers of the paper are replaced by documented
+//! energy/area constant tables (DESIGN.md §2).
+
+pub mod aggregation;
+pub mod area;
+pub mod baselines;
+pub mod config;
+pub mod dram;
+pub mod energy;
+pub mod splatonic;
+pub mod workload;
+
+pub use aggregation::{AggregationConfig, AggregationResult};
+pub use area::AreaBudget;
+pub use baselines::{GauSpuModel, GsArchModel};
+pub use config::SplatonicConfig;
+pub use dram::DramModel;
+pub use energy::{AccelEnergyModel, AccelEnergyReport};
+pub use splatonic::{AccelReport, SplatonicAccel};
+pub use workload::FrameWorkload;

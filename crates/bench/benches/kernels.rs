@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks for the hot kernels: both rendering
+//! schedules (dense and sparse), the backward pass, the sampling
+//! strategies, and the aggregation-unit simulation.
+//!
+//! These complement the `figures` binary (which regenerates the paper's
+//! modelled results) by measuring the *host* implementation itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use splatonic_accel::{AggregationConfig, DramModel, FrameWorkload, SplatonicAccel};
+use splatonic_render::prelude::*;
+use splatonic_render::{loss, LossConfig, MappingSampler};
+use splatonic_render::sampling::{tracking_plan, MappingStrategy, SamplingPlan};
+use splatonic_scene::{Camera, Intrinsics, WorldBuilder};
+use splatonic_slam::dataset::{Dataset, DatasetConfig};
+
+const W: usize = 96;
+const H: usize = 72;
+
+fn bench_scene() -> (splatonic_scene::GaussianScene, Camera) {
+    let world = WorldBuilder::new(5).gaussian_spacing(0.25).furniture(3).build();
+    let cam = Camera::look_at(
+        Intrinsics::with_fov(W, H, 1.25),
+        splatonic_math::Vec3::new(0.6, -0.1, -0.4),
+        splatonic_math::Vec3::new(0.0, 0.0, 2.2),
+        splatonic_math::Vec3::Y,
+    );
+    (world.scene, cam)
+}
+
+fn sparse_set() -> PixelSet {
+    PixelSet::from_tile_chooser(W, H, 16, |_, _, x0, y0, tw, th| {
+        Some(splatonic_render::pixelset::PixelCoord::new(
+            (x0 + tw / 2) as u16,
+            (y0 + th / 2) as u16,
+        ))
+    })
+}
+
+fn forward_benches(c: &mut Criterion) {
+    let (scene, cam) = bench_scene();
+    let cfg = RenderConfig::default();
+    let dense = PixelSet::dense(W, H);
+    let sparse = sparse_set();
+    let mut g = c.benchmark_group("forward");
+    g.bench_function("tile_dense", |b| {
+        b.iter(|| render_forward(&scene, &cam, &dense, Pipeline::TileBased, &cfg))
+    });
+    g.bench_function("pixel_dense", |b| {
+        b.iter(|| render_forward(&scene, &cam, &dense, Pipeline::PixelBased, &cfg))
+    });
+    g.bench_function("tile_sparse16", |b| {
+        b.iter(|| render_forward(&scene, &cam, &sparse, Pipeline::TileBased, &cfg))
+    });
+    g.bench_function("pixel_sparse16", |b| {
+        b.iter(|| render_forward(&scene, &cam, &sparse, Pipeline::PixelBased, &cfg))
+    });
+    g.finish();
+}
+
+fn backward_benches(c: &mut Criterion) {
+    let (scene, cam) = bench_scene();
+    let cfg = RenderConfig::default();
+    let sparse = sparse_set();
+    let out = render_forward(&scene, &cam, &sparse, Pipeline::PixelBased, &cfg);
+    let grads = vec![
+        loss::LossGrad {
+            d_color: splatonic_math::Vec3::splat(0.1),
+            d_depth: 0.05,
+        };
+        sparse.len()
+    ];
+    c.bench_function("backward/pixel_sparse16", |b| {
+        b.iter(|| {
+            render_backward(
+                &scene,
+                &cam,
+                &sparse,
+                &out,
+                &grads,
+                Pipeline::PixelBased,
+                &cfg,
+            )
+        })
+    });
+}
+
+fn sampling_benches(c: &mut Criterion) {
+    let d = Dataset::replica_like(
+        "bench",
+        9,
+        DatasetConfig {
+            width: W,
+            height: H,
+            frames: 2,
+            spacing: 0.3,
+            fov: 1.25,
+            furniture: 2,
+        },
+    );
+    let frame = &d.frames[0];
+    let mut g = c.benchmark_group("sampling");
+    g.bench_function("random_per_tile16", |b| {
+        b.iter(|| tracking_plan(SamplingStrategy::RandomPerTile { tile: 16 }, frame, 1, None))
+    });
+    g.bench_function("harris_per_tile16", |b| {
+        b.iter(|| tracking_plan(SamplingStrategy::HarrisPerTile { tile: 16 }, frame, 1, None))
+    });
+    let transmittance = splatonic_math::Image::filled(W, H, 0.2);
+    let sampler = MappingSampler::new(4, MappingStrategy::Combined);
+    g.bench_function("mapping_combined_w4", |b| {
+        b.iter(|| sampler.build(frame, &transmittance, 1))
+    });
+    g.finish();
+}
+
+fn loss_benches(c: &mut Criterion) {
+    let (scene, cam) = bench_scene();
+    let cfg = RenderConfig::default();
+    let dense = PixelSet::dense(W, H);
+    let out = render_forward(&scene, &cam, &dense, Pipeline::TileBased, &cfg);
+    let d = Dataset::replica_like(
+        "bench-loss",
+        9,
+        DatasetConfig {
+            width: W,
+            height: H,
+            frames: 1,
+            spacing: 0.3,
+            fov: 1.25,
+            furniture: 2,
+        },
+    );
+    c.bench_function("loss/dense", |b| {
+        b.iter(|| loss::evaluate_loss(&out, &d.frames[0], &dense, &LossConfig::default()))
+    });
+}
+
+fn aggregation_benches(c: &mut Criterion) {
+    // A mapping-scale gradient stream with realistic locality.
+    let stream: Vec<Vec<u32>> = (0..2000u32)
+        .map(|p| (0..16u32).map(|k| (p / 4) * 8 + k * 37 % 4000).collect())
+        .collect();
+    let dram = DramModel::lpddr3_1600_x4();
+    c.bench_function("accel/aggregation_unit", |b| {
+        b.iter_batched(
+            || stream.clone(),
+            |s| splatonic_accel::aggregation::simulate(&s, &AggregationConfig::paper(), &dram, 500e6),
+            BatchSize::SmallInput,
+        )
+    });
+    // Full accelerator pricing of a sparse workload.
+    let workload = FrameWorkload {
+        gaussians: 4000,
+        projected: 3000,
+        proj_candidates: vec![4; 3000],
+        pairs_kept: 960,
+        pixel_lists: vec![20; 48],
+        grad_stream: (0..48u32)
+            .map(|p| (0..20u32).map(|k| (p * 37 + k * 113) % 4000).collect())
+            .collect(),
+        fwd_bytes: 300_000,
+        bwd_bytes: 50_000,
+        pixels: 48,
+        ..FrameWorkload::default()
+    };
+    c.bench_function("accel/price_sparse_iteration", |b| {
+        b.iter(|| SplatonicAccel::paper().price(&workload))
+    });
+}
+
+criterion_group!(
+    benches,
+    forward_benches,
+    backward_benches,
+    sampling_benches,
+    loss_benches,
+    aggregation_benches
+);
+criterion_main!(benches);

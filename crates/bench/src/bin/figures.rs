@@ -1,0 +1,36 @@
+//! Regenerates the SPLATONIC paper's tables and figures.
+//!
+//! Usage:
+//!   figures all [--quick]
+//!   figures fig10 fig22 [--quick]
+//!   figures --list
+
+use splatonic_bench::{run_experiment, Settings, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let settings = if quick { Settings::quick() } else { Settings::full() };
+    let mut ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() || ids.contains(&"all") {
+        ids = EXPERIMENTS.to_vec();
+    }
+    for id in ids {
+        let start = std::time::Instant::now();
+        eprintln!("[figures] running {id}...");
+        for table in run_experiment(id, &settings) {
+            println!("{table}");
+        }
+        eprintln!("[figures] {id} done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,160 @@
+//! Motivation / characterization experiments (paper Fig. 4, 5, 7, 8, 9).
+//!
+//! These profile the *dense, tile-based* baseline — the state of practice
+//! the paper starts from — on the GPU model.
+
+use crate::experiments::{canonical_scenario, measurements};
+use crate::tables::{fmt_f, fmt_time, Table};
+use crate::Settings;
+use splatonic::harness::{measure_dense_iteration, TrackingScenario};
+use splatonic::prelude::*;
+use splatonic_gpusim::GpuConfig;
+use splatonic_slam::algorithm::AlgorithmPreset;
+use splatonic_slam::Dataset;
+
+/// Fig. 4 — amortized per-frame latency of tracking vs mapping across the
+/// four algorithms (dense baseline). Tracking dominates (paper: mapping is
+/// ~1/4 of tracking).
+pub fn fig04(settings: &Settings) -> Vec<Table> {
+    let scenario = canonical_scenario(settings);
+    let ms = measurements(&scenario);
+    let gpu = GpuConfig::orin_like();
+    let track_iter = gpu
+        .price(&ms.dense_tile.trace, Pipeline::TileBased)
+        .total_seconds();
+    let map_iter = track_iter; // dense mapping iteration has the same shape
+    let mut t = Table::new(
+        "Fig. 4 — amortized per-frame latency: tracking vs mapping (dense baseline, GPU model)",
+        &["algorithm", "tracking/frame", "mapping/frame (amortized)", "ratio"],
+    );
+    for preset in AlgorithmPreset::all() {
+        let c = preset.config();
+        let tracking = track_iter * c.tracking_iters as f64;
+        let mapping = map_iter * c.mapping_iters as f64 / c.mapping_every as f64;
+        t.row([
+            preset.name().to_string(),
+            fmt_time(tracking),
+            fmt_time(mapping),
+            fmt_f(tracking / mapping, 1),
+        ]);
+    }
+    vec![t]
+}
+
+/// Fig. 5 — execution-time breakdown of the dense baseline across stages.
+/// Rasterization + reverse rasterization dominate (paper: 94.7%).
+pub fn fig05(settings: &Settings) -> Vec<Table> {
+    let scenario = canonical_scenario(settings);
+    let ms = measurements(&scenario);
+    let gpu = GpuConfig::orin_like();
+    let r = gpu.price(&ms.dense_tile.trace, Pipeline::TileBased);
+    let total = r.total_seconds();
+    let mut t = Table::new(
+        "Fig. 5 — stage breakdown, dense tile-based baseline (GPU model)",
+        &["stage", "time", "share"],
+    );
+    let rows: [(&str, f64); 6] = [
+        ("projection", r.forward.projection),
+        ("sorting", r.forward.sorting),
+        ("rasterization", r.forward.rasterization),
+        ("reverse rasterization", r.backward.reverse_raster),
+        ("aggregation", r.backward.aggregation),
+        ("re-projection", r.backward.reprojection),
+    ];
+    for (name, v) in rows {
+        t.row([
+            name.to_string(),
+            fmt_time(v),
+            format!("{:.1}%", 100.0 * v / total),
+        ]);
+    }
+    let raster_share = 100.0 * r.raster_fraction();
+    t.row([
+        "raster + reverse (paper: 94.7%)".to_string(),
+        String::new(),
+        format!("{raster_share:.1}%"),
+    ]);
+    vec![t]
+}
+
+/// Fig. 7 — GPU thread utilization during rasterization per scene
+/// (paper: 28.3% average).
+pub fn fig07(settings: &Settings) -> Vec<Table> {
+    let cfg = settings.dataset_config();
+    let mut t = Table::new(
+        "Fig. 7 — thread utilization in tile-based rasterization (dense)",
+        &["scene", "utilization"],
+    );
+    let mut total = 0.0;
+    let seqs = settings.replica_sequences();
+    for (name, seed) in &seqs {
+        let d = Dataset::replica_like(name, *seed, cfg);
+        let scenario = TrackingScenario::prepare(&d, cfg.frames / 2);
+        let m = measure_dense_iteration(&scenario, Pipeline::TileBased);
+        let u = m.trace.forward.warp_utilization();
+        total += u;
+        t.row([name.to_string(), format!("{:.1}%", u * 100.0)]);
+    }
+    t.row([
+        "mean (paper: 28.3%)".to_string(),
+        format!("{:.1}%", 100.0 * total / seqs.len() as f64),
+    ]);
+    vec![t]
+}
+
+/// Fig. 8 — aggregation's share of reverse-rasterization time
+/// (paper: ≥63.5%).
+pub fn fig08(settings: &Settings) -> Vec<Table> {
+    let cfg = settings.dataset_config();
+    let gpu = GpuConfig::orin_like();
+    let mut t = Table::new(
+        "Fig. 8 — aggregation share of reverse rasterization (dense baseline)",
+        &["scene", "aggregation share"],
+    );
+    let seqs = settings.replica_sequences();
+    let mut total = 0.0;
+    for (name, seed) in &seqs {
+        let d = Dataset::replica_like(name, *seed, cfg);
+        let scenario = TrackingScenario::prepare(&d, cfg.frames / 2);
+        let m = measure_dense_iteration(&scenario, Pipeline::TileBased);
+        let r = gpu.price(&m.trace, Pipeline::TileBased);
+        let share = r.backward.aggregation
+            / (r.backward.aggregation + r.backward.reverse_raster).max(1e-12);
+        total += share;
+        t.row([name.to_string(), format!("{:.1}%", share * 100.0)]);
+    }
+    t.row([
+        "mean (paper: 63.5%)".to_string(),
+        format!("{:.1}%", 100.0 * total / seqs.len() as f64),
+    ]);
+    vec![t]
+}
+
+/// Fig. 9 — α-checking's share of rasterization and reverse rasterization
+/// (paper: 43.4% / 33.6%).
+pub fn fig09(settings: &Settings) -> Vec<Table> {
+    let scenario = canonical_scenario(settings);
+    let ms = measurements(&scenario);
+    let gpu = GpuConfig::orin_like();
+    let r = gpu.price(&ms.dense_tile.trace, Pipeline::TileBased);
+    let fwd_sfu = gpu.sfu_seconds(ms.dense_tile.trace.forward.raster_alpha_checks);
+    let bwd_sfu = gpu.sfu_seconds(ms.dense_tile.trace.backward.alpha_checks);
+    let mut t = Table::new(
+        "Fig. 9 — α-checking share of (reverse) rasterization time",
+        &["stage", "alpha-check share", "paper"],
+    );
+    t.row([
+        "rasterization".to_string(),
+        format!("{:.1}%", 100.0 * fwd_sfu / r.forward.rasterization.max(1e-12)),
+        "43.4%".to_string(),
+    ]);
+    t.row([
+        "reverse rasterization".to_string(),
+        format!(
+            "{:.1}%",
+            100.0 * bwd_sfu / (r.backward.reverse_raster + r.backward.aggregation).max(1e-12)
+        ),
+        "33.6%".to_string(),
+    ]);
+    vec![t]
+}

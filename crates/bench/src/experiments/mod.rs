@@ -1,0 +1,63 @@
+//! Experiment implementations, grouped as in the paper:
+//!
+//! * [`characterization`] — the motivation figures (Fig. 4–9),
+//! * [`accuracy`] — sampling-accuracy figures (Fig. 10, 17, 18, 24, 26),
+//! * [`performance`] — GPU performance figures (Fig. 11, 14, 19–21),
+//! * [`hardware`] — accelerator figures (Fig. 22, 23, 25, 27, area),
+//! * [`ablations`] — design-choice ablations (DESIGN.md §7).
+
+pub mod ablations;
+pub mod accuracy;
+pub mod characterization;
+pub mod hardware;
+pub mod performance;
+
+use crate::Settings;
+use splatonic::harness::{
+    measure_dense_iteration, measure_mapping_iteration, measure_tracking_iteration,
+    IterationMeasurement, TrackingScenario,
+};
+use splatonic::prelude::*;
+use splatonic_slam::Dataset;
+
+/// Canonical measurement scenario: mid-sequence state on `room0`.
+pub fn canonical_scenario(settings: &Settings) -> TrackingScenario {
+    let cfg = settings.dataset_config();
+    let d = Dataset::replica_like("room0", 101, cfg);
+    TrackingScenario::prepare(&d, cfg.frames / 2)
+}
+
+/// The standard measurement set every performance experiment draws from.
+pub struct MeasurementSet {
+    /// Dense frame on the tile schedule ("Org.").
+    pub dense_tile: IterationMeasurement,
+    /// Sparse (one per 16×16) frame on the tile schedule ("Org.+S").
+    pub sparse_tile: IterationMeasurement,
+    /// Sparse frame on the pixel schedule ("Ours" / SPLATONIC).
+    pub sparse_pixel: IterationMeasurement,
+    /// Mapping-sampled frame (w_m = 4 + unseen) on the tile schedule.
+    pub mapping_tile: IterationMeasurement,
+    /// Mapping-sampled frame on the pixel schedule.
+    pub mapping_pixel: IterationMeasurement,
+}
+
+/// Builds the standard measurement set from a scenario.
+pub fn measurements(scenario: &TrackingScenario) -> MeasurementSet {
+    let sampling = SamplingStrategy::RandomPerTile { tile: 16 };
+    MeasurementSet {
+        dense_tile: measure_dense_iteration(scenario, Pipeline::TileBased),
+        sparse_tile: measure_tracking_iteration(scenario, Pipeline::TileBased, sampling, 11),
+        sparse_pixel: measure_tracking_iteration(scenario, Pipeline::PixelBased, sampling, 11),
+        mapping_tile: measure_mapping_iteration(scenario, Pipeline::TileBased, 4, 13),
+        mapping_pixel: measure_mapping_iteration(scenario, Pipeline::PixelBased, 4, 13),
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}

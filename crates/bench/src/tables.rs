@@ -1,0 +1,144 @@
+//! Plain-text table rendering for the figure harness.
+
+use std::fmt;
+
+/// A titled table of string cells.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_bench::Table;
+/// let mut t = Table::new("Demo", &["a", "b"]);
+/// t.row(["1", "2"]);
+/// let s = t.to_string();
+/// assert!(s.contains("Demo"));
+/// assert!(s.contains('1'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(row);
+    }
+
+    /// Column widths for alignment.
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.columns))?;
+        writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1))))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats a multiplicative factor like `12.3x`.
+pub fn fmt_x(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.1}x")
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} us", seconds * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_alignment() {
+        let mut t = Table::new("T", &["name", "value"]);
+        t.row(["longer-name", "1"]);
+        t.row(["x", "22"]);
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_x(12.34), "12.3x");
+        assert_eq!(fmt_x(250.0), "250x");
+        assert_eq!(fmt_time(2.0), "2.00 s");
+        assert_eq!(fmt_time(0.002), "2.00 ms");
+        assert_eq!(fmt_time(2e-6), "2.0 us");
+    }
+}

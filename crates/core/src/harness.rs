@@ -1,0 +1,246 @@
+//! Measurement harness: runs representative training iterations and
+//! extracts the traces/workloads the hardware models price.
+//!
+//! The paper's performance figures compare *the same workload* on different
+//! schedules and hardware. This module builds that workload once — a
+//! realistic mid-sequence SLAM state (seeded + mapped scene, tracked pose)
+//! — and renders single training iterations under each schedule/sampling
+//! combination, recording both the [`RenderTrace`] (for the GPU model) and
+//! the [`FrameWorkload`] (for the accelerator simulators).
+
+use splatonic_accel::FrameWorkload;
+use splatonic_math::Pose;
+use splatonic_render::sampling::{tracking_plan, MappingStrategy, SamplingPlan};
+use splatonic_render::{
+    loss, render_backward, render_forward, MappingSampler, Pipeline, PixelSet, RenderConfig,
+    RenderTrace, SamplingStrategy,
+};
+use splatonic_scene::{Camera, Frame, GaussianScene, Intrinsics};
+use splatonic_slam::algorithm::AlgorithmConfig;
+use splatonic_slam::mapping::{map_scene, seed_scene_from_frame, Keyframe};
+use splatonic_slam::Dataset;
+
+/// A frozen mid-sequence SLAM state used as the measurement workload.
+#[derive(Debug, Clone)]
+pub struct TrackingScenario {
+    /// The reconstructed scene at the measurement point.
+    pub scene: GaussianScene,
+    /// Camera intrinsics.
+    pub intrinsics: Intrinsics,
+    /// Pose at which the measured frame is rendered.
+    pub pose: Pose,
+    /// The reference frame being tracked/mapped against.
+    pub frame: Frame,
+}
+
+impl TrackingScenario {
+    /// Prepares a realistic scenario from `dataset`: seeds the map from
+    /// frame 0, runs one mapping invocation, and measures at `frame_index`
+    /// (ground-truth pose — pose error is irrelevant to workload shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_index` is out of range.
+    pub fn prepare(dataset: &Dataset, frame_index: usize) -> TrackingScenario {
+        assert!(frame_index < dataset.len(), "frame index out of range");
+        let algo = AlgorithmConfig::default();
+        let mut scene = seed_scene_from_frame(
+            &dataset.frames[0],
+            dataset.intrinsics,
+            dataset.gt_poses[0],
+            1,
+        );
+        let keyframes = vec![Keyframe {
+            frame: dataset.frames[0].clone(),
+            pose: dataset.gt_poses[0],
+        }];
+        let sampler = MappingSampler::new(4, MappingStrategy::Combined);
+        map_scene(
+            &mut scene,
+            &keyframes,
+            dataset.intrinsics,
+            &sampler,
+            &algo,
+            Pipeline::PixelBased,
+            &RenderConfig::default(),
+            1,
+        );
+        TrackingScenario {
+            scene,
+            intrinsics: dataset.intrinsics,
+            pose: dataset.gt_poses[frame_index],
+            frame: dataset.frames[frame_index].clone(),
+        }
+    }
+}
+
+/// One measured training iteration: trace for the GPU model, workload for
+/// the accelerator models.
+#[derive(Debug, Clone)]
+pub struct IterationMeasurement {
+    /// Forward + backward trace (merged).
+    pub trace: RenderTrace,
+    /// Forward-only trace (for stage-level figures).
+    pub forward_trace: RenderTrace,
+    /// Backward-only trace.
+    pub backward_trace: RenderTrace,
+    /// Accelerator workload.
+    pub workload: FrameWorkload,
+    /// The schedule that produced it.
+    pub pipeline: Pipeline,
+    /// Pixels rendered.
+    pub pixels: usize,
+}
+
+/// Renders one tracking iteration under the given schedule and sampling,
+/// with a real loss/backward pass, and returns its measurement.
+pub fn measure_tracking_iteration(
+    scenario: &TrackingScenario,
+    pipeline: Pipeline,
+    sampling: SamplingStrategy,
+    seed: u64,
+) -> IterationMeasurement {
+    let plan = tracking_plan(sampling, &scenario.frame, seed, None);
+    let (cam, pixels, frame_owned);
+    let frame: &Frame = match plan {
+        SamplingPlan::Pixels(p) => {
+            cam = Camera::new(scenario.intrinsics, scenario.pose);
+            pixels = p;
+            &scenario.frame
+        }
+        SamplingPlan::LowRes { factor } => {
+            let small = scenario.intrinsics.downscaled(factor);
+            cam = Camera::new(small, scenario.pose);
+            pixels = PixelSet::dense(small.width, small.height);
+            frame_owned = splatonic_slam::tracking::downsample_frame(&scenario.frame, factor);
+            &frame_owned
+        }
+    };
+    measure_iteration(&scenario.scene, &cam, frame, &pixels, pipeline)
+}
+
+/// Renders one mapping iteration (the paper's `w_m`-tile combined sampler,
+/// plus the unseen set from a dense Γ pass) and returns its measurement.
+pub fn measure_mapping_iteration(
+    scenario: &TrackingScenario,
+    pipeline: Pipeline,
+    mapping_tile: usize,
+    seed: u64,
+) -> IterationMeasurement {
+    let cam = Camera::new(scenario.intrinsics, scenario.pose);
+    // Dense Γ pass feeds the unseen classification (priced separately by
+    // callers if desired; here it only shapes the pixel set).
+    let dense = PixelSet::dense(scenario.intrinsics.width, scenario.intrinsics.height);
+    let cfg = RenderConfig::default();
+    let dense_out = render_forward(&scenario.scene, &cam, &dense, pipeline, &cfg);
+    let mut transmittance =
+        splatonic_math::Image::filled(scenario.intrinsics.width, scenario.intrinsics.height, 1.0);
+    for (i, p) in dense.iter_all().enumerate() {
+        transmittance[(p.x as usize, p.y as usize)] = dense_out.final_transmittance[i];
+    }
+    let sampler = MappingSampler::new(mapping_tile, MappingStrategy::Combined);
+    let pixels = sampler.build(&scenario.frame, &transmittance, seed);
+    measure_iteration(&scenario.scene, &cam, &scenario.frame, &pixels, pipeline)
+}
+
+/// Renders a dense iteration (the dense-mapping / dense-baseline case).
+pub fn measure_dense_iteration(
+    scenario: &TrackingScenario,
+    pipeline: Pipeline,
+) -> IterationMeasurement {
+    let cam = Camera::new(scenario.intrinsics, scenario.pose);
+    let pixels = PixelSet::dense(scenario.intrinsics.width, scenario.intrinsics.height);
+    measure_iteration(&scenario.scene, &cam, &scenario.frame, &pixels, pipeline)
+}
+
+fn measure_iteration(
+    scene: &GaussianScene,
+    cam: &Camera,
+    frame: &Frame,
+    pixels: &PixelSet,
+    pipeline: Pipeline,
+) -> IterationMeasurement {
+    let cfg = RenderConfig::default();
+    let out = render_forward(scene, cam, pixels, pipeline, &cfg);
+    let l = loss::evaluate_loss(&out, frame, pixels, &splatonic_render::LossConfig::default());
+    let (_, _, bwd) = render_backward(scene, cam, pixels, &out, &l.grads, pipeline, &cfg);
+    let workload = FrameWorkload::from_render(&out, &bwd, pipeline);
+    let mut trace = out.trace.clone();
+    trace.merge(&bwd);
+    IterationMeasurement {
+        forward_trace: out.trace.clone(),
+        backward_trace: bwd,
+        trace,
+        workload,
+        pipeline,
+        pixels: pixels.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatonic_slam::dataset::DatasetConfig;
+
+    fn scenario() -> TrackingScenario {
+        let d = Dataset::replica_like(
+            "harness",
+            77,
+            DatasetConfig {
+                width: 64,
+                height: 48,
+                frames: 8,
+                spacing: 0.3,
+                fov: 1.25,
+                furniture: 2,
+            },
+        );
+        TrackingScenario::prepare(&d, 4)
+    }
+
+    #[test]
+    fn tracking_measurements_differ_by_schedule() {
+        let s = scenario();
+        let sampling = SamplingStrategy::RandomPerTile { tile: 16 };
+        let tile = measure_tracking_iteration(&s, Pipeline::TileBased, sampling, 3);
+        let pixel = measure_tracking_iteration(&s, Pipeline::PixelBased, sampling, 3);
+        assert!(tile.trace.forward.tile_pairs > 0);
+        assert_eq!(pixel.trace.forward.tile_pairs, 0);
+        assert!(pixel.trace.forward.proj_alpha_checks > 0);
+        assert_eq!(tile.pixels, pixel.pixels);
+        // Same sampling seed → same pixels → same integrated pairs.
+        assert_eq!(
+            tile.workload.total_pairs(),
+            pixel.workload.total_pairs()
+        );
+    }
+
+    #[test]
+    fn dense_measurement_covers_image() {
+        let s = scenario();
+        let m = measure_dense_iteration(&s, Pipeline::TileBased);
+        assert_eq!(m.pixels, 64 * 48);
+        assert!(m.workload.total_grad_entries() > 0);
+    }
+
+    #[test]
+    fn mapping_measurement_has_sparse_plus_unseen() {
+        let s = scenario();
+        let m = measure_mapping_iteration(&s, Pipeline::PixelBased, 4, 5);
+        // One sample per 4×4 tile = 192 samples at 64×48, plus any unseen.
+        assert!(m.pixels >= 192);
+        assert!(m.pixels < 64 * 48);
+    }
+
+    #[test]
+    fn lowres_tracking_measurement() {
+        let s = scenario();
+        let m = measure_tracking_iteration(
+            &s,
+            Pipeline::TileBased,
+            SamplingStrategy::LowRes { factor: 4 },
+            1,
+        );
+        assert_eq!(m.pixels, 16 * 12);
+    }
+}

@@ -1,0 +1,61 @@
+//! # SPLATONIC
+//!
+//! A full-system reproduction of *"SPLATONIC: Architectural Support for 3D
+//! Gaussian Splatting SLAM via Sparse Processing"* (HPCA 2026): the adaptive
+//! sparse pixel sampler, the pixel-based differentiable rendering pipeline
+//! with preemptive α-checking, the SLAM stack it accelerates, and the
+//! hardware models (mobile GPU, SPLATONIC accelerator, GSArch and GauSPU
+//! baselines) that regenerate the paper's evaluation.
+//!
+//! ## Layout
+//!
+//! * [`splatonic_scene`] — Gaussians, cameras, frames, synthetic worlds.
+//! * [`splatonic_render`] — tile-based & pixel-based differentiable
+//!   rendering, sampling strategies, workload traces.
+//! * [`splatonic_slam`] — tracking, mapping, the four algorithm presets,
+//!   ATE/PSNR metrics.
+//! * [`splatonic_gpusim`] — mobile-GPU timing/energy model.
+//! * [`splatonic_accel`] — SPLATONIC accelerator + baseline models.
+//! * [`harness`] / [`targets`] (this crate) — glue that measures
+//!   representative training iterations and prices them on every hardware
+//!   target, which is what the figure-regeneration binary consumes.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use splatonic::prelude::*;
+//!
+//! // Generate a Replica-like RGB-D sequence and run sparse SLAM on it.
+//! let dataset = Dataset::replica_like("room0", 101, DatasetConfig::small());
+//! let mut system = SlamSystem::new(SlamConfig::default(), dataset.intrinsics);
+//! let result = system.run(&dataset);
+//! println!("ATE {:.2} cm, PSNR {:.2} dB", result.ate_cm, result.psnr_db);
+//!
+//! // Price one tracking iteration on the SPLATONIC accelerator.
+//! let m = splatonic::harness::measure_tracking_iteration(
+//!     &splatonic::harness::TrackingScenario::prepare(&dataset, 6),
+//!     Pipeline::PixelBased,
+//!     SamplingStrategy::RandomPerTile { tile: 16 },
+//!     0,
+//! );
+//! let cost = splatonic::targets::HardwareTarget::SplatonicHw.price(&m);
+//! println!("{:.1} µs / iteration", cost.seconds * 1e6);
+//! ```
+
+pub mod harness;
+pub mod targets;
+
+pub use splatonic_accel as accel;
+pub use splatonic_gpusim as gpusim;
+pub use splatonic_math as math;
+pub use splatonic_render as render;
+pub use splatonic_scene as scene;
+pub use splatonic_slam as slam;
+
+/// Common entry points.
+pub mod prelude {
+    pub use crate::harness::{IterationMeasurement, TrackingScenario};
+    pub use crate::targets::{HardwareTarget, IterationCost};
+    pub use splatonic_render::{Pipeline, SamplingStrategy};
+    pub use splatonic_slam::prelude::*;
+}

@@ -1,0 +1,42 @@
+//! Analytic timing and energy model of a mobile Ampere-class GPU.
+//!
+//! Stands in for the paper's Jetson Orin measurements (DESIGN.md §2). The
+//! model does not re-run the renderer: it prices a [`RenderTrace`] — the
+//! per-stage operation counts recorded on the *real* workload — so the three
+//! GPU effects the paper characterizes fall out of measured distributions:
+//!
+//! * **Warp divergence** (Sec. III-B, Fig. 6/7): rasterization time scales
+//!   with *warp-steps*, not useful pairs; the trace's `warp_steps` already
+//!   count the steps a one-thread-per-pixel schedule issues, so a sparse
+//!   pixel set on the tile-based schedule pays almost the dense cost.
+//! * **SFU-bound α-checking** (Fig. 9): every α-check evaluates `exp` on
+//!   the special-function units, which are far scarcer than FMA lanes.
+//! * **Atomic serialization in aggregation** (Fig. 8): `atomicAdd`
+//!   throughput degrades with the measured per-Gaussian collision depth.
+//!
+//! All constants are calibration values for a Jetson-Orin-class part and are
+//! documented on [`GpuConfig`].
+
+pub mod energy;
+pub mod timing;
+
+pub use energy::{EnergyBreakdown, GpuEnergyModel};
+pub use timing::{GpuConfig, GpuReport, StageTimes};
+
+use splatonic_render::{Pipeline, RenderTrace};
+
+/// Prices a workload trace on the default Orin-like GPU configuration.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_render::{Pipeline, RenderTrace};
+/// let mut trace = RenderTrace::new();
+/// trace.forward.warp_steps = 1_000;
+/// trace.forward.warp_active = 8_000;
+/// let report = splatonic_gpusim::price(&trace, Pipeline::TileBased);
+/// assert!(report.total_seconds() > 0.0);
+/// ```
+pub fn price(trace: &RenderTrace, pipeline: Pipeline) -> GpuReport {
+    GpuConfig::orin_like().price(trace, pipeline)
+}

@@ -1,0 +1,177 @@
+//! Lookup-table approximation of `exp(-x)` for the α-filter units.
+//!
+//! Paper Sec. V-C: *"to mitigate the computational cost of exponentiation, we
+//! approximate the exponential function with a lookup table (LUT). Our
+//! empirical evaluation shows that a LUT with a size of 64 entries is
+//! sufficient to maintain the same accuracy."*
+//!
+//! The LUT covers `x ∈ [0, range]` with linear interpolation between entries;
+//! inputs beyond the range return 0 (the Gaussian has no visible
+//! contribution there — by x = 8, `exp(-8) ≈ 3.4e-4` is already below the
+//! α-threshold for any opacity).
+
+/// Lookup table for `exp(-x)`, `x ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::ExpLut;
+/// let lut = ExpLut::with_entries(64);
+/// let err = (lut.eval(1.0) - (-1.0f64).exp()).abs();
+/// assert!(err < 1e-2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpLut {
+    entries: Vec<f64>,
+    range: f64,
+    inv_step: f64,
+}
+
+impl ExpLut {
+    /// The paper's accelerator configuration: 64 entries.
+    pub const PAPER_ENTRIES: usize = 64;
+    /// Default input range; beyond it `exp(-x)` is treated as 0.
+    pub const DEFAULT_RANGE: f64 = 8.0;
+
+    /// Builds a LUT with `entries` sample points over the default range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 2`.
+    pub fn with_entries(entries: usize) -> Self {
+        Self::with_entries_and_range(entries, Self::DEFAULT_RANGE)
+    }
+
+    /// Builds a LUT with `entries` sample points over `[0, range]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 2` or `range <= 0`.
+    pub fn with_entries_and_range(entries: usize, range: f64) -> Self {
+        assert!(entries >= 2, "LUT needs at least 2 entries");
+        assert!(range > 0.0, "LUT range must be positive");
+        let step = range / (entries - 1) as f64;
+        let table: Vec<f64> = (0..entries).map(|i| (-(i as f64) * step).exp()).collect();
+        ExpLut {
+            entries: table,
+            range,
+            inv_step: 1.0 / step,
+        }
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table is empty (never true for a constructed LUT).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Input range `[0, range]` covered by the table.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Approximates `exp(-x)` with linear interpolation.
+    ///
+    /// Negative inputs are clamped to 0 (returning 1.0); inputs beyond the
+    /// range return 0.0.
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        if x >= self.range {
+            return 0.0;
+        }
+        let pos = x * self.inv_step;
+        let idx = pos as usize;
+        let frac = pos - idx as f64;
+        let lo = self.entries[idx];
+        let hi = self.entries[(idx + 1).min(self.entries.len() - 1)];
+        lo + (hi - lo) * frac
+    }
+
+    /// Maximum absolute error against the true `exp(-x)` over a dense probe.
+    pub fn max_abs_error(&self) -> f64 {
+        let probes = self.entries.len() * 16;
+        (0..=probes)
+            .map(|i| {
+                let x = self.range * i as f64 / probes as f64;
+                (self.eval(x) - (-x).exp()).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Default for ExpLut {
+    fn default() -> Self {
+        ExpLut::with_entries(Self::PAPER_ENTRIES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_exact() {
+        let lut = ExpLut::with_entries(64);
+        assert_eq!(lut.eval(0.0), 1.0);
+        assert_eq!(lut.eval(100.0), 0.0);
+        assert_eq!(lut.eval(-5.0), 1.0);
+    }
+
+    #[test]
+    fn paper_size_is_accurate_enough() {
+        let lut = ExpLut::default();
+        assert_eq!(lut.len(), ExpLut::PAPER_ENTRIES);
+        // α-checking compares against a threshold ~1/255; the LUT error must
+        // be well below the visually meaningful quantum.
+        assert!(
+            lut.max_abs_error() < 2.5e-3,
+            "max error {} too large",
+            lut.max_abs_error()
+        );
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let lut = ExpLut::with_entries(64);
+        let mut prev = lut.eval(0.0);
+        for i in 1..200 {
+            let v = lut.eval(8.0 * i as f64 / 200.0);
+            assert!(v <= prev + 1e-15);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn more_entries_reduce_error() {
+        let coarse = ExpLut::with_entries(8).max_abs_error();
+        let fine = ExpLut::with_entries(256).max_abs_error();
+        assert!(fine < coarse);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn too_few_entries_panics() {
+        let _ = ExpLut::with_entries(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_range_panics() {
+        let _ = ExpLut::with_entries_and_range(64, 0.0);
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let lut = ExpLut::with_entries_and_range(2, 1.0);
+        // Only two entries: exp(0)=1 and exp(-1).
+        let mid = lut.eval(0.5);
+        let expect = 0.5 * (1.0 + (-1.0f64).exp());
+        assert!((mid - expect).abs() < 1e-12);
+    }
+}

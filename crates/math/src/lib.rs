@@ -1,0 +1,67 @@
+//! Small, dependency-free linear-algebra and image-processing toolkit used by
+//! every other SPLATONIC crate.
+//!
+//! The crate provides exactly what the differentiable 3D-Gaussian-splatting
+//! pipeline and the SLAM optimizers need:
+//!
+//! * fixed-size vectors ([`Vec2`], [`Vec3`], [`Vec4`]) and matrices
+//!   ([`Mat2`], [`Mat3`], [`Mat4`]),
+//! * unit quaternions ([`Quat`]) for Gaussian orientations,
+//! * the SE(3) Lie group ([`se3::Se3`], [`se3::Pose`]) with `exp`/`log`
+//!   maps for camera-pose optimization,
+//! * scalar image containers ([`image::Image`]) with Sobel gradients and the
+//!   Harris corner response used by the sampling baselines,
+//! * the 64-entry exponential lookup table ([`explut::ExpLut`]) used by the
+//!   accelerator's α-filter units (paper Sec. V-C),
+//! * small statistics helpers ([`stats`]) used by the hardware models.
+//!
+//! # Examples
+//!
+//! ```
+//! use splatonic_math::{Vec3, Mat3, Quat};
+//!
+//! let axis = Vec3::new(0.0, 0.0, 1.0);
+//! let q = Quat::from_axis_angle(axis, std::f64::consts::FRAC_PI_2);
+//! let r: Mat3 = q.to_rotation_matrix();
+//! let v = r * Vec3::new(1.0, 0.0, 0.0);
+//! assert!((v.y - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod explut;
+pub mod image;
+pub mod mat;
+pub mod quat;
+pub mod se3;
+pub mod stats;
+pub mod vec;
+
+pub use explut::ExpLut;
+pub use image::Image;
+pub use mat::{Mat2, Mat3, Mat4};
+pub use quat::Quat;
+pub use se3::{Pose, Se3};
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Clamps `x` into `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(splatonic_math::clamp(5.0, 0.0, 1.0), 1.0);
+/// ```
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// Returns `true` when `a` and `b` differ by at most `eps`.
+///
+/// # Examples
+///
+/// ```
+/// assert!(splatonic_math::approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// ```
+#[inline]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}

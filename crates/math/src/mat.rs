@@ -1,0 +1,597 @@
+//! Fixed-size square matrices (`f64`, row-major).
+//!
+//! [`Mat2`] carries projected 2D Gaussian covariances, [`Mat3`] carries 3D
+//! covariances and rotations, and [`Mat4`] carries homogeneous rigid-body
+//! transforms.
+
+use crate::vec::{Vec2, Vec3, Vec4};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A 2×2 matrix, row-major.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::{Mat2, Vec2};
+/// let m = Mat2::new(2.0, 0.0, 0.0, 4.0);
+/// assert_eq!(m * Vec2::new(1.0, 1.0), Vec2::new(2.0, 4.0));
+/// assert_eq!(m.det(), 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mat2 {
+    /// Row-major entries `[[m00, m01], [m10, m11]]` flattened.
+    pub m: [f64; 4],
+}
+
+/// A 3×3 matrix, row-major.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::{Mat3, Vec3};
+/// let r = Mat3::identity();
+/// assert_eq!(r * Vec3::new(1.0, 2.0, 3.0), Vec3::new(1.0, 2.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mat3 {
+    /// Row-major entries.
+    pub m: [f64; 9],
+}
+
+/// A 4×4 matrix, row-major.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::{Mat4, Vec4};
+/// let id = Mat4::identity();
+/// let v = Vec4::new(1.0, 2.0, 3.0, 1.0);
+/// assert_eq!(id * v, v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// Row-major entries.
+    pub m: [f64; 16],
+}
+
+impl Mat2 {
+    /// Creates a matrix from row-major entries.
+    #[inline]
+    pub const fn new(m00: f64, m01: f64, m10: f64, m11: f64) -> Self {
+        Mat2 {
+            m: [m00, m01, m10, m11],
+        }
+    }
+
+    /// The identity matrix.
+    #[inline]
+    pub const fn identity() -> Self {
+        Mat2::new(1.0, 0.0, 0.0, 1.0)
+    }
+
+    /// Diagonal matrix with entries `a`, `b`.
+    #[inline]
+    pub const fn diag(a: f64, b: f64) -> Self {
+        Mat2::new(a, 0.0, 0.0, b)
+    }
+
+    /// Entry accessor: row `r`, column `c`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.m[r * 2 + c]
+    }
+
+    /// Determinant.
+    #[inline]
+    pub fn det(&self) -> f64 {
+        self.m[0] * self.m[3] - self.m[1] * self.m[2]
+    }
+
+    /// Trace (sum of diagonal entries).
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.m[0] + self.m[3]
+    }
+
+    /// Inverse, or `None` when the determinant is (near) zero.
+    pub fn inverse(&self) -> Option<Mat2> {
+        let d = self.det();
+        if d.abs() < 1e-300 {
+            return None;
+        }
+        let inv = 1.0 / d;
+        Some(Mat2::new(
+            self.m[3] * inv,
+            -self.m[1] * inv,
+            -self.m[2] * inv,
+            self.m[0] * inv,
+        ))
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat2 {
+        Mat2::new(self.m[0], self.m[2], self.m[1], self.m[3])
+    }
+
+    /// Eigenvalues of a *symmetric* 2×2 matrix, largest first.
+    ///
+    /// Used to bound the extent of projected Gaussians.
+    pub fn symmetric_eigenvalues(&self) -> (f64, f64) {
+        let mid = 0.5 * self.trace();
+        let det = self.det();
+        let disc = (mid * mid - det).max(0.0).sqrt();
+        (mid + disc, mid - disc)
+    }
+}
+
+impl Mat3 {
+    /// Creates a matrix from row-major entries.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub const fn new(
+        m00: f64,
+        m01: f64,
+        m02: f64,
+        m10: f64,
+        m11: f64,
+        m12: f64,
+        m20: f64,
+        m21: f64,
+        m22: f64,
+    ) -> Self {
+        Mat3 {
+            m: [m00, m01, m02, m10, m11, m12, m20, m21, m22],
+        }
+    }
+
+    /// The identity matrix.
+    #[inline]
+    pub const fn identity() -> Self {
+        Mat3::new(1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0)
+    }
+
+    /// The zero matrix.
+    #[inline]
+    pub const fn zero() -> Self {
+        Mat3 { m: [0.0; 9] }
+    }
+
+    /// Diagonal matrix.
+    #[inline]
+    pub const fn diag(a: f64, b: f64, c: f64) -> Self {
+        Mat3::new(a, 0.0, 0.0, 0.0, b, 0.0, 0.0, 0.0, c)
+    }
+
+    /// Builds a matrix from three row vectors.
+    #[inline]
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Self {
+        Mat3::new(r0.x, r0.y, r0.z, r1.x, r1.y, r1.z, r2.x, r2.y, r2.z)
+    }
+
+    /// Builds a matrix from three column vectors.
+    #[inline]
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Mat3::new(c0.x, c1.x, c2.x, c0.y, c1.y, c2.y, c0.z, c1.z, c2.z)
+    }
+
+    /// Entry accessor: row `r`, column `c`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.m[r * 3 + c]
+    }
+
+    /// Mutable entry accessor: row `r`, column `c`.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.m[r * 3 + c]
+    }
+
+    /// Row `r` as a vector.
+    #[inline]
+    pub fn row(&self, r: usize) -> Vec3 {
+        Vec3::new(self.at(r, 0), self.at(r, 1), self.at(r, 2))
+    }
+
+    /// Column `c` as a vector.
+    #[inline]
+    pub fn col(&self, c: usize) -> Vec3 {
+        Vec3::new(self.at(0, c), self.at(1, c), self.at(2, c))
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat3 {
+        Mat3::new(
+            self.m[0], self.m[3], self.m[6], self.m[1], self.m[4], self.m[7], self.m[2], self.m[5],
+            self.m[8],
+        )
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6])
+            + m[2] * (m[3] * m[7] - m[4] * m[6])
+    }
+
+    /// Trace.
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.m[0] + self.m[4] + self.m[8]
+    }
+
+    /// Inverse, or `None` when the determinant is (near) zero.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() < 1e-300 {
+            return None;
+        }
+        let m = &self.m;
+        let inv = 1.0 / d;
+        Some(Mat3::new(
+            (m[4] * m[8] - m[5] * m[7]) * inv,
+            (m[2] * m[7] - m[1] * m[8]) * inv,
+            (m[1] * m[5] - m[2] * m[4]) * inv,
+            (m[5] * m[6] - m[3] * m[8]) * inv,
+            (m[0] * m[8] - m[2] * m[6]) * inv,
+            (m[2] * m[3] - m[0] * m[5]) * inv,
+            (m[3] * m[7] - m[4] * m[6]) * inv,
+            (m[1] * m[6] - m[0] * m[7]) * inv,
+            (m[0] * m[4] - m[1] * m[3]) * inv,
+        ))
+    }
+
+    /// Skew-symmetric matrix `[v]×` such that `[v]× w = v × w`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use splatonic_math::{Mat3, Vec3};
+    /// let v = Vec3::new(1.0, 2.0, 3.0);
+    /// let w = Vec3::new(-1.0, 0.5, 2.0);
+    /// let lhs = Mat3::skew(v) * w;
+    /// let rhs = v.cross(w);
+    /// assert!((lhs - rhs).norm() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn skew(v: Vec3) -> Mat3 {
+        Mat3::new(0.0, -v.z, v.y, v.z, 0.0, -v.x, -v.y, v.x, 0.0)
+    }
+
+    /// Outer product `a bᵀ`.
+    #[inline]
+    pub fn outer(a: Vec3, b: Vec3) -> Mat3 {
+        Mat3::new(
+            a.x * b.x,
+            a.x * b.y,
+            a.x * b.z,
+            a.y * b.x,
+            a.y * b.y,
+            a.y * b.z,
+            a.z * b.x,
+            a.z * b.y,
+            a.z * b.z,
+        )
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f64) -> Mat3 {
+        let mut out = *self;
+        for v in &mut out.m {
+            *v *= s;
+        }
+        out
+    }
+}
+
+impl Mat4 {
+    /// Creates a matrix from row-major entries.
+    #[inline]
+    pub const fn from_rows_array(m: [f64; 16]) -> Self {
+        Mat4 { m }
+    }
+
+    /// The identity matrix.
+    pub const fn identity() -> Self {
+        Mat4 {
+            m: [
+                1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0,
+            ],
+        }
+    }
+
+    /// Builds a rigid transform from rotation `r` and translation `t`.
+    pub fn from_rt(r: Mat3, t: Vec3) -> Self {
+        Mat4 {
+            m: [
+                r.m[0], r.m[1], r.m[2], t.x, r.m[3], r.m[4], r.m[5], t.y, r.m[6], r.m[7], r.m[8],
+                t.z, 0.0, 0.0, 0.0, 1.0,
+            ],
+        }
+    }
+
+    /// Entry accessor: row `r`, column `c`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.m[r * 4 + c]
+    }
+
+    /// Extracts the upper-left 3×3 block.
+    pub fn rotation(&self) -> Mat3 {
+        Mat3::new(
+            self.m[0], self.m[1], self.m[2], self.m[4], self.m[5], self.m[6], self.m[8], self.m[9],
+            self.m[10],
+        )
+    }
+
+    /// Extracts the translation column.
+    pub fn translation(&self) -> Vec3 {
+        Vec3::new(self.m[3], self.m[7], self.m[11])
+    }
+
+    /// Transforms a 3D point (applies rotation then translation).
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.rotation() * p + self.translation()
+    }
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Mat4::identity()
+    }
+}
+
+impl Add for Mat2 {
+    type Output = Mat2;
+    fn add(self, rhs: Mat2) -> Mat2 {
+        let mut m = self.m;
+        for (a, b) in m.iter_mut().zip(rhs.m.iter()) {
+            *a += b;
+        }
+        Mat2 { m }
+    }
+}
+
+impl Sub for Mat2 {
+    type Output = Mat2;
+    fn sub(self, rhs: Mat2) -> Mat2 {
+        let mut m = self.m;
+        for (a, b) in m.iter_mut().zip(rhs.m.iter()) {
+            *a -= b;
+        }
+        Mat2 { m }
+    }
+}
+
+impl Mul<f64> for Mat2 {
+    type Output = Mat2;
+    fn mul(self, s: f64) -> Mat2 {
+        let mut m = self.m;
+        for a in &mut m {
+            *a *= s;
+        }
+        Mat2 { m }
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Mat2;
+    fn mul(self, r: Mat2) -> Mat2 {
+        Mat2::new(
+            self.m[0] * r.m[0] + self.m[1] * r.m[2],
+            self.m[0] * r.m[1] + self.m[1] * r.m[3],
+            self.m[2] * r.m[0] + self.m[3] * r.m[2],
+            self.m[2] * r.m[1] + self.m[3] * r.m[3],
+        )
+    }
+}
+
+impl Mul<Vec2> for Mat2 {
+    type Output = Vec2;
+    fn mul(self, v: Vec2) -> Vec2 {
+        Vec2::new(
+            self.m[0] * v.x + self.m[1] * v.y,
+            self.m[2] * v.x + self.m[3] * v.y,
+        )
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, rhs: Mat3) -> Mat3 {
+        let mut m = self.m;
+        for (a, b) in m.iter_mut().zip(rhs.m.iter()) {
+            *a += b;
+        }
+        Mat3 { m }
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        let mut m = self.m;
+        for (a, b) in m.iter_mut().zip(rhs.m.iter()) {
+            *a -= b;
+        }
+        Mat3 { m }
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, r: Mat3) -> Mat3 {
+        let mut out = [0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += self.m[i * 3 + k] * r.m[k * 3 + j];
+                }
+                out[i * 3 + j] = s;
+            }
+        }
+        Mat3 { m: out }
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0] * v.x + self.m[1] * v.y + self.m[2] * v.z,
+            self.m[3] * v.x + self.m[4] * v.y + self.m[5] * v.z,
+            self.m[6] * v.x + self.m[7] * v.y + self.m[8] * v.z,
+        )
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, s: f64) -> Mat3 {
+        self.scale(s)
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, r: Mat4) -> Mat4 {
+        let mut out = [0.0; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut s = 0.0;
+                for k in 0..4 {
+                    s += self.m[i * 4 + k] * r.m[k * 4 + j];
+                }
+                out[i * 4 + j] = s;
+            }
+        }
+        Mat4 { m: out }
+    }
+}
+
+impl Mul<Vec4> for Mat4 {
+    type Output = Vec4;
+    fn mul(self, v: Vec4) -> Vec4 {
+        Vec4::new(
+            self.m[0] * v.x + self.m[1] * v.y + self.m[2] * v.z + self.m[3] * v.w,
+            self.m[4] * v.x + self.m[5] * v.y + self.m[6] * v.z + self.m[7] * v.w,
+            self.m[8] * v.x + self.m[9] * v.y + self.m[10] * v.z + self.m[11] * v.w,
+            self.m[12] * v.x + self.m[13] * v.y + self.m[14] * v.z + self.m[15] * v.w,
+        )
+    }
+}
+
+impl fmt::Display for Mat3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..3 {
+            writeln!(
+                f,
+                "[{:10.4} {:10.4} {:10.4}]",
+                self.at(r, 0),
+                self.at(r, 1),
+                self.at(r, 2)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mat2_inverse_round_trip() {
+        let m = Mat2::new(2.0, 1.0, 0.5, 3.0);
+        let inv = m.inverse().unwrap();
+        let id = m * inv;
+        assert!((id.m[0] - 1.0).abs() < 1e-12);
+        assert!(id.m[1].abs() < 1e-12);
+        assert!((id.m[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mat2_singular_has_no_inverse() {
+        let m = Mat2::new(1.0, 2.0, 2.0, 4.0);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn mat2_symmetric_eigenvalues() {
+        let m = Mat2::new(3.0, 1.0, 1.0, 3.0);
+        let (l1, l2) = m.symmetric_eigenvalues();
+        assert!((l1 - 4.0).abs() < 1e-12);
+        assert!((l2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mat3_inverse_round_trip() {
+        let m = Mat3::new(2.0, 1.0, 0.0, 0.5, 3.0, 0.2, 0.1, -1.0, 1.5);
+        let inv = m.inverse().unwrap();
+        let id = m * inv;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id.at(i, j) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mat3_transpose_involution() {
+        let m = Mat3::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn mat3_det_of_identity() {
+        assert_eq!(Mat3::identity().det(), 1.0);
+        assert_eq!(Mat3::identity().trace(), 3.0);
+    }
+
+    #[test]
+    fn skew_antisymmetric() {
+        let s = Mat3::skew(Vec3::new(1.0, -2.0, 0.5));
+        let st = s.transpose();
+        for i in 0..9 {
+            assert!((s.m[i] + st.m[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn outer_product_rank_one() {
+        let m = Mat3::outer(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        assert!(m.det().abs() < 1e-12);
+        assert_eq!(m.at(1, 2), 12.0);
+    }
+
+    #[test]
+    fn mat4_rigid_transform() {
+        let r = Mat3::identity();
+        let t = Vec3::new(1.0, 2.0, 3.0);
+        let m = Mat4::from_rt(r, t);
+        assert_eq!(m.transform_point(Vec3::ZERO), t);
+        assert_eq!(m.rotation(), r);
+        assert_eq!(m.translation(), t);
+    }
+
+    #[test]
+    fn mat4_mul_identity() {
+        let m = Mat4::from_rt(Mat3::diag(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        let out = Mat4::identity() * m;
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn rows_cols_round_trip() {
+        let m = Mat3::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0);
+        assert_eq!(m.row(1), Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(m.col(2), Vec3::new(3.0, 6.0, 9.0));
+        let m2 = Mat3::from_rows(m.row(0), m.row(1), m.row(2));
+        assert_eq!(m2, m);
+        let m3 = Mat3::from_cols(m.col(0), m.col(1), m.col(2));
+        assert_eq!(m3, m);
+    }
+}

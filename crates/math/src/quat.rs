@@ -1,0 +1,330 @@
+//! Unit quaternions for Gaussian orientations.
+//!
+//! The mapping optimizer treats quaternions as free 4-vectors and normalizes
+//! them on use, matching the reference 3DGS implementation. The analytic
+//! gradient of the rotation matrix with respect to the *unnormalized*
+//! quaternion components is provided by [`Quat::rotation_jacobian`].
+
+use crate::mat::Mat3;
+use crate::vec::Vec3;
+use std::fmt;
+
+/// A quaternion `w + xi + yj + zk`.
+///
+/// Most constructors produce unit quaternions; [`Quat::normalized`] is cheap
+/// and should be applied before converting to a rotation matrix when the
+/// source is an optimizer state.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::{Quat, Vec3};
+/// let q = Quat::from_axis_angle(Vec3::Y, std::f64::consts::PI);
+/// let v = q.rotate(Vec3::X);
+/// assert!((v.x + 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// i component.
+    pub x: f64,
+    /// j component.
+    pub y: f64,
+    /// k component.
+    pub z: f64,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a quaternion from components (scalar first).
+    #[inline]
+    pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Creates a unit quaternion rotating by `angle` radians about `axis`.
+    ///
+    /// The axis is normalized internally; a zero axis yields the identity.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
+        let a = axis.normalized();
+        if a == Vec3::ZERO {
+            return Quat::IDENTITY;
+        }
+        let half = 0.5 * angle;
+        let s = half.sin();
+        Quat::new(half.cos(), a.x * s, a.y * s, a.z * s)
+    }
+
+    /// Squared norm of the 4-vector.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Norm of the 4-vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Returns the unit quaternion; degenerate inputs yield the identity.
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            Quat::IDENTITY
+        } else {
+            Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// Quaternion conjugate (inverse for unit quaternions).
+    #[inline]
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Hamilton product `self * rhs`.
+    #[allow(clippy::should_implement_trait)] // also provided as `std::ops::Mul` below
+    pub fn mul(self, r: Quat) -> Quat {
+        Quat::new(
+            self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        )
+    }
+
+    /// Rotates a vector by this (unit) quaternion.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        self.to_rotation_matrix() * v
+    }
+
+    /// Converts to a rotation matrix. The quaternion is normalized first.
+    pub fn to_rotation_matrix(self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3::new(
+            1.0 - 2.0 * (y * y + z * z),
+            2.0 * (x * y - w * z),
+            2.0 * (x * z + w * y),
+            2.0 * (x * y + w * z),
+            1.0 - 2.0 * (x * x + z * z),
+            2.0 * (y * z - w * x),
+            2.0 * (x * z - w * y),
+            2.0 * (y * z + w * x),
+            1.0 - 2.0 * (x * x + y * y),
+        )
+    }
+
+    /// Jacobians `∂R/∂w, ∂R/∂x, ∂R/∂y, ∂R/∂z` of the rotation matrix with
+    /// respect to the **normalized** quaternion components.
+    ///
+    /// Callers optimizing an unnormalized quaternion should additionally
+    /// project the returned gradient through the normalization Jacobian (see
+    /// [`Quat::backprop_normalization`]).
+    pub fn rotation_jacobian(self) -> [Mat3; 4] {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        let dw = Mat3::new(0.0, -2.0 * z, 2.0 * y, 2.0 * z, 0.0, -2.0 * x, -2.0 * y, 2.0 * x, 0.0);
+        let dx = Mat3::new(
+            0.0,
+            2.0 * y,
+            2.0 * z,
+            2.0 * y,
+            -4.0 * x,
+            -2.0 * w,
+            2.0 * z,
+            2.0 * w,
+            -4.0 * x,
+        );
+        let dy = Mat3::new(
+            -4.0 * y,
+            2.0 * x,
+            2.0 * w,
+            2.0 * x,
+            0.0,
+            2.0 * z,
+            -2.0 * w,
+            2.0 * z,
+            -4.0 * y,
+        );
+        let dz = Mat3::new(
+            -4.0 * z,
+            -2.0 * w,
+            2.0 * x,
+            2.0 * w,
+            -4.0 * z,
+            2.0 * y,
+            2.0 * x,
+            2.0 * y,
+            0.0,
+        );
+        [dw, dx, dy, dz]
+    }
+
+    /// Propagates a gradient w.r.t. the normalized quaternion back to the
+    /// unnormalized storage: `g_raw = (I − q̂ q̂ᵀ) g / ‖q‖`.
+    pub fn backprop_normalization(self, grad_unit: [f64; 4]) -> [f64; 4] {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            return [0.0; 4];
+        }
+        let q = [self.w / n, self.x / n, self.y / n, self.z / n];
+        let dot = q[0] * grad_unit[0] + q[1] * grad_unit[1] + q[2] * grad_unit[2] + q[3] * grad_unit[3];
+        let mut out = [0.0; 4];
+        for i in 0..4 {
+            out[i] = (grad_unit[i] - q[i] * dot) / n;
+        }
+        out
+    }
+
+    /// Components as `[w, x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 4] {
+        [self.w, self.x, self.y, self.z]
+    }
+
+    /// Builds a quaternion from `[w, x, y, z]`.
+    #[inline]
+    pub fn from_array(a: [f64; 4]) -> Self {
+        Quat::new(a[0], a[1], a[2], a[3])
+    }
+}
+
+impl std::ops::Mul for Quat {
+    type Output = Quat;
+    fn mul(self, rhs: Quat) -> Quat {
+        Quat::mul(self, rhs)
+    }
+}
+
+impl fmt::Display for Quat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} + {}i + {}j + {}k)", self.w, self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rotation_is_orthonormal(r: &Mat3) -> bool {
+        let rt = r.transpose();
+        let id = *r * rt;
+        (0..3).all(|i| {
+            (0..3).all(|j| {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                (id.at(i, j) - expect).abs() < 1e-10
+            })
+        }) && (r.det() - 1.0).abs() < 1e-10
+    }
+
+    #[test]
+    fn identity_rotation() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Quat::IDENTITY.rotate(v), v);
+    }
+
+    #[test]
+    fn axis_angle_matches_matrix() {
+        let q = Quat::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2);
+        let v = q.rotate(Vec3::X);
+        assert!((v - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_matrices_are_orthonormal() {
+        for (axis, angle) in [
+            (Vec3::new(1.0, 2.0, 3.0), 0.7),
+            (Vec3::new(-1.0, 0.1, 0.0), 2.9),
+            (Vec3::new(0.0, 0.0, 1.0), -1.1),
+        ] {
+            let r = Quat::from_axis_angle(axis, angle).to_rotation_matrix();
+            assert!(rotation_is_orthonormal(&r));
+        }
+    }
+
+    #[test]
+    fn hamilton_product_composes_rotations() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.4);
+        let b = Quat::from_axis_angle(Vec3::Y, 0.9);
+        let v = Vec3::new(0.3, -1.0, 2.0);
+        let composed = a.mul(b).rotate(v);
+        let sequential = a.rotate(b.rotate(v));
+        assert!((composed - sequential).norm() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 1.0, 0.0), 1.3);
+        let v = Vec3::new(5.0, -2.0, 0.5);
+        let back = q.conjugate().rotate(q.rotate(v));
+        assert!((back - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn zero_axis_yields_identity() {
+        assert_eq!(Quat::from_axis_angle(Vec3::ZERO, 1.0), Quat::IDENTITY);
+    }
+
+    #[test]
+    fn rotation_jacobian_matches_finite_differences() {
+        let q = Quat::new(0.9, 0.1, -0.2, 0.3).normalized();
+        let jac = q.rotation_jacobian();
+        let eps = 1e-6;
+        for (k, dk) in jac.iter().enumerate() {
+            let mut qp = q.to_array();
+            qp[k] += eps;
+            // Finite difference of the *normalized* map: renormalize and
+            // project the analytic tangent the same way.
+            let rp = Quat::from_array(qp).to_rotation_matrix();
+            let rm = q.to_rotation_matrix();
+            // The finite difference includes the normalization Jacobian, so
+            // compare against the projected analytic Jacobian.
+            let mut grad_unit = [0.0; 4];
+            grad_unit[k] = 1.0;
+            let proj = q.backprop_normalization(grad_unit);
+            let mut analytic = Mat3::zero();
+            for (g, dj) in proj.iter().zip(jac.iter()) {
+                analytic = analytic + dj.scale(*g);
+            }
+            for i in 0..9 {
+                let fd = (rp.m[i] - rm.m[i]) / eps;
+                assert!(
+                    (fd - analytic.m[i]).abs() < 1e-4,
+                    "component {k}, entry {i}: fd={fd}, analytic={}, dk={:?}",
+                    analytic.m[i],
+                    dk
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backprop_normalization_is_tangent() {
+        let q = Quat::new(2.0, 0.4, -0.6, 1.0);
+        let g = q.backprop_normalization([0.3, -0.1, 0.9, 0.2]);
+        let qn = q.normalized();
+        let dot = qn.w * g[0] + qn.x * g[1] + qn.y * g[2] + qn.z * g[3];
+        assert!(dot.abs() < 1e-12, "gradient must be tangent to the sphere");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Quat::IDENTITY).is_empty());
+    }
+}

@@ -1,0 +1,405 @@
+//! The SE(3) Lie group and algebra used for camera-pose optimization.
+//!
+//! Tracking in 3DGS-SLAM optimizes a single camera pose per frame (paper
+//! Sec. II-A). We represent poses as rotation + translation ([`Pose`]) and
+//! optimize in the tangent space ([`Se3`], a 6-vector `[ρ, φ]` of
+//! translational and rotational components) via the exponential map.
+
+use crate::mat::{Mat3, Mat4};
+use crate::vec::Vec3;
+use std::fmt;
+
+/// An element of the Lie algebra se(3): `[rho, phi]` with `rho` the
+/// translational part and `phi` the rotational part (axis-angle).
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::{Se3, Vec3};
+/// let xi = Se3::new(Vec3::new(0.1, 0.0, 0.0), Vec3::ZERO);
+/// let pose = xi.exp();
+/// assert!((pose.translation.x - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Se3 {
+    /// Translational component ρ.
+    pub rho: Vec3,
+    /// Rotational component φ (axis-angle).
+    pub phi: Vec3,
+}
+
+/// A rigid-body pose: rotation matrix plus translation vector.
+///
+/// By convention throughout SPLATONIC a camera pose is **world-to-camera**:
+/// `p_cam = R p_world + t`.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::{Pose, Vec3};
+/// let p = Pose::identity();
+/// assert_eq!(p.transform(Vec3::new(1.0, 2.0, 3.0)), Vec3::new(1.0, 2.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    /// Rotation matrix (orthonormal).
+    pub rotation: Mat3,
+    /// Translation vector.
+    pub translation: Vec3,
+}
+
+impl Se3 {
+    /// The zero element (identity pose under `exp`).
+    pub const ZERO: Se3 = Se3 {
+        rho: Vec3::ZERO,
+        phi: Vec3::ZERO,
+    };
+
+    /// Creates an se(3) element from its translational and rotational parts.
+    #[inline]
+    pub const fn new(rho: Vec3, phi: Vec3) -> Self {
+        Se3 { rho, phi }
+    }
+
+    /// Creates an se(3) element from a flat `[ρx, ρy, ρz, φx, φy, φz]` array.
+    #[inline]
+    pub fn from_array(a: [f64; 6]) -> Self {
+        Se3::new(Vec3::new(a[0], a[1], a[2]), Vec3::new(a[3], a[4], a[5]))
+    }
+
+    /// Components as `[ρx, ρy, ρz, φx, φy, φz]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 6] {
+        [
+            self.rho.x, self.rho.y, self.rho.z, self.phi.x, self.phi.y, self.phi.z,
+        ]
+    }
+
+    /// Euclidean norm of the 6-vector.
+    pub fn norm(self) -> f64 {
+        (self.rho.norm_sq() + self.phi.norm_sq()).sqrt()
+    }
+
+    /// Exponential map se(3) → SE(3) (Rodrigues plus the V matrix).
+    pub fn exp(self) -> Pose {
+        let theta = self.phi.norm();
+        let k = Mat3::skew(self.phi);
+        let kk = k * k;
+        let (rot, v) = if theta < 1e-9 {
+            // Second-order Taylor expansion near zero avoids 0/0.
+            let rot = Mat3::identity() + k + kk.scale(0.5);
+            let v = Mat3::identity() + k.scale(0.5) + kk.scale(1.0 / 6.0);
+            (rot, v)
+        } else {
+            let a = theta.sin() / theta;
+            let b = (1.0 - theta.cos()) / (theta * theta);
+            let c = (theta - theta.sin()) / (theta * theta * theta);
+            let rot = Mat3::identity() + k.scale(a) + kk.scale(b);
+            let v = Mat3::identity() + k.scale(b) + kk.scale(c);
+            (rot, v)
+        };
+        Pose {
+            rotation: rot,
+            translation: v * self.rho,
+        }
+    }
+}
+
+impl std::ops::Add for Se3 {
+    type Output = Se3;
+    fn add(self, rhs: Se3) -> Se3 {
+        Se3::new(self.rho + rhs.rho, self.phi + rhs.phi)
+    }
+}
+
+impl std::ops::Mul<f64> for Se3 {
+    type Output = Se3;
+    fn mul(self, s: f64) -> Se3 {
+        Se3::new(self.rho * s, self.phi * s)
+    }
+}
+
+impl std::ops::Neg for Se3 {
+    type Output = Se3;
+    fn neg(self) -> Se3 {
+        Se3::new(-self.rho, -self.phi)
+    }
+}
+
+impl Default for Pose {
+    fn default() -> Self {
+        Pose::identity()
+    }
+}
+
+impl Pose {
+    /// The identity pose.
+    pub fn identity() -> Self {
+        Pose {
+            rotation: Mat3::identity(),
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// Creates a pose from a rotation matrix and translation vector.
+    ///
+    /// The rotation is trusted to be orthonormal; use
+    /// [`Pose::orthonormalized`] after accumulating numeric drift.
+    pub fn new(rotation: Mat3, translation: Vec3) -> Self {
+        Pose {
+            rotation,
+            translation,
+        }
+    }
+
+    /// Applies the pose to a point: `R p + t`.
+    #[inline]
+    pub fn transform(&self, p: Vec3) -> Vec3 {
+        self.rotation * p + self.translation
+    }
+
+    /// Applies only the rotation (for directions).
+    #[inline]
+    pub fn rotate(&self, d: Vec3) -> Vec3 {
+        self.rotation * d
+    }
+
+    /// The inverse pose.
+    pub fn inverse(&self) -> Pose {
+        let rt = self.rotation.transpose();
+        Pose {
+            rotation: rt,
+            translation: -(rt * self.translation),
+        }
+    }
+
+    /// Composition: `(self ∘ rhs)(p) = self(rhs(p))`.
+    pub fn compose(&self, rhs: &Pose) -> Pose {
+        Pose {
+            rotation: self.rotation * rhs.rotation,
+            translation: self.rotation * rhs.translation + self.translation,
+        }
+    }
+
+    /// Left-multiplicative update: `exp(ξ) ∘ self`.
+    ///
+    /// This is the update used by the tracking optimizer, whose gradients are
+    /// expressed in the left tangent space at the current pose.
+    pub fn retract(&self, xi: Se3) -> Pose {
+        xi.exp().compose(self).orthonormalized()
+    }
+
+    /// Logarithm map SE(3) → se(3) (inverse of [`Se3::exp`]).
+    pub fn log(&self) -> Se3 {
+        let r = &self.rotation;
+        let cos_theta = ((r.trace() - 1.0) * 0.5).clamp(-1.0, 1.0);
+        let theta = cos_theta.acos();
+        let phi = if theta < 1e-9 {
+            Vec3::new(
+                0.5 * (r.at(2, 1) - r.at(1, 2)),
+                0.5 * (r.at(0, 2) - r.at(2, 0)),
+                0.5 * (r.at(1, 0) - r.at(0, 1)),
+            )
+        } else if (std::f64::consts::PI - theta).abs() < 1e-6 {
+            // Near θ = π, extract the axis from the diagonal.
+            let xx = ((r.at(0, 0) + 1.0) * 0.5).max(0.0).sqrt();
+            let yy = ((r.at(1, 1) + 1.0) * 0.5).max(0.0).sqrt();
+            let zz = ((r.at(2, 2) + 1.0) * 0.5).max(0.0).sqrt();
+            let mut axis = Vec3::new(xx, yy, zz);
+            // Fix signs using off-diagonals.
+            if r.at(2, 1) - r.at(1, 2) < 0.0 {
+                axis.x = -axis.x;
+            }
+            if r.at(0, 2) - r.at(2, 0) < 0.0 {
+                axis.y = -axis.y;
+            }
+            if r.at(1, 0) - r.at(0, 1) < 0.0 {
+                axis.z = -axis.z;
+            }
+            axis.normalized() * theta
+        } else {
+            let scale = theta / (2.0 * theta.sin());
+            Vec3::new(
+                r.at(2, 1) - r.at(1, 2),
+                r.at(0, 2) - r.at(2, 0),
+                r.at(1, 0) - r.at(0, 1),
+            ) * scale
+        };
+        // Invert the V matrix to recover rho.
+        let k = Mat3::skew(phi);
+        let kk = k * k;
+        let v_inv = if theta < 1e-9 {
+            Mat3::identity() - k.scale(0.5) + kk.scale(1.0 / 12.0)
+        } else {
+            let half = 0.5 * theta;
+            let cot = half.cos() / half.sin();
+            let coeff = (1.0 - half * cot) / (theta * theta);
+            Mat3::identity() - k.scale(0.5) + kk.scale(coeff)
+        };
+        Se3::new(v_inv * self.translation, phi)
+    }
+
+    /// Re-orthonormalizes the rotation matrix via Gram–Schmidt.
+    ///
+    /// Pose updates accumulate tiny numeric drift; this projects back onto
+    /// SO(3) without changing the pose beyond floating-point noise.
+    pub fn orthonormalized(&self) -> Pose {
+        let c0 = self.rotation.col(0).normalized();
+        let mut c1 = self.rotation.col(1);
+        c1 = (c1 - c0 * c1.dot(c0)).normalized();
+        let c2 = c0.cross(c1);
+        Pose {
+            rotation: Mat3::from_cols(c0, c1, c2),
+            translation: self.translation,
+        }
+    }
+
+    /// Converts to a homogeneous 4×4 matrix.
+    pub fn to_mat4(&self) -> Mat4 {
+        Mat4::from_rt(self.rotation, self.translation)
+    }
+
+    /// Camera center in world coordinates (for a world-to-camera pose).
+    pub fn camera_center(&self) -> Vec3 {
+        self.inverse().translation
+    }
+
+    /// Geodesic rotation distance to `other` in radians.
+    pub fn rotation_angle_to(&self, other: &Pose) -> f64 {
+        let rel = self.rotation.transpose() * other.rotation;
+        ((rel.trace() - 1.0) * 0.5).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Euclidean distance between translation components.
+    pub fn translation_distance_to(&self, other: &Pose) -> f64 {
+        (self.translation - other.translation).norm()
+    }
+}
+
+impl fmt::Display for Pose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pose(t = {}, R = {:?})", self.translation, self.rotation.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pose() -> Pose {
+        Se3::new(Vec3::new(0.3, -0.2, 0.9), Vec3::new(0.1, 0.5, -0.3)).exp()
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let p = Se3::ZERO.exp();
+        assert!((p.rotation.trace() - 3.0).abs() < 1e-12);
+        assert!(p.translation.norm() < 1e-12);
+    }
+
+    #[test]
+    fn exp_log_round_trip() {
+        let xi = Se3::new(Vec3::new(0.5, -1.0, 0.25), Vec3::new(0.4, -0.2, 0.7));
+        let back = xi.exp().log();
+        assert!((back.rho - xi.rho).norm() < 1e-9, "rho: {:?}", back.rho);
+        assert!((back.phi - xi.phi).norm() < 1e-9, "phi: {:?}", back.phi);
+    }
+
+    #[test]
+    fn log_exp_round_trip() {
+        let p = sample_pose();
+        let p2 = p.log().exp();
+        assert!((p2.translation - p.translation).norm() < 1e-9);
+        for i in 0..9 {
+            assert!((p2.rotation.m[i] - p.rotation.m[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exp_small_angle_stable() {
+        let xi = Se3::new(Vec3::new(1e-12, 0.0, 0.0), Vec3::new(0.0, 1e-12, 0.0));
+        let p = xi.exp();
+        assert!(p.translation.is_finite());
+        assert!(p.rotation.det().is_finite());
+    }
+
+    #[test]
+    fn log_near_pi_rotation() {
+        let xi = Se3::new(Vec3::ZERO, Vec3::new(0.0, 0.0, std::f64::consts::PI - 1e-8));
+        let back = xi.exp().log();
+        assert!((back.phi.norm() - xi.phi.norm()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = sample_pose();
+        let id = p.compose(&p.inverse());
+        assert!(id.translation.norm() < 1e-12);
+        assert!((id.rotation.trace() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_matches_sequential_transform() {
+        let a = sample_pose();
+        let b = Se3::new(Vec3::new(-0.1, 0.2, 0.0), Vec3::new(0.0, 0.3, 0.1)).exp();
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        let lhs = a.compose(&b).transform(p);
+        let rhs = a.transform(b.transform(p));
+        assert!((lhs - rhs).norm() < 1e-12);
+    }
+
+    #[test]
+    fn retract_zero_is_noop() {
+        let p = sample_pose();
+        let q = p.retract(Se3::ZERO);
+        assert!((q.translation - p.translation).norm() < 1e-12);
+    }
+
+    #[test]
+    fn retract_moves_in_tangent_direction() {
+        let p = Pose::identity();
+        let xi = Se3::new(Vec3::new(0.01, 0.0, 0.0), Vec3::ZERO);
+        let q = p.retract(xi);
+        assert!((q.translation.x - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthonormalized_restores_so3() {
+        let mut p = sample_pose();
+        // Inject drift.
+        p.rotation.m[0] += 1e-3;
+        let q = p.orthonormalized();
+        let should_be_id = q.rotation * q.rotation.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((should_be_id.at(i, j) - expect).abs() < 1e-12);
+            }
+        }
+        assert!((q.rotation.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn camera_center_round_trip() {
+        let p = sample_pose();
+        let c = p.camera_center();
+        // The camera center maps to the origin of the camera frame.
+        assert!(p.transform(c).norm() < 1e-12);
+    }
+
+    #[test]
+    fn pose_distances() {
+        let a = Pose::identity();
+        let b = Se3::new(Vec3::new(3.0, 4.0, 0.0), Vec3::new(0.0, 0.0, 0.5)).exp();
+        assert!((a.translation_distance_to(&b) - b.translation.norm()).abs() < 1e-12);
+        assert!((a.rotation_angle_to(&b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_mat4_matches_transform() {
+        let p = sample_pose();
+        let v = Vec3::new(0.2, 0.4, -0.8);
+        let m = p.to_mat4();
+        assert!((m.transform_point(v) - p.transform(v)).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,493 @@
+//! Fixed-size vector types (`f64` components).
+//!
+//! These are plain `Copy` value types with component-wise arithmetic
+//! operators, dot/cross products, and norms. They intentionally stay tiny:
+//! the renderer and simulators only need 2-, 3-, and 4-component vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2-component column vector.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::Vec2;
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+}
+
+/// A 3-component column vector.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::Vec3;
+/// let v = Vec3::new(1.0, 0.0, 0.0).cross(Vec3::new(0.0, 1.0, 0.0));
+/// assert_eq!(v, Vec3::new(0.0, 0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+/// A 4-component column vector (homogeneous coordinates / RGBA).
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_math::{Vec3, Vec4};
+/// let h = Vec4::from_point(Vec3::new(1.0, 2.0, 3.0));
+/// assert_eq!(h.w, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+    /// w component.
+    pub w: f64,
+}
+
+macro_rules! impl_common {
+    ($t:ident, $($f:ident),+) => {
+        impl $t {
+            /// Vector with all components zero.
+            pub const ZERO: $t = $t { $($f: 0.0),+ };
+
+            /// Creates a vector from its components.
+            #[inline]
+            pub const fn new($($f: f64),+) -> Self {
+                Self { $($f),+ }
+            }
+
+            /// Creates a vector with every component equal to `v`.
+            #[inline]
+            pub const fn splat(v: f64) -> Self {
+                Self { $($f: v),+ }
+            }
+
+            /// Dot product with `rhs`.
+            #[inline]
+            pub fn dot(self, rhs: Self) -> f64 {
+                0.0 $(+ self.$f * rhs.$f)+
+            }
+
+            /// Squared Euclidean norm.
+            #[inline]
+            pub fn norm_sq(self) -> f64 {
+                self.dot(self)
+            }
+
+            /// Euclidean norm.
+            #[inline]
+            pub fn norm(self) -> f64 {
+                self.norm_sq().sqrt()
+            }
+
+            /// Returns the unit vector pointing in the same direction.
+            ///
+            /// Returns the zero vector when the norm is (near) zero, so this
+            /// never produces NaNs for degenerate inputs.
+            #[inline]
+            pub fn normalized(self) -> Self {
+                let n = self.norm();
+                if n <= f64::EPSILON {
+                    Self::ZERO
+                } else {
+                    self / n
+                }
+            }
+
+            /// Component-wise product (Hadamard product).
+            #[inline]
+            pub fn hadamard(self, rhs: Self) -> Self {
+                Self { $($f: self.$f * rhs.$f),+ }
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, rhs: Self) -> Self {
+                Self { $($f: self.$f.min(rhs.$f)),+ }
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, rhs: Self) -> Self {
+                Self { $($f: self.$f.max(rhs.$f)),+ }
+            }
+
+            /// Largest component value.
+            #[inline]
+            pub fn max_component(self) -> f64 {
+                let mut m = f64::NEG_INFINITY;
+                $( m = m.max(self.$f); )+
+                m
+            }
+
+            /// Component-wise absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self { $($f: self.$f.abs()),+ }
+            }
+
+            /// Sum of components.
+            #[inline]
+            pub fn sum(self) -> f64 {
+                0.0 $(+ self.$f)+
+            }
+
+            /// Clamps every component into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: f64, hi: f64) -> Self {
+                Self { $($f: self.$f.max(lo).min(hi)),+ }
+            }
+
+            /// Returns `true` when every component is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                true $(&& self.$f.is_finite())+
+            }
+
+            /// Linear interpolation: `self * (1 - t) + rhs * t`.
+            #[inline]
+            pub fn lerp(self, rhs: Self, t: f64) -> Self {
+                self * (1.0 - t) + rhs * t
+            }
+        }
+
+        impl Add for $t {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self { $($f: self.$f + rhs.$f),+ }
+            }
+        }
+
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                $( self.$f += rhs.$f; )+
+            }
+        }
+
+        impl Sub for $t {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self { $($f: self.$f - rhs.$f),+ }
+            }
+        }
+
+        impl SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                $( self.$f -= rhs.$f; )+
+            }
+        }
+
+        impl Mul<f64> for $t {
+            type Output = Self;
+            #[inline]
+            fn mul(self, s: f64) -> Self {
+                Self { $($f: self.$f * s),+ }
+            }
+        }
+
+        impl Mul<$t> for f64 {
+            type Output = $t;
+            #[inline]
+            fn mul(self, v: $t) -> $t {
+                v * self
+            }
+        }
+
+        impl MulAssign<f64> for $t {
+            #[inline]
+            fn mul_assign(&mut self, s: f64) {
+                $( self.$f *= s; )+
+            }
+        }
+
+        impl Div<f64> for $t {
+            type Output = Self;
+            #[inline]
+            fn div(self, s: f64) -> Self {
+                Self { $($f: self.$f / s),+ }
+            }
+        }
+
+        impl Neg for $t {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self { $($f: -self.$f),+ }
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "(")?;
+                let mut first = true;
+                $(
+                    if !first { write!(f, ", ")?; }
+                    write!(f, "{}", self.$f)?;
+                    first = false;
+                )+
+                let _ = first;
+                write!(f, ")")
+            }
+        }
+    };
+}
+
+impl_common!(Vec2, x, y);
+impl_common!(Vec3, x, y, z);
+impl_common!(Vec4, x, y, z, w);
+
+impl Vec2 {
+    /// The 2D "cross product" (z component of the 3D cross product).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use splatonic_math::Vec2;
+    /// assert_eq!(Vec2::new(1.0, 0.0).perp_dot(Vec2::new(0.0, 1.0)), 1.0);
+    /// ```
+    #[inline]
+    pub fn perp_dot(self, rhs: Self) -> f64 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+}
+
+impl Vec3 {
+    /// Unit vector along +x.
+    pub const X: Vec3 = Vec3::new(1.0, 0.0, 0.0);
+    /// Unit vector along +y.
+    pub const Y: Vec3 = Vec3::new(0.0, 1.0, 0.0);
+    /// Unit vector along +z.
+    pub const Z: Vec3 = Vec3::new(0.0, 0.0, 1.0);
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Self) -> Self {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Returns the `(x, y)` components.
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+}
+
+impl Vec4 {
+    /// Lifts a 3D point to homogeneous coordinates (`w = 1`).
+    #[inline]
+    pub fn from_point(p: Vec3) -> Self {
+        Vec4::new(p.x, p.y, p.z, 1.0)
+    }
+
+    /// Lifts a 3D direction to homogeneous coordinates (`w = 0`).
+    #[inline]
+    pub fn from_direction(d: Vec3) -> Self {
+        Vec4::new(d.x, d.y, d.z, 0.0)
+    }
+
+    /// Returns the `(x, y, z)` components.
+    #[inline]
+    pub fn xyz(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+}
+
+impl From<[f64; 2]> for Vec2 {
+    fn from(a: [f64; 2]) -> Self {
+        Vec2::new(a[0], a[1])
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<[f64; 4]> for Vec4 {
+    fn from(a: [f64; 4]) -> Self {
+        Vec4::new(a[0], a[1], a[2], a[3])
+    }
+}
+
+impl From<Vec2> for [f64; 2] {
+    fn from(v: Vec2) -> Self {
+        [v.x, v.y]
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+impl From<Vec4> for [f64; 4] {
+    fn from(v: Vec4) -> Self {
+        [v.x, v.y, v.z, v.w]
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl Index<usize> for Vec2 {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            _ => panic!("Vec2 index {i} out of range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        assert_eq!(a.dot(b), 1.0);
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_handles_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+        let v = Vec3::new(0.0, 3.0, 4.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(2.0, 0.0, -1.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.5, 0.5, 0.0));
+    }
+
+    #[test]
+    fn clamp_and_abs() {
+        let v = Vec3::new(-2.0, 0.5, 7.0);
+        assert_eq!(v.clamp(0.0, 1.0), Vec3::new(0.0, 0.5, 1.0));
+        assert_eq!(v.abs(), Vec3::new(2.0, 0.5, 7.0));
+        assert_eq!(v.max_component(), 7.0);
+    }
+
+    #[test]
+    fn homogeneous_round_trip() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Vec4::from_point(p).xyz(), p);
+        assert_eq!(Vec4::from_direction(p).w, 0.0);
+    }
+
+    #[test]
+    fn array_conversions() {
+        let v: Vec3 = [1.0, 2.0, 3.0].into();
+        let a: [f64; 3] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn indexing() {
+        let v = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(v[0], 4.0);
+        assert_eq!(v[2], 6.0);
+        let mut m = v;
+        m[1] = 9.0;
+        assert_eq!(m.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Vec2::new(1.0, 2.0)), "(1, 2)");
+    }
+
+    #[test]
+    fn hadamard_and_sum() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(2.0, 3.0, 4.0);
+        assert_eq!(a.hadamard(b), Vec3::new(2.0, 6.0, 12.0));
+        assert_eq!(a.sum(), 6.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(2.0, 3.0);
+        assert_eq!(a.min(b), Vec2::new(1.0, 3.0));
+        assert_eq!(a.max(b), Vec2::new(2.0, 5.0));
+    }
+}

@@ -1,0 +1,420 @@
+//! Gradient computation shared by both backward pipelines.
+//!
+//! Following the paper's decomposition (Fig. 3), the backward pass is:
+//!
+//! 1. **Reverse rasterization** — per pixel–Gaussian pair, compute the
+//!    partial gradients of the loss w.r.t. the pair's screen-space
+//!    quantities (projected mean, projected covariance, depth, color,
+//!    opacity); implemented by [`pixel_backward`].
+//! 2. **Aggregation** — sum the partial gradients into per-Gaussian
+//!    accumulators (the `atomicAdd` stage on GPUs); implemented by
+//!    [`CamGradAccumulator`].
+//! 3. **Re-projection** — transform the accumulated camera-space gradients
+//!    into world-space parameter gradients (and, for tracking, into the
+//!    camera-pose tangent); implemented by [`reproject`].
+//!
+//! Tracking pose gradients flow through the projected means and depths
+//! (`∂p_cam/∂ξ = [I | −[p_cam]×]` for a left-multiplicative update); the
+//! covariance-orientation dependence on pose is dropped (standard
+//! SplaTAM-style approximation; see DESIGN.md §5).
+
+use crate::kernel::{projection_jacobian, ProjectedGaussian, RenderConfig};
+use crate::Contribution;
+use splatonic_math::{Mat2, Mat3, Se3, Vec2, Vec3};
+use splatonic_scene::{Camera, Gaussian, GaussianScene};
+
+/// Gradient of the loss w.r.t. one Gaussian's trainable parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GaussianParamGrad {
+    /// ∂L/∂mean (world).
+    pub mean: Vec3,
+    /// ∂L/∂log_scale.
+    pub log_scale: Vec3,
+    /// ∂L/∂rotation (raw quaternion storage, `[w, x, y, z]`).
+    pub rotation: [f64; 4],
+    /// ∂L/∂opacity_logit.
+    pub opacity_logit: f64,
+    /// ∂L/∂color.
+    pub color: Vec3,
+}
+
+/// Per-Gaussian gradients for the touched subset of the scene.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SceneGrads {
+    /// `(gaussian index, gradient)` pairs, unordered.
+    pub entries: Vec<(u32, GaussianParamGrad)>,
+}
+
+impl SceneGrads {
+    /// Number of Gaussians with gradients.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no Gaussian received a gradient.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the gradient for Gaussian `id` (linear scan; test helper).
+    pub fn get(&self, id: u32) -> Option<&GaussianParamGrad> {
+        self.entries.iter().find(|(i, _)| *i == id).map(|(_, g)| g)
+    }
+}
+
+/// Gradient of the loss w.r.t. the camera pose, in the left tangent space.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PoseGrad {
+    /// ∂L/∂ξ for the update `pose ← exp(−η·ξ̂) ∘ pose`.
+    pub xi: Se3,
+}
+
+/// Accumulated camera-space gradients for one Gaussian (pre-re-projection).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CamGrad {
+    /// ∂L/∂μ' (projected 2D mean).
+    pub mean2d: Vec2,
+    /// ∂L/∂Σ' upper triangle `[xx, xy, yy]` (symmetric).
+    pub cov2d: [f64; 3],
+    /// ∂L/∂z from depth compositing.
+    pub depth: f64,
+    /// ∂L/∂color.
+    pub color: Vec3,
+    /// ∂L/∂opacity (natural opacity, chained to logit at re-projection).
+    pub opacity: f64,
+    /// Number of pixel contributions aggregated.
+    pub count: u32,
+}
+
+/// Dense accumulator over Gaussian ids with an epoch-based lazy reset, so
+/// repeated backward passes reuse the allocation.
+#[derive(Debug, Clone, Default)]
+pub struct CamGradAccumulator {
+    slots: Vec<CamGrad>,
+    epoch: Vec<u32>,
+    current: u32,
+    touched: Vec<u32>,
+}
+
+impl CamGradAccumulator {
+    /// Creates an accumulator sized for `n` Gaussians.
+    pub fn new(n: usize) -> Self {
+        CamGradAccumulator {
+            slots: vec![CamGrad::default(); n],
+            epoch: vec![0; n],
+            current: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Clears all accumulated gradients (O(1) amortized).
+    pub fn reset(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, CamGrad::default());
+            self.epoch.resize(n, 0);
+        }
+        self.current = self.current.wrapping_add(1);
+        if self.current == 0 {
+            // Epoch wrapped: do a real clear.
+            self.epoch.fill(0);
+            self.current = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Mutable access to Gaussian `id`'s accumulator, zeroing it on first
+    /// touch this epoch.
+    pub fn entry(&mut self, id: u32) -> &mut CamGrad {
+        let i = id as usize;
+        if self.epoch[i] != self.current {
+            self.epoch[i] = self.current;
+            self.slots[i] = CamGrad::default();
+            self.touched.push(id);
+        }
+        &mut self.slots[i]
+    }
+
+    /// Ids touched this epoch, in first-touch order.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Read-only access (zero if untouched this epoch).
+    pub fn get(&self, id: u32) -> CamGrad {
+        let i = id as usize;
+        if i < self.slots.len() && self.epoch[i] == self.current {
+            self.slots[i]
+        } else {
+            CamGrad::default()
+        }
+    }
+}
+
+/// Statistics returned by [`pixel_backward`] for trace accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PixelBackwardCounts {
+    /// Pairs whose gradients were computed.
+    pub pairs: u64,
+    /// Scalar atomic adds the aggregation would issue (one per gradient
+    /// component per pair: 2 mean + 3 cov + 1 depth + 3 color + 1 opacity).
+    pub atomic_adds: u64,
+}
+
+/// Scalar gradient components accumulated per pair (drives atomic counts).
+pub const GRAD_COMPONENTS: u64 = 10;
+
+/// Reverse color integration for one pixel (paper Fig. 3 / Sec. IV-B).
+///
+/// Walks the pixel's depth-ordered contribution list, computes each pair's
+/// partial gradients analytically, and adds them into `accum`. `lookup`
+/// resolves a Gaussian id to its projection. `dl_dc`/`dl_dd` are the loss
+/// gradients w.r.t. this pixel's color and depth.
+#[allow(clippy::too_many_arguments)]
+pub fn pixel_backward(
+    pixel: Vec2,
+    contribs: &[Contribution],
+    lookup: &dyn Fn(u32) -> ProjectedGaussian,
+    dl_dc: Vec3,
+    dl_dd: f64,
+    config: &RenderConfig,
+    background: Vec3,
+    accum: &mut CamGradAccumulator,
+) -> PixelBackwardCounts {
+    let mut counts = PixelBackwardCounts::default();
+    if contribs.is_empty() {
+        return counts;
+    }
+    // Suffix sums: S_c = Σ_{j>i} w_j c_j, S_z = Σ_{j>i} w_j z_j, plus the
+    // background term which also depends on every α through Γ_final.
+    // C = Σ w_i c_i + Γ_final·bg, with Γ_final = Π (1−α_j):
+    //   ∂C/∂α_i = Γ_i c_i − (S_c^i + Γ_final·bg)/(1−α_i).
+    let mut suffix_c = Vec3::ZERO;
+    let mut suffix_z = 0.0;
+    let mut t_final = 1.0;
+    for c in contribs {
+        t_final *= 1.0 - c.alpha;
+    }
+    // Iterate back-to-front (the paper's reverse integration order).
+    for c in contribs.iter().rev() {
+        let pg = lookup(c.gaussian);
+        let w = c.transmittance * c.alpha;
+        // ∂L/∂color and ∂L/∂z are direct.
+        let dl_dcolor = dl_dc * w;
+        let dl_dz = dl_dd * w;
+        // ∂L/∂α via color and depth channels.
+        let one_minus = (1.0 - c.alpha).max(1e-6);
+        let dc_dalpha = pg.color * c.transmittance - (suffix_c + background * t_final) / one_minus;
+        let dd_dalpha = pg.depth * c.transmittance - suffix_z / one_minus;
+        let dl_dalpha = dl_dc.dot(dc_dalpha) + dl_dd * dd_dalpha;
+        // α = min(α_max, o·G): zero gradient through the clamp.
+        let g_val = c.alpha / pg.opacity;
+        let clamped = c.alpha >= config.alpha_max - 1e-12;
+        let (dl_do, dl_dg) = if clamped {
+            (0.0, 0.0)
+        } else {
+            (g_val * dl_dalpha, pg.opacity * dl_dalpha)
+        };
+        // G = exp(−q/2) ⇒ ∂G/∂q = −G/2, so ∂L/∂q = −½·G·∂L/∂G.
+        let dl_dq = -0.5 * g_val * dl_dg;
+        let d = pixel - pg.mean2d;
+        let u = pg.conic * d; // Σ'⁻¹ d
+        // q = dᵀΣ'⁻¹d with d = p − μ' ⇒ ∂q/∂μ' = −2u, ∂q/∂Σ' = −u uᵀ.
+        let dl_dcov = [
+            -dl_dq * u.x * u.x,
+            -dl_dq * u.x * u.y,
+            -dl_dq * u.y * u.y,
+        ];
+        let e = accum.entry(c.gaussian);
+        e.mean2d += Vec2::new(-2.0 * dl_dq * u.x, -2.0 * dl_dq * u.y);
+        e.cov2d[0] += dl_dcov[0];
+        e.cov2d[1] += dl_dcov[1];
+        e.cov2d[2] += dl_dcov[2];
+        e.depth += dl_dz;
+        e.color += dl_dcolor;
+        e.opacity += dl_do;
+        e.count += 1;
+        counts.pairs += 1;
+        counts.atomic_adds += GRAD_COMPONENTS;
+        // Maintain suffixes for the next (nearer) Gaussian.
+        suffix_c += pg.color * w;
+        suffix_z += pg.depth * w;
+    }
+    counts
+}
+
+/// Re-projection (paper Fig. 3): transforms the aggregated camera-space
+/// gradients into world-space parameter gradients and accumulates the
+/// camera-pose gradient.
+///
+/// `track_pose` enables the pose-gradient path (tracking); when false the
+/// pose gradient is returned as zero (mapping fixes poses).
+pub fn reproject(
+    scene: &GaussianScene,
+    camera: &Camera,
+    accum: &CamGradAccumulator,
+    track_pose: bool,
+) -> (SceneGrads, PoseGrad) {
+    let w = camera.pose.rotation;
+    let wt = w.transpose();
+    let intr = &camera.intrinsics;
+    let mut grads = SceneGrads::default();
+    grads.entries.reserve(accum.touched().len());
+    let mut pose = Se3::ZERO;
+    for &id in accum.touched() {
+        let cg = accum.get(id);
+        let g: &Gaussian = match scene.get(id as usize) {
+            Some(g) => g,
+            None => continue,
+        };
+        let p_cam = camera.to_camera(g.mean);
+        if p_cam.z <= 0.0 {
+            continue;
+        }
+        let j = projection_jacobian(intr.fx, intr.fy, p_cam);
+        // ∂L/∂p_cam through the projected mean and depth.
+        let mut dl_dpcam = j[0] * cg.mean2d.x + j[1] * cg.mean2d.y + Vec3::Z * cg.depth;
+        // ∂L/∂p_cam through the covariance's dependence on J.
+        // Σ' = J Σc Jᵀ ⇒ ∂L/∂J = 2·(∂L/∂Σ')·(J Σc)  (∂L/∂Σ' symmetric).
+        let sigma_cam = w * g.covariance() * wt;
+        let dl_dcov = Mat2::new(cg.cov2d[0], cg.cov2d[1], cg.cov2d[1], cg.cov2d[2]);
+        let js = [sigma_cam * j[0], sigma_cam * j[1]]; // rows of (J Σc)ᵀ? see below
+        // (J Σc) row r = Σc jᵣ (Σc symmetric), a 3-vector.
+        let dl_dj0 = (js[0] * (2.0 * dl_dcov.m[0]) + js[1] * (2.0 * dl_dcov.m[1])) * 1.0;
+        let dl_dj1 = (js[0] * (2.0 * dl_dcov.m[2]) + js[1] * (2.0 * dl_dcov.m[3])) * 1.0;
+        // Non-zero J entries: J00=fx/z, J02=−fx·x/z², J11=fy/z, J12=−fy·y/z².
+        let (x, y, z) = (p_cam.x, p_cam.y, p_cam.z);
+        let inv_z2 = 1.0 / (z * z);
+        let inv_z3 = inv_z2 / z;
+        dl_dpcam.x += dl_dj0.z * (-intr.fx * inv_z2);
+        dl_dpcam.y += dl_dj1.z * (-intr.fy * inv_z2);
+        dl_dpcam.z += dl_dj0.x * (-intr.fx * inv_z2)
+            + dl_dj0.z * (2.0 * intr.fx * x * inv_z3)
+            + dl_dj1.y * (-intr.fy * inv_z2)
+            + dl_dj1.z * (2.0 * intr.fy * y * inv_z3);
+        if track_pose {
+            // Left-perturbation: δp_cam = δρ + δφ × p_cam.
+            pose.rho += dl_dpcam;
+            pose.phi += p_cam.cross(dl_dpcam);
+        }
+        // World-space mean gradient.
+        let dmean = wt * dl_dpcam;
+        // World-space covariance gradient: ∂L/∂Σw = Tᵀ (∂L/∂Σ') T, T = J W.
+        let t0 = wt * j[0];
+        let t1 = wt * j[1];
+        let dl_dsigma_w = Mat3::outer(t0, t0).scale(dl_dcov.m[0])
+            + (Mat3::outer(t0, t1) + Mat3::outer(t1, t0)).scale(dl_dcov.m[1])
+            + Mat3::outer(t1, t1).scale(dl_dcov.m[3]);
+        // Σw = M Mᵀ with M = R S ⇒ ∂L/∂M = 2 (∂L/∂Σw) M.
+        let r = g.rotation.to_rotation_matrix();
+        let s = g.scale();
+        let m = r * Mat3::diag(s.x, s.y, s.z);
+        let dl_dm = dl_dsigma_w.scale(2.0) * m;
+        // ∂L/∂s_j = Σ_i (∂L/∂M)_ij R_ij; chain to log-scale (×s_j).
+        let mut dlog_scale = Vec3::ZERO;
+        for jcol in 0..3 {
+            let mut acc = 0.0;
+            for irow in 0..3 {
+                acc += dl_dm.at(irow, jcol) * r.at(irow, jcol);
+            }
+            dlog_scale[jcol] = acc * s[jcol];
+        }
+        // ∂L/∂R_ij = (∂L/∂M)_ij s_j → quaternion gradient.
+        let mut dl_dr = Mat3::zero();
+        for irow in 0..3 {
+            for jcol in 0..3 {
+                *dl_dr.at_mut(irow, jcol) = dl_dm.at(irow, jcol) * s[jcol];
+            }
+        }
+        let jac = g.rotation.rotation_jacobian();
+        let mut dq_unit = [0.0; 4];
+        for (k, dj) in jac.iter().enumerate() {
+            let mut acc = 0.0;
+            for i in 0..9 {
+                acc += dl_dr.m[i] * dj.m[i];
+            }
+            dq_unit[k] = acc;
+        }
+        let drot = g.rotation.backprop_normalization(dq_unit);
+        // Opacity: chain natural → logit.
+        let o = g.opacity();
+        let dopacity_logit = cg.opacity * o * (1.0 - o);
+        // Color: straight-through except where the render-time clamp binds.
+        let mut dcolor = cg.color;
+        if g.color.x <= 0.0 || g.color.x >= 1.0 {
+            dcolor.x = 0.0;
+        }
+        if g.color.y <= 0.0 || g.color.y >= 1.0 {
+            dcolor.y = 0.0;
+        }
+        if g.color.z <= 0.0 || g.color.z >= 1.0 {
+            dcolor.z = 0.0;
+        }
+        grads.entries.push((
+            id,
+            GaussianParamGrad {
+                mean: dmean,
+                log_scale: dlog_scale,
+                rotation: drot,
+                opacity_logit: dopacity_logit,
+                color: dcolor,
+            },
+        ));
+    }
+    (grads, PoseGrad { xi: pose })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatonic_math::Pose;
+    use splatonic_scene::Intrinsics;
+
+    #[test]
+    fn accumulator_epoch_reset() {
+        let mut acc = CamGradAccumulator::new(4);
+        acc.reset(4);
+        acc.entry(2).opacity = 1.0;
+        assert_eq!(acc.touched(), &[2]);
+        assert_eq!(acc.get(2).opacity, 1.0);
+        acc.reset(4);
+        assert!(acc.touched().is_empty());
+        assert_eq!(acc.get(2).opacity, 0.0);
+    }
+
+    #[test]
+    fn accumulator_grows_on_reset() {
+        let mut acc = CamGradAccumulator::new(2);
+        acc.reset(10);
+        acc.entry(9).depth = 2.0;
+        assert_eq!(acc.get(9).depth, 2.0);
+    }
+
+    #[test]
+    fn pixel_backward_empty_contribs() {
+        let mut acc = CamGradAccumulator::new(1);
+        acc.reset(1);
+        let counts = pixel_backward(
+            Vec2::new(0.0, 0.0),
+            &[],
+            &|_| unreachable!(),
+            Vec3::ZERO,
+            0.0,
+            &RenderConfig::default(),
+            Vec3::ZERO,
+            &mut acc,
+        );
+        assert_eq!(counts.pairs, 0);
+    }
+
+    #[test]
+    fn reproject_skips_unknown_ids() {
+        let scene = GaussianScene::new();
+        let cam = Camera::new(Intrinsics::with_fov(32, 32, 1.0), Pose::identity());
+        let mut acc = CamGradAccumulator::new(4);
+        acc.reset(4);
+        acc.entry(3).color = Vec3::splat(1.0);
+        let (grads, pose) = reproject(&scene, &cam, &acc, true);
+        assert!(grads.is_empty());
+        assert_eq!(pose.xi, Se3::ZERO);
+    }
+}

@@ -1,0 +1,409 @@
+//! Shared projection and compositing kernels (EWA splatting).
+//!
+//! Both pipelines project 3D Gaussians to screen space the same way:
+//!
+//! * transform the mean into the camera frame, cull behind-camera points,
+//! * project the mean through the pinhole model,
+//! * push the 3D covariance through the local affine approximation
+//!   `Σ' = J W Σ Wᵀ Jᵀ + b·I` (the classic EWA splatting Jacobian `J`),
+//! * invert `Σ'` (the "conic") for α evaluation.
+//!
+//! The transparency of Gaussian `i` at pixel `p` is
+//! `α_i = min(α_max, o_i · exp(-½ dᵀ Σ'⁻¹ d))` with `d = p − μ'` — exactly
+//! the quantity the paper's α-checking thresholds against `α*`.
+
+use splatonic_math::{Mat2, Mat3, Vec2, Vec3};
+use splatonic_scene::{Camera, Gaussian};
+
+/// Numeric configuration shared by both pipelines.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_render::RenderConfig;
+/// let cfg = RenderConfig::default();
+/// assert!(cfg.alpha_threshold > 0.0 && cfg.alpha_threshold < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderConfig {
+    /// α* — Gaussians with `α < alpha_threshold` at a pixel are skipped.
+    pub alpha_threshold: f64,
+    /// Upper clamp on α (0.99 in the reference implementation).
+    pub alpha_max: f64,
+    /// Early-termination transmittance: stop compositing once `Γ < t_min`.
+    pub transmittance_min: f64,
+    /// Screen-space blur added to the projected covariance diagonal.
+    pub screen_blur: f64,
+    /// Bounding-box extent in standard deviations. 3.5σ guarantees that any
+    /// pixel outside the box has `α < 1/255` even at full opacity
+    /// (`exp(−3.5²/2)·0.99 ≈ 0.0022 < 1/255`), so bbox-based candidate
+    /// discovery (pixel pipeline) and threshold-only α-checking (tile
+    /// pipeline) select exactly the same pixel–Gaussian pairs.
+    pub bbox_sigma: f64,
+    /// Near-plane distance for frustum culling.
+    pub near: f64,
+    /// Background color composited where transmittance remains.
+    pub background: Vec3,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            alpha_threshold: 1.0 / 255.0,
+            alpha_max: 0.99,
+            transmittance_min: 1e-4,
+            screen_blur: 0.3,
+            bbox_sigma: 3.5,
+            near: 0.2,
+            background: Vec3::ZERO,
+        }
+    }
+}
+
+/// A Gaussian projected to screen space, ready for rasterization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectedGaussian {
+    /// Index of the source Gaussian in the scene.
+    pub id: u32,
+    /// Projected 2D mean μ' in pixel coordinates.
+    pub mean2d: Vec2,
+    /// Inverse of the projected 2D covariance (the "conic").
+    pub conic: Mat2,
+    /// Camera-frame depth (z).
+    pub depth: f64,
+    /// Camera-frame mean (needed by the backward pass).
+    pub mean_cam: Vec3,
+    /// Opacity `o_i` (natural, in (0,1)).
+    pub opacity: f64,
+    /// Color, clamped into \[0, 1].
+    pub color: Vec3,
+    /// Bounding-box half-extent in pixels (per axis, from `bbox_sigma`).
+    pub radius: Vec2,
+}
+
+impl ProjectedGaussian {
+    /// Screen-space bounding box `(min, max)` inclusive.
+    pub fn bbox(&self) -> (Vec2, Vec2) {
+        (self.mean2d - self.radius, self.mean2d + self.radius)
+    }
+}
+
+/// The projection Jacobian `J` (2×3 stored as rows) for camera point `p`.
+///
+/// `J = [[fx/z, 0, −fx·x/z²], [0, fy/z, −fy·y/z²]]`.
+#[inline]
+pub fn projection_jacobian(fx: f64, fy: f64, p_cam: Vec3) -> [Vec3; 2] {
+    let inv_z = 1.0 / p_cam.z;
+    let inv_z2 = inv_z * inv_z;
+    [
+        Vec3::new(fx * inv_z, 0.0, -fx * p_cam.x * inv_z2),
+        Vec3::new(0.0, fy * inv_z, -fy * p_cam.y * inv_z2),
+    ]
+}
+
+/// Projects one Gaussian; returns `None` if culled (behind camera, outside
+/// the image, or degenerate covariance).
+pub fn project_gaussian(
+    g: &Gaussian,
+    id: u32,
+    camera: &Camera,
+    config: &RenderConfig,
+) -> Option<ProjectedGaussian> {
+    let p_cam = camera.to_camera(g.mean);
+    if p_cam.z <= config.near {
+        return None;
+    }
+    let intr = &camera.intrinsics;
+    let mean2d = Vec2::new(
+        intr.fx * p_cam.x / p_cam.z + intr.cx,
+        intr.fy * p_cam.y / p_cam.z + intr.cy,
+    );
+    // 2D covariance: Σ' = J W Σ Wᵀ Jᵀ + blur·I.
+    let w = camera.pose.rotation;
+    let sigma_cam = w * g.covariance() * w.transpose();
+    let j = projection_jacobian(intr.fx, intr.fy, p_cam);
+    let js0 = sigma_cam * j[0];
+    let js1 = sigma_cam * j[1];
+    let mut cov2d = Mat2::new(
+        j[0].dot(js0) + config.screen_blur,
+        j[0].dot(js1),
+        j[1].dot(js0),
+        j[1].dot(js1) + config.screen_blur,
+    );
+    // Symmetrize against floating-point drift.
+    let off = 0.5 * (cov2d.m[1] + cov2d.m[2]);
+    cov2d.m[1] = off;
+    cov2d.m[2] = off;
+    let conic = cov2d.inverse()?;
+    let (l1, l2) = cov2d.symmetric_eigenvalues();
+    if l1 <= 0.0 || l2 <= 0.0 {
+        return None;
+    }
+    let r = config.bbox_sigma * l1.sqrt();
+    let radius = Vec2::new(r, r);
+    // Frustum culling. The margin is capped: near the image plane the
+    // affine (EWA) approximation blows the projected radius up for
+    // far-off-axis Gaussians, and an uncapped bbox margin would let those
+    // degenerate splats cover the whole screen as phantom surfaces. The
+    // reference implementation culls on the *mean* position in NDC with a
+    // modest guard band for the same reason.
+    let margin = r.min(0.3 * intr.width.max(intr.height) as f64);
+    if !intr.in_bounds(mean2d, margin) {
+        return None;
+    }
+    Some(ProjectedGaussian {
+        id,
+        mean2d,
+        conic,
+        depth: p_cam.z,
+        mean_cam: p_cam,
+        opacity: g.opacity(),
+        color: g.color.clamp(0.0, 1.0),
+        radius,
+    })
+}
+
+/// Projects the whole scene, returning visible Gaussians (unordered) and the
+/// number culled.
+pub fn project_scene(
+    scene: &splatonic_scene::GaussianScene,
+    camera: &Camera,
+    config: &RenderConfig,
+) -> (Vec<ProjectedGaussian>, u64) {
+    let mut out = Vec::with_capacity(scene.len());
+    let mut culled = 0u64;
+    for (i, g) in scene.iter().enumerate() {
+        match project_gaussian(g, i as u32, camera, config) {
+            Some(pg) => out.push(pg),
+            None => culled += 1,
+        }
+    }
+    (out, culled)
+}
+
+/// Evaluates the Mahalanobis power `q = dᵀ conic d ≥ 0` at `pixel`.
+#[inline]
+pub fn power_at(pg: &ProjectedGaussian, pixel: Vec2) -> f64 {
+    let d = pixel - pg.mean2d;
+    (pg.conic * d).dot(d).max(0.0)
+}
+
+/// Evaluates α at `pixel`: `min(α_max, o·exp(−q/2))`.
+///
+/// Returns `(alpha, power)`; α-checking compares `alpha` against
+/// `config.alpha_threshold`.
+#[inline]
+pub fn alpha_at(pg: &ProjectedGaussian, pixel: Vec2, config: &RenderConfig) -> (f64, f64) {
+    let q = power_at(pg, pixel);
+    let alpha = (pg.opacity * (-0.5 * q).exp()).min(config.alpha_max);
+    (alpha, q)
+}
+
+/// Composites a depth-sorted contribution list into color, depth, and final
+/// transmittance (Eq. 1). `contribs` must be front-to-back.
+pub fn composite(
+    contribs: &[(f64, Vec3, f64)], // (alpha, color, z) front-to-back
+    background: Vec3,
+) -> (Vec3, f64, f64) {
+    let mut t = 1.0;
+    let mut color = Vec3::ZERO;
+    let mut depth = 0.0;
+    for &(alpha, c, z) in contribs {
+        let w = t * alpha;
+        color += c * w;
+        depth += z * w;
+        t *= 1.0 - alpha;
+    }
+    (color + background * t, depth, t)
+}
+
+/// Sort of projected Gaussians by ascending depth, tie-broken by Gaussian
+/// id so both pipelines composite equal-depth splats in the same order.
+pub fn sort_by_depth(list: &mut [ProjectedGaussian]) {
+    list.sort_by(|a, b| {
+        a.depth
+            .partial_cmp(&b.depth)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+/// Camera-frame covariance `W Σ Wᵀ` (exposed for the backward pass).
+pub fn covariance_cam(g: &Gaussian, rotation: Mat3) -> Mat3 {
+    rotation * g.covariance() * rotation.transpose()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatonic_math::{Pose, Quat};
+    use splatonic_scene::Intrinsics;
+
+    fn camera() -> Camera {
+        Camera::new(Intrinsics::with_fov(128, 96, 1.2), Pose::identity())
+    }
+
+    fn gaussian_at(z: f64) -> Gaussian {
+        Gaussian::new(
+            Vec3::new(0.0, 0.0, z),
+            Vec3::splat(0.05),
+            Quat::IDENTITY,
+            0.9,
+            Vec3::new(1.0, 0.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn project_center_gaussian() {
+        let cam = camera();
+        let pg = project_gaussian(&gaussian_at(2.0), 0, &cam, &RenderConfig::default()).unwrap();
+        assert!((pg.mean2d.x - cam.intrinsics.cx).abs() < 1e-9);
+        assert!((pg.mean2d.y - cam.intrinsics.cy).abs() < 1e-9);
+        assert!((pg.depth - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn behind_camera_culled() {
+        let cam = camera();
+        assert!(project_gaussian(&gaussian_at(-1.0), 0, &cam, &RenderConfig::default()).is_none());
+    }
+
+    #[test]
+    fn far_off_screen_culled() {
+        let cam = camera();
+        let g = Gaussian::new(
+            Vec3::new(100.0, 0.0, 2.0),
+            Vec3::splat(0.05),
+            Quat::IDENTITY,
+            0.9,
+            Vec3::ZERO,
+        );
+        assert!(project_gaussian(&g, 0, &cam, &RenderConfig::default()).is_none());
+    }
+
+    #[test]
+    fn alpha_peaks_at_mean() {
+        let cam = camera();
+        let cfg = RenderConfig::default();
+        let pg = project_gaussian(&gaussian_at(2.0), 0, &cam, &cfg).unwrap();
+        let (a_center, q_center) = alpha_at(&pg, pg.mean2d, &cfg);
+        let (a_off, _) = alpha_at(&pg, pg.mean2d + Vec2::new(5.0, 0.0), &cfg);
+        assert!(q_center.abs() < 1e-12);
+        assert!(a_center > a_off);
+        assert!((a_center - 0.9).abs() < 1e-9, "alpha at mean equals opacity");
+    }
+
+    #[test]
+    fn alpha_clamped_at_max() {
+        let cam = camera();
+        let cfg = RenderConfig::default();
+        let g = Gaussian::new(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::splat(0.05),
+            Quat::IDENTITY,
+            0.9999,
+            Vec3::ZERO,
+        );
+        let pg = project_gaussian(&g, 0, &cam, &cfg).unwrap();
+        let (a, _) = alpha_at(&pg, pg.mean2d, &cfg);
+        assert!(a <= cfg.alpha_max + 1e-12);
+    }
+
+    #[test]
+    fn projected_covariance_grows_with_scale() {
+        let cam = camera();
+        let cfg = RenderConfig::default();
+        let small = project_gaussian(&gaussian_at(2.0), 0, &cam, &cfg).unwrap();
+        let big_g = Gaussian::new(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::splat(0.2),
+            Quat::IDENTITY,
+            0.9,
+            Vec3::ZERO,
+        );
+        let big = project_gaussian(&big_g, 0, &cam, &cfg).unwrap();
+        assert!(big.radius.x > small.radius.x * 2.0);
+    }
+
+    #[test]
+    fn closer_gaussian_projects_larger() {
+        let cam = camera();
+        let cfg = RenderConfig::default();
+        let near = project_gaussian(&gaussian_at(1.0), 0, &cam, &cfg).unwrap();
+        let far = project_gaussian(&gaussian_at(4.0), 0, &cam, &cfg).unwrap();
+        assert!(near.radius.x > far.radius.x);
+    }
+
+    #[test]
+    fn composite_single_opaque() {
+        let c = Vec3::new(0.2, 0.4, 0.6);
+        let (color, depth, t) = composite(&[(0.99, c, 2.0)], Vec3::ZERO);
+        assert!((color - c * 0.99).norm() < 1e-12);
+        assert!((depth - 1.98).abs() < 1e-12);
+        assert!((t - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_order_matters() {
+        let red = (0.8, Vec3::new(1.0, 0.0, 0.0), 1.0);
+        let blue = (0.8, Vec3::new(0.0, 0.0, 1.0), 2.0);
+        let (front_red, _, _) = composite(&[red, blue], Vec3::ZERO);
+        let (front_blue, _, _) = composite(&[blue, red], Vec3::ZERO);
+        assert!(front_red.x > front_red.z);
+        assert!(front_blue.z > front_blue.x);
+    }
+
+    #[test]
+    fn composite_transmittance_product() {
+        let items = [(0.5, Vec3::ZERO, 1.0), (0.25, Vec3::ZERO, 1.0)];
+        let (_, _, t) = composite(&items, Vec3::ZERO);
+        assert!((t - 0.5 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_fills_remaining_transmittance() {
+        let bg = Vec3::new(1.0, 1.0, 1.0);
+        let (color, _, t) = composite(&[], bg);
+        assert_eq!(t, 1.0);
+        assert_eq!(color, bg);
+    }
+
+    #[test]
+    fn sort_by_depth_orders_ascending() {
+        let cam = camera();
+        let cfg = RenderConfig::default();
+        let mut list: Vec<ProjectedGaussian> = [3.0, 1.0, 2.0]
+            .iter()
+            .map(|&z| project_gaussian(&gaussian_at(z), 0, &cam, &cfg).unwrap())
+            .collect();
+        sort_by_depth(&mut list);
+        assert!(list[0].depth < list[1].depth && list[1].depth < list[2].depth);
+    }
+
+    #[test]
+    fn projection_jacobian_matches_finite_difference() {
+        let (fx, fy) = (100.0, 110.0);
+        let p = Vec3::new(0.3, -0.4, 2.0);
+        let j = projection_jacobian(fx, fy, p);
+        let proj = |p: Vec3| Vec2::new(fx * p.x / p.z, fy * p.y / p.z);
+        let eps = 1e-7;
+        for k in 0..3 {
+            let mut dp = p;
+            dp[k] += eps;
+            let fd = (proj(dp) - proj(p)) / eps;
+            assert!((fd.x - j[0][k]).abs() < 1e-4, "row0 col{k}");
+            assert!((fd.y - j[1][k]).abs() < 1e-4, "row1 col{k}");
+        }
+    }
+
+    #[test]
+    fn project_scene_counts_culled() {
+        let cam = camera();
+        let mut scene = splatonic_scene::GaussianScene::new();
+        scene.push(gaussian_at(2.0));
+        scene.push(gaussian_at(-2.0));
+        let (vis, culled) = project_scene(&scene, &cam, &RenderConfig::default());
+        assert_eq!(vis.len(), 1);
+        assert_eq!(culled, 1);
+    }
+}

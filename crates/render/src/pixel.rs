@@ -1,0 +1,475 @@
+//! The paper's **pixel-based** rendering pipeline (Sec. IV-B, Fig. 13).
+//!
+//! Forward:
+//! 1. *Pixel-level projection with preemptive α-checking* — each projected
+//!    Gaussian direct-indexes the sampled-pixel grid via its bounding-box
+//!    corners (paper Sec. V-C) and α-checks each candidate; only passing
+//!    pairs enter the per-pixel intersection lists.
+//! 2. *Per-pixel sorting* — each pixel's list is depth-sorted.
+//! 3. *Gaussian-parallel rasterization* — a 32-thread warp co-renders one
+//!    pixel: Gaussians are distributed across lanes with no divergence
+//!    (every list entry is known to contribute), followed by a color
+//!    reduction.
+//!
+//! Backward re-uses the per-pixel sorted lists: a first cross-thread
+//! reduction recovers `Γ_i`, per-pair gradients are computed in parallel,
+//! and a second reduction aggregates them per Gaussian.
+
+use crate::grad::{pixel_backward, reproject, CamGradAccumulator, PoseGrad, SceneGrads};
+use crate::kernel::{alpha_at, project_scene, RenderConfig};
+use crate::loss::LossGrad;
+use crate::pixelset::{PixelCoord, PixelSet};
+use crate::trace::{bytes, RenderTrace};
+use crate::{Contribution, ForwardResult};
+use splatonic_math::{Vec2, Vec3};
+use splatonic_scene::{Camera, GaussianScene};
+
+/// GPU warp width in threads (Gaussian-parallel lanes).
+pub const WARP: usize = 32;
+
+/// Cell edge (pixels) of the transient grid bucketing the *extra* (unseen)
+/// pixels; paper Sec. V-C stores those indices separately.
+const EXTRA_CELL: usize = 8;
+
+/// A per-pixel intersection entry produced by preemptive α-checking.
+#[derive(Debug, Clone, Copy)]
+struct PixelEntry {
+    proj: u32,
+    alpha: f64,
+    depth: f64,
+}
+
+/// Spatial hash over the extra pixels (outside the one-per-tile structure).
+struct ExtraGrid {
+    cells_x: usize,
+    cells_y: usize,
+    cells: Vec<Vec<(usize, PixelCoord)>>,
+}
+
+impl ExtraGrid {
+    fn build(pixels: &PixelSet) -> ExtraGrid {
+        let cells_x = pixels.width().div_ceil(EXTRA_CELL).max(1);
+        let cells_y = pixels.height().div_ceil(EXTRA_CELL).max(1);
+        let mut cells: Vec<Vec<(usize, PixelCoord)>> = vec![Vec::new(); cells_x * cells_y];
+        let base = pixels.sample_count();
+        for (k, p) in pixels.extra().iter().enumerate() {
+            let cx = p.x as usize / EXTRA_CELL;
+            let cy = p.y as usize / EXTRA_CELL;
+            cells[cy * cells_x + cx].push((base + k, *p));
+        }
+        ExtraGrid {
+            cells_x,
+            cells_y,
+            cells,
+        }
+    }
+
+    fn visit_bbox(&self, lo: Vec2, hi: Vec2, mut visit: impl FnMut(usize, PixelCoord)) {
+        if self.cells.iter().all(Vec::is_empty) {
+            return;
+        }
+        let cx0 = ((lo.x.floor() as isize) / EXTRA_CELL as isize)
+            .clamp(0, self.cells_x as isize - 1) as usize;
+        let cy0 = ((lo.y.floor() as isize) / EXTRA_CELL as isize)
+            .clamp(0, self.cells_y as isize - 1) as usize;
+        let cx1 = ((hi.x.ceil() as isize) / EXTRA_CELL as isize)
+            .clamp(0, self.cells_x as isize - 1) as usize;
+        let cy1 = ((hi.y.ceil() as isize) / EXTRA_CELL as isize)
+            .clamp(0, self.cells_y as isize - 1) as usize;
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for &(idx, p) in &self.cells[cy * self.cells_x + cx] {
+                    let c = p.center();
+                    if c.x >= lo.x && c.x <= hi.x && c.y >= lo.y && c.y <= hi.y {
+                        visit(idx, p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward pass of the pixel-based pipeline.
+pub fn forward(
+    scene: &GaussianScene,
+    camera: &Camera,
+    pixels: &PixelSet,
+    config: &RenderConfig,
+) -> ForwardResult {
+    let mut trace = RenderTrace::new();
+    let f = &mut trace.forward;
+    f.gaussians_input = scene.len() as u64;
+    f.bytes_read += scene.len() as u64 * bytes::GAUSSIAN;
+
+    let (projected, culled) = project_scene(scene, camera, config);
+    f.gaussians_culled = culled;
+    f.gaussians_projected = projected.len() as u64;
+
+    let n_out = pixels.len();
+    let mut lists: Vec<Vec<PixelEntry>> = vec![Vec::new(); n_out];
+    let extra_grid = ExtraGrid::build(pixels);
+
+    // Pixel-level projection + preemptive α-checking.
+    for (pi, pg) in projected.iter().enumerate() {
+        let (lo, hi) = pg.bbox();
+        let mut candidates = 0u32;
+        let mut check = |out_idx: usize, p: PixelCoord, f: &mut crate::trace::ForwardStats| {
+            candidates += 1;
+            f.proj_alpha_checks += 1;
+            f.exp_evals += 1;
+            let (alpha, _) = alpha_at(pg, p.center(), config);
+            if alpha >= config.alpha_threshold {
+                f.proj_pairs_kept += 1;
+                lists[out_idx].push(PixelEntry {
+                    proj: pi as u32,
+                    alpha,
+                    depth: pg.depth,
+                });
+            }
+        };
+        pixels.samples_in_bbox(lo, hi, |out_idx, p| check(out_idx, p, f));
+        extra_grid.visit_bbox(lo, hi, |out_idx, p| check(out_idx, p, f));
+        trace.proj_candidates.push(candidates);
+    }
+    f.bytes_written += f.proj_pairs_kept * bytes::PAIR_ENTRY;
+    f.bytes_read += f.proj_pairs_kept * bytes::PAIR_ENTRY;
+
+    // Per-pixel depth sort.
+    for list in lists.iter_mut() {
+        if !list.is_empty() {
+            f.sort_lists += 1;
+            f.sort_elems += list.len() as u64;
+            // Tie-break equal depths by projection index (ascending scene
+            // id), matching the tile pipeline's global sort order.
+            list.sort_by(|a, b| {
+                a.depth
+                    .partial_cmp(&b.depth)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.proj.cmp(&b.proj))
+            });
+        }
+    }
+
+    // Gaussian-parallel rasterization: a warp co-renders each pixel; all
+    // lanes do useful work (no α-checking left, no divergence).
+    let mut color = vec![Vec3::ZERO; n_out];
+    let mut depth = vec![0.0; n_out];
+    let mut t_final = vec![1.0; n_out];
+    let mut contributions: Vec<Vec<Contribution>> = vec![Vec::new(); n_out];
+    for (out_idx, list) in lists.iter().enumerate() {
+        let mut t = 1.0;
+        let mut c = Vec3::ZERO;
+        let mut d = 0.0;
+        let mut used = 0usize;
+        for e in list {
+            if t < config.transmittance_min {
+                break;
+            }
+            let pg = &projected[e.proj as usize];
+            let w = t * e.alpha;
+            c += pg.color * w;
+            d += pg.depth * w;
+            contributions[out_idx].push(Contribution {
+                gaussian: pg.id,
+                alpha: e.alpha,
+                transmittance: t,
+            });
+            t *= 1.0 - e.alpha;
+            used += 1;
+        }
+        color[out_idx] = c + config.background * t;
+        depth[out_idx] = d;
+        t_final[out_idx] = t;
+        f.pairs_integrated += used as u64;
+        f.pixels_shaded += 1;
+        // Warp accounting: ceil(used/32) fully-active steps plus a partially
+        // active tail, plus one reduction step per warp of lanes.
+        let steps = used.div_ceil(WARP).max(if used > 0 { 1 } else { 0 });
+        f.warp_steps += steps as u64;
+        f.warp_active += used as u64;
+        f.bytes_read += used as u64 * bytes::PROJECTED;
+        f.bytes_written += bytes::PIXEL_OUT;
+        f.pixel_list_len.push(contributions[out_idx].len() as f64);
+        trace.pixel_lists.push(contributions[out_idx].len() as u32);
+    }
+
+    ForwardResult {
+        color,
+        depth,
+        final_transmittance: t_final,
+        contributions,
+        trace,
+    }
+}
+
+/// Backward pass of the pixel-based pipeline.
+///
+/// Re-uses the per-pixel sorted lists from the forward pass. The first
+/// cross-thread reduction (recovering `Γ_i` per Gaussian) is charged to the
+/// trace; the partial-gradient computation is lane-parallel; the second
+/// reduction is the aggregation stage.
+pub fn backward(
+    scene: &GaussianScene,
+    camera: &Camera,
+    pixels: &PixelSet,
+    forward_result: &ForwardResult,
+    loss_grads: &[LossGrad],
+    config: &RenderConfig,
+) -> (SceneGrads, PoseGrad, RenderTrace) {
+    assert_eq!(
+        loss_grads.len(),
+        pixels.len(),
+        "loss gradients must cover the pixel set"
+    );
+    let mut trace = RenderTrace::new();
+    let (projected, _) = project_scene(scene, camera, config);
+    let mut proj_of_id: Vec<u32> = vec![u32::MAX; scene.len()];
+    for (pi, pg) in projected.iter().enumerate() {
+        proj_of_id[pg.id as usize] = pi as u32;
+    }
+    let lookup = |id: u32| projected[proj_of_id[id as usize] as usize];
+
+    let mut accum = CamGradAccumulator::new(scene.len());
+    accum.reset(scene.len());
+
+    for (out_idx, p) in pixels.iter_all().enumerate() {
+        let contribs = &forward_result.contributions[out_idx];
+        if contribs.is_empty() {
+            continue;
+        }
+        {
+            let b = &mut trace.backward;
+            let n = contribs.len() as u64;
+            // Recompute α_i per lane (exp), then the Γ reduction (first
+            // cross-thread reduction introduced by pixel-based rendering).
+            b.exp_evals += n;
+            b.reduction_ops += n;
+            // Lane-parallel gradient computation: all lanes active.
+            let steps = (contribs.len().div_ceil(WARP)) as u64;
+            b.warp_steps += 2 * steps; // α/Γ pass + gradient pass
+            b.warp_active += 2 * n;
+            b.bytes_read += n * (bytes::PAIR_ENTRY + bytes::PROJECTED);
+        }
+        let counts = pixel_backward(
+            p.center(),
+            contribs,
+            &lookup,
+            loss_grads[out_idx].d_color,
+            loss_grads[out_idx].d_depth,
+            config,
+            config.background,
+            &mut accum,
+        );
+        let b = &mut trace.backward;
+        b.pairs_grad += counts.pairs;
+        b.atomic_adds += counts.atomic_adds;
+        // Second reduction: aggregation of partial gradients.
+        b.reduction_ops += counts.pairs;
+        b.bytes_written += counts.pairs * bytes::GRADIENT;
+    }
+
+    {
+        let b = &mut trace.backward;
+        for &id in accum.touched() {
+            b.gaussian_touches.push(accum.get(id).count as f64);
+        }
+        b.gaussians_touched = accum.touched().len() as u64;
+        b.reprojections = accum.touched().len() as u64;
+        b.bytes_read += b.gaussians_touched * bytes::GRADIENT;
+        b.bytes_written += b.gaussians_touched * bytes::GRADIENT;
+    }
+
+    let (grads, pose) = reproject(scene, camera, &accum, true);
+    (grads, pose, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile;
+    use splatonic_math::{Pose, Quat};
+    use splatonic_scene::{Gaussian, Intrinsics, WorldBuilder};
+
+    fn test_world() -> (GaussianScene, Camera) {
+        let world = WorldBuilder::new(11).gaussian_spacing(0.35).furniture(2).build();
+        let cam = Camera::look_at(
+            Intrinsics::with_fov(96, 72, 1.2),
+            Vec3::new(0.4, -0.1, -0.6),
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::Y,
+        );
+        (world.scene, cam)
+    }
+
+    fn sparse_set(w: usize, h: usize, tile: usize) -> PixelSet {
+        PixelSet::from_tile_chooser(w, h, tile, |_, _, x0, y0, tw, th| {
+            Some(PixelCoord::new((x0 + tw / 2) as u16, (y0 + th / 2) as u16))
+        })
+    }
+
+    #[test]
+    fn matches_tile_pipeline_dense() {
+        let (scene, cam) = test_world();
+        let cfg = RenderConfig::default();
+        let pixels = PixelSet::dense(96, 72);
+        let a = tile::forward(&scene, &cam, &pixels, &cfg);
+        let b = forward(&scene, &cam, &pixels, &cfg);
+        let mut max_err: f64 = 0.0;
+        for (ca, cb) in a.color.iter().zip(b.color.iter()) {
+            max_err = max_err.max((*ca - *cb).abs().max_component());
+        }
+        assert!(
+            max_err < 1e-6,
+            "pipelines must produce the same image; max err {max_err}"
+        );
+        for (da, db) in a.depth.iter().zip(b.depth.iter()) {
+            assert!((da - db).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matches_tile_pipeline_sparse() {
+        let (scene, cam) = test_world();
+        let cfg = RenderConfig::default();
+        let pixels = sparse_set(96, 72, 16);
+        let a = tile::forward(&scene, &cam, &pixels, &cfg);
+        let b = forward(&scene, &cam, &pixels, &cfg);
+        for (ca, cb) in a.color.iter().zip(b.color.iter()) {
+            assert!((*ca - *cb).abs().max_component() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn no_raster_alpha_checks() {
+        let (scene, cam) = test_world();
+        let out = forward(
+            &scene,
+            &cam,
+            &sparse_set(96, 72, 16),
+            &RenderConfig::default(),
+        );
+        assert_eq!(out.trace.forward.raster_alpha_checks, 0);
+        assert!(out.trace.forward.proj_alpha_checks > 0);
+    }
+
+    #[test]
+    fn bottleneck_shifts_to_projection() {
+        // Preemptive α-checking moves the exp work into projection: the
+        // sorted lists and rasterization shrink, while projection grows —
+        // the bottleneck shift of paper Sec. IV-C / Fig. 14.
+        let (scene, cam) = test_world();
+        let cfg = RenderConfig::default();
+        let pixels = sparse_set(96, 72, 16);
+        let t = tile::forward(&scene, &cam, &pixels, &cfg);
+        let p = forward(&scene, &cam, &pixels, &cfg);
+        assert!(
+            p.trace.forward.sort_elems < t.trace.forward.sort_elems,
+            "per-pixel sorts ({}) must be smaller than per-tile sorts ({})",
+            p.trace.forward.sort_elems,
+            t.trace.forward.sort_elems
+        );
+        assert!(p.trace.forward.proj_alpha_checks > 0);
+        assert_eq!(p.trace.forward.raster_alpha_checks, 0);
+    }
+
+    #[test]
+    fn fewer_warp_steps_than_tile_sparse() {
+        // Gaussian-parallel rasterization issues far fewer warp-steps than
+        // the sparse tile-based schedule, at higher per-step occupancy.
+        let (scene, cam) = test_world();
+        let cfg = RenderConfig::default();
+        let pixels = sparse_set(96, 72, 16);
+        let t = tile::forward(&scene, &cam, &pixels, &cfg);
+        let p = forward(&scene, &cam, &pixels, &cfg);
+        assert!(
+            p.trace.forward.warp_steps * 4 < t.trace.forward.warp_steps,
+            "pixel-based {} vs tile-based {} warp-steps",
+            p.trace.forward.warp_steps,
+            t.trace.forward.warp_steps
+        );
+        assert!(
+            p.trace.forward.warp_utilization() > t.trace.forward.warp_utilization(),
+            "occupancy must improve: {} vs {}",
+            p.trace.forward.warp_utilization(),
+            t.trace.forward.warp_utilization()
+        );
+    }
+
+    #[test]
+    fn extras_are_rendered() {
+        let (scene, cam) = test_world();
+        let cfg = RenderConfig::default();
+        let mut with_extra = sparse_set(96, 72, 16);
+        with_extra.add_extra([PixelCoord::new(48, 36)]);
+        let out = forward(&scene, &cam, &with_extra, &cfg);
+        // Compare the extra pixel against a dense render.
+        let dense = forward(&scene, &cam, &PixelSet::dense(96, 72), &cfg);
+        let extra_color = out.color[with_extra.len() - 1];
+        let dense_color = dense.color[36 * 96 + 48];
+        assert!((extra_color - dense_color).abs().max_component() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_tile_backward() {
+        let (scene, cam) = test_world();
+        let cfg = RenderConfig::default();
+        let pixels = sparse_set(96, 72, 8);
+        let fa = tile::forward(&scene, &cam, &pixels, &cfg);
+        let fb = forward(&scene, &cam, &pixels, &cfg);
+        let lg: Vec<LossGrad> = (0..pixels.len())
+            .map(|i| LossGrad {
+                d_color: Vec3::new(0.1, -0.2, 0.3) * ((i % 5) as f64 - 2.0),
+                d_depth: 0.05 * ((i % 3) as f64 - 1.0),
+            })
+            .collect();
+        let (ga, pa, _) = tile::backward(&scene, &cam, &pixels, &fa, &lg, &cfg);
+        let (gb, pb, _) = backward(&scene, &cam, &pixels, &fb, &lg, &cfg);
+        assert_eq!(ga.len(), gb.len());
+        // Pose gradients must agree across schedules.
+        let d = (pa.xi.rho - pb.xi.rho).norm() + (pa.xi.phi - pb.xi.phi).norm();
+        assert!(d < 1e-9, "pose grads differ by {d}");
+        for (id, g) in &ga.entries {
+            let h = gb.get(*id).expect("gaussian missing from pixel backward");
+            assert!((g.mean - h.mean).norm() < 1e-9);
+            assert!((g.color - h.color).norm() < 1e-9);
+            assert!((g.opacity_logit - h.opacity_logit).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn first_reduction_counted() {
+        let (scene, cam) = test_world();
+        let cfg = RenderConfig::default();
+        let pixels = sparse_set(96, 72, 16);
+        let f = forward(&scene, &cam, &pixels, &cfg);
+        let lg = vec![
+            LossGrad {
+                d_color: Vec3::splat(1.0),
+                d_depth: 0.0
+            };
+            pixels.len()
+        ];
+        let (_, _, trace) = backward(&scene, &cam, &pixels, &f, &lg, &cfg);
+        assert!(trace.backward.reduction_ops > 0);
+        assert!(trace.backward.alpha_checks == 0, "no α-checks in reverse rasterization");
+    }
+
+    #[test]
+    fn single_gaussian_center_alpha() {
+        // Sanity: one Gaussian straight ahead gives α ≈ opacity at center.
+        let mut scene = GaussianScene::new();
+        scene.push(Gaussian::new(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::splat(0.2),
+            Quat::IDENTITY,
+            0.9,
+            Vec3::new(1.0, 1.0, 1.0),
+        ));
+        let cam = Camera::new(Intrinsics::with_fov(33, 33, 1.0), Pose::identity());
+        let pixels = PixelSet::from_pixels(33, 33, vec![PixelCoord::new(16, 16)]);
+        let out = forward(&scene, &cam, &pixels, &RenderConfig::default());
+        assert_eq!(out.contributions[0].len(), 1);
+        assert!((out.contributions[0][0].alpha - 0.9).abs() < 0.01);
+        assert!((out.color[0].x - 0.9).abs() < 0.02);
+    }
+}

@@ -1,0 +1,374 @@
+//! The set of pixels selected for a render.
+//!
+//! A [`PixelSet`] holds the sparse samples (at most one per tile, supporting
+//! the projection unit's *direct indexing*, paper Sec. V-C) plus the
+//! separately-stored *unseen* pixels of the mapping sampler ("the unseen
+//! pixel indices are stored separately, so that \[they] do not interrupt our
+//! indexing strategy").
+
+use splatonic_math::Vec2;
+
+/// Sentinel marking a tile without a sample.
+const NO_SAMPLE: u32 = u32::MAX;
+
+/// A selected pixel (integer coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PixelCoord {
+    /// Column.
+    pub x: u16,
+    /// Row.
+    pub y: u16,
+}
+
+impl PixelCoord {
+    /// Creates a coordinate.
+    #[inline]
+    pub fn new(x: u16, y: u16) -> Self {
+        PixelCoord { x, y }
+    }
+
+    /// Pixel-center position in continuous image coordinates.
+    #[inline]
+    pub fn center(self) -> Vec2 {
+        Vec2::new(self.x as f64 + 0.5, self.y as f64 + 0.5)
+    }
+}
+
+/// The pixels a render pass processes.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_render::PixelSet;
+/// let dense = PixelSet::dense(8, 4);
+/// assert_eq!(dense.len(), 32);
+/// assert_eq!(dense.tile_size(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PixelSet {
+    width: usize,
+    height: usize,
+    tile: usize,
+    /// One sample per tile (tile-grid order where present).
+    samples: Vec<PixelCoord>,
+    /// tile index → index into `samples`, or `NO_SAMPLE`.
+    tile_grid: Vec<u32>,
+    /// Extra pixels outside the per-tile structure (mapping's unseen set).
+    extra: Vec<PixelCoord>,
+}
+
+impl PixelSet {
+    /// Builds a dense set covering every pixel (tile size 1).
+    pub fn dense(width: usize, height: usize) -> Self {
+        let mut samples = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                samples.push(PixelCoord::new(x as u16, y as u16));
+            }
+        }
+        let tile_grid = (0..samples.len() as u32).collect();
+        PixelSet {
+            width,
+            height,
+            tile: 1,
+            samples,
+            tile_grid,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Builds a sparse set from one chosen pixel per `tile × tile` tile.
+    ///
+    /// `chooser(tx, ty, x0, y0, w, h)` returns the chosen pixel within the
+    /// tile spanning `[x0, x0+w) × [y0, y0+h)`, or `None` to leave the tile
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile == 0`.
+    pub fn from_tile_chooser(
+        width: usize,
+        height: usize,
+        tile: usize,
+        mut chooser: impl FnMut(usize, usize, usize, usize, usize, usize) -> Option<PixelCoord>,
+    ) -> Self {
+        assert!(tile > 0, "tile size must be positive");
+        let tiles_x = width.div_ceil(tile);
+        let tiles_y = height.div_ceil(tile);
+        let mut samples = Vec::with_capacity(tiles_x * tiles_y);
+        let mut tile_grid = vec![NO_SAMPLE; tiles_x * tiles_y];
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                let x0 = tx * tile;
+                let y0 = ty * tile;
+                let w = tile.min(width - x0);
+                let h = tile.min(height - y0);
+                if let Some(p) = chooser(tx, ty, x0, y0, w, h) {
+                    debug_assert!(
+                        (p.x as usize) >= x0
+                            && (p.x as usize) < x0 + w
+                            && (p.y as usize) >= y0
+                            && (p.y as usize) < y0 + h,
+                        "chooser returned a pixel outside its tile"
+                    );
+                    tile_grid[ty * tiles_x + tx] = samples.len() as u32;
+                    samples.push(p);
+                }
+            }
+        }
+        PixelSet {
+            width,
+            height,
+            tile,
+            samples,
+            tile_grid,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Builds a set from an explicit pixel list (tile structure degenerate).
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<PixelCoord>) -> Self {
+        PixelSet {
+            width,
+            height,
+            tile: 1,
+            tile_grid: Vec::new(),
+            samples: pixels,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Appends extra (unseen) pixels stored outside the tile structure.
+    pub fn add_extra(&mut self, pixels: impl IntoIterator<Item = PixelCoord>) {
+        self.extra.extend(pixels);
+    }
+
+    /// Image width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sampling tile size (1 for dense sets).
+    #[inline]
+    pub fn tile_size(&self) -> usize {
+        self.tile
+    }
+
+    /// Total number of selected pixels (samples + extras).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len() + self.extra.len()
+    }
+
+    /// Returns `true` when no pixels are selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty() && self.extra.is_empty()
+    }
+
+    /// Number of tile-structured samples (excluding extras).
+    #[inline]
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The tile-structured samples.
+    #[inline]
+    pub fn samples(&self) -> &[PixelCoord] {
+        &self.samples
+    }
+
+    /// The extra (unseen) pixels.
+    #[inline]
+    pub fn extra(&self) -> &[PixelCoord] {
+        &self.extra
+    }
+
+    /// Iterates over all selected pixels: samples first, then extras.
+    ///
+    /// Per-pixel vectors in `ForwardResult` follow this order.
+    pub fn iter_all(&self) -> impl Iterator<Item = PixelCoord> + '_ {
+        self.samples.iter().chain(self.extra.iter()).copied()
+    }
+
+    /// Effective sampling rate: selected pixels / total pixels.
+    pub fn sampling_rate(&self) -> f64 {
+        if self.width * self.height == 0 {
+            return 0.0;
+        }
+        self.len() as f64 / (self.width * self.height) as f64
+    }
+
+    /// Direct indexing (paper Sec. V-C): all tile-structured samples whose
+    /// tile overlaps the pixel-space bounding box `[min, max]`.
+    ///
+    /// Returns `(sample_index, coord)` pairs; extras are *not* included —
+    /// iterate [`PixelSet::extra`] separately, offset by
+    /// [`PixelSet::sample_count`].
+    pub fn samples_in_bbox(
+        &self,
+        min: Vec2,
+        max: Vec2,
+        mut visit: impl FnMut(usize, PixelCoord),
+    ) {
+        if self.tile_grid.is_empty() {
+            // Degenerate structure: scan all samples.
+            for (i, p) in self.samples.iter().enumerate() {
+                let c = p.center();
+                if c.x >= min.x && c.x <= max.x && c.y >= min.y && c.y <= max.y {
+                    visit(i, *p);
+                }
+            }
+            return;
+        }
+        let tiles_x = self.width.div_ceil(self.tile);
+        let tiles_y = self.height.div_ceil(self.tile);
+        let tx0 = ((min.x.floor() as isize) / self.tile as isize).clamp(0, tiles_x as isize - 1)
+            as usize;
+        let ty0 = ((min.y.floor() as isize) / self.tile as isize).clamp(0, tiles_y as isize - 1)
+            as usize;
+        let tx1 = ((max.x.ceil() as isize) / self.tile as isize).clamp(0, tiles_x as isize - 1)
+            as usize;
+        let ty1 = ((max.y.ceil() as isize) / self.tile as isize).clamp(0, tiles_y as isize - 1)
+            as usize;
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                let slot = self.tile_grid[ty * tiles_x + tx];
+                if slot != NO_SAMPLE {
+                    let p = self.samples[slot as usize];
+                    visit(slot as usize, p);
+                }
+            }
+        }
+    }
+
+    /// Tile-space dimensions `(tiles_x, tiles_y)`.
+    pub fn tile_dims(&self) -> (usize, usize) {
+        (
+            self.width.div_ceil(self.tile),
+            self.height.div_ceil(self.tile),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_covers_everything() {
+        let s = PixelSet::dense(4, 3);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.sampling_rate(), 1.0);
+        assert_eq!(s.iter_all().count(), 12);
+    }
+
+    #[test]
+    fn tile_chooser_one_per_tile() {
+        let s = PixelSet::from_tile_chooser(32, 32, 16, |_, _, x0, y0, _, _| {
+            Some(PixelCoord::new(x0 as u16, y0 as u16))
+        });
+        assert_eq!(s.len(), 4);
+        assert!((s.sampling_rate() - 4.0 / 1024.0).abs() < 1e-12);
+        assert_eq!(s.tile_size(), 16);
+    }
+
+    #[test]
+    fn tile_chooser_handles_partial_tiles() {
+        // 20x20 with 16-tiles → 2x2 tile grid with ragged edges.
+        let s = PixelSet::from_tile_chooser(20, 20, 16, |_, _, x0, y0, w, h| {
+            Some(PixelCoord::new((x0 + w - 1) as u16, (y0 + h - 1) as u16))
+        });
+        assert_eq!(s.len(), 4);
+        for p in s.samples() {
+            assert!((p.x as usize) < 20 && (p.y as usize) < 20);
+        }
+    }
+
+    #[test]
+    fn chooser_may_skip_tiles() {
+        let s = PixelSet::from_tile_chooser(32, 32, 16, |tx, ty, x0, y0, _, _| {
+            if tx == 0 && ty == 0 {
+                None
+            } else {
+                Some(PixelCoord::new(x0 as u16, y0 as u16))
+            }
+        });
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn extras_are_appended_after_samples() {
+        let mut s = PixelSet::from_tile_chooser(16, 16, 16, |_, _, x0, y0, _, _| {
+            Some(PixelCoord::new(x0 as u16, y0 as u16))
+        });
+        s.add_extra([PixelCoord::new(5, 5), PixelCoord::new(6, 6)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.sample_count(), 1);
+        let all: Vec<_> = s.iter_all().collect();
+        assert_eq!(all[0], PixelCoord::new(0, 0));
+        assert_eq!(all[2], PixelCoord::new(6, 6));
+    }
+
+    #[test]
+    fn bbox_direct_indexing_finds_only_overlapping_tiles() {
+        let s = PixelSet::from_tile_chooser(64, 64, 16, |_, _, x0, y0, _, _| {
+            Some(PixelCoord::new((x0 + 8) as u16, (y0 + 8) as u16))
+        });
+        let mut hits = Vec::new();
+        // Bbox covering only the top-left tile.
+        s.samples_in_bbox(Vec2::new(0.0, 0.0), Vec2::new(10.0, 10.0), |i, p| {
+            hits.push((i, p))
+        });
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, PixelCoord::new(8, 8));
+        // Bbox spanning all tiles.
+        let mut all = 0;
+        s.samples_in_bbox(Vec2::new(0.0, 0.0), Vec2::new(63.0, 63.0), |_, _| all += 1);
+        assert_eq!(all, 16);
+    }
+
+    #[test]
+    fn bbox_clamps_out_of_range() {
+        let s = PixelSet::from_tile_chooser(32, 32, 16, |_, _, x0, y0, _, _| {
+            Some(PixelCoord::new(x0 as u16, y0 as u16))
+        });
+        let mut n = 0;
+        s.samples_in_bbox(Vec2::new(-100.0, -100.0), Vec2::new(-50.0, -50.0), |_, _| {
+            n += 1
+        });
+        // Clamped to the nearest tile; the candidate is then α-checked by
+        // the caller, so over-approximation is safe.
+        assert!(n <= 1);
+    }
+
+    #[test]
+    fn from_pixels_scans_linearly() {
+        let s = PixelSet::from_pixels(
+            16,
+            16,
+            vec![PixelCoord::new(1, 1), PixelCoord::new(10, 10)],
+        );
+        let mut hits = Vec::new();
+        s.samples_in_bbox(Vec2::new(0.0, 0.0), Vec2::new(4.0, 4.0), |i, _| hits.push(i));
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tile_panics() {
+        let _ = PixelSet::from_tile_chooser(8, 8, 0, |_, _, _, _, _, _| None);
+    }
+
+    #[test]
+    fn pixel_center() {
+        assert_eq!(PixelCoord::new(3, 4).center(), Vec2::new(3.5, 4.5));
+    }
+}

@@ -1,0 +1,540 @@
+//! The conventional **tile-based** rendering pipeline (paper Sec. II-B).
+//!
+//! Forward: projection and sorting run at *tile* granularity (16×16 pixels)
+//! to amortize cost across pixels; rasterization then walks each tile's
+//! depth-sorted Gaussian list per pixel, α-checking every pixel–Gaussian
+//! pair. The warp model mirrors the GPU mapping (one thread per pixel, 32
+//! threads per warp): at each list step a warp is occupied for every resident
+//! pixel, but only pixels whose α-check passes do useful work — the warp
+//! divergence of paper Fig. 6.
+//!
+//! Backward: reverse rasterization re-walks the cached tile lists per pixel,
+//! re-α-checking, then aggregates partial gradients per Gaussian (the
+//! `atomicAdd` stage) and re-projects them to world space.
+
+use crate::grad::{pixel_backward, reproject, CamGradAccumulator, PoseGrad, SceneGrads};
+use crate::kernel::{alpha_at, project_scene, ProjectedGaussian, RenderConfig};
+use crate::loss::LossGrad;
+use crate::pixelset::{PixelCoord, PixelSet};
+use crate::trace::{bytes, RenderTrace};
+use crate::{Contribution, ForwardResult};
+use splatonic_math::Vec3;
+use splatonic_scene::{Camera, GaussianScene};
+
+/// Tile edge length in pixels (the standard 16×16 of reference 3DGS).
+pub const TILE: usize = 16;
+/// GPU warp width in threads.
+pub const WARP: usize = 32;
+
+/// Builds the tile→Gaussian intersection lists (projection stage output).
+fn build_tile_lists(
+    projected: &[ProjectedGaussian],
+    width: usize,
+    height: usize,
+) -> (Vec<Vec<u32>>, u64) {
+    let tiles_x = width.div_ceil(TILE);
+    let tiles_y = height.div_ceil(TILE);
+    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); tiles_x * tiles_y];
+    let mut pairs = 0u64;
+    for (pi, pg) in projected.iter().enumerate() {
+        let (lo, hi) = pg.bbox();
+        let tx0 = ((lo.x.floor() as isize) / TILE as isize).clamp(0, tiles_x as isize - 1) as usize;
+        let ty0 = ((lo.y.floor() as isize) / TILE as isize).clamp(0, tiles_y as isize - 1) as usize;
+        let tx1 = ((hi.x.ceil() as isize) / TILE as isize).clamp(0, tiles_x as isize - 1) as usize;
+        let ty1 = ((hi.y.ceil() as isize) / TILE as isize).clamp(0, tiles_y as isize - 1) as usize;
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                lists[ty * tiles_x + tx].push(pi as u32);
+                pairs += 1;
+            }
+        }
+    }
+    (lists, pairs)
+}
+
+/// Groups the requested pixels by tile, keeping their output indices.
+fn group_pixels_by_tile(
+    pixels: &PixelSet,
+    tiles_x: usize,
+    tiles_y: usize,
+) -> Vec<Vec<(PixelCoord, usize)>> {
+    let mut groups: Vec<Vec<(PixelCoord, usize)>> = vec![Vec::new(); tiles_x * tiles_y];
+    for (out_idx, p) in pixels.iter_all().enumerate() {
+        let tx = (p.x as usize / TILE).min(tiles_x - 1);
+        let ty = (p.y as usize / TILE).min(tiles_y - 1);
+        groups[ty * tiles_x + tx].push((p, out_idx));
+    }
+    groups
+}
+
+/// Forward pass of the tile-based pipeline.
+pub fn forward(
+    scene: &GaussianScene,
+    camera: &Camera,
+    pixels: &PixelSet,
+    config: &RenderConfig,
+) -> ForwardResult {
+    let width = pixels.width();
+    let height = pixels.height();
+    let mut trace = RenderTrace::new();
+    let f = &mut trace.forward;
+    f.gaussians_input = scene.len() as u64;
+    f.bytes_read += scene.len() as u64 * bytes::GAUSSIAN;
+
+    // Projection (tile granularity: one projection per Gaussian, shared by
+    // all pixels of every covered tile).
+    let (mut projected, culled) = project_scene(scene, camera, config);
+    f.gaussians_culled = culled;
+    f.gaussians_projected = projected.len() as u64;
+    f.bytes_written += projected.len() as u64 * bytes::PROJECTED;
+
+    // Depth-sort the projected set once, so each tile list (built in that
+    // order) is already depth-sorted — this mirrors the global
+    // radix-sort-by-(tile,depth) of the reference implementation.
+    crate::kernel::sort_by_depth(&mut projected);
+    let (tile_lists, tile_pairs) = build_tile_lists(&projected, width, height);
+    f.tile_pairs = tile_pairs;
+    f.bytes_written += tile_pairs * bytes::PAIR_ENTRY;
+    let tiles_x = width.div_ceil(TILE);
+    let tiles_y = height.div_ceil(TILE);
+    for list in &tile_lists {
+        if !list.is_empty() {
+            f.sort_lists += 1;
+            f.sort_elems += list.len() as u64;
+        }
+    }
+    f.bytes_read += tile_pairs * bytes::PAIR_ENTRY;
+
+    // Rasterization, warp by warp.
+    let n_out = pixels.len();
+    let mut color = vec![Vec3::ZERO; n_out];
+    let mut depth = vec![0.0; n_out];
+    let mut t_final = vec![1.0; n_out];
+    let mut contributions: Vec<Vec<Contribution>> = vec![Vec::new(); n_out];
+    let groups = group_pixels_by_tile(pixels, tiles_x, tiles_y);
+
+    for (tile_idx, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let list = &tile_lists[tile_idx];
+        if list.is_empty() {
+            for &(_, out_idx) in group {
+                f.pixels_shaded += 1;
+                color[out_idx] = config.background;
+            }
+            continue;
+        }
+        f.bytes_read += list.len() as u64 * bytes::PROJECTED;
+        // Warp assignment: pixels of the tile in row-major order, 32 lanes
+        // per warp. Only warps containing a requested pixel execute; within
+        // them, every resident requested pixel occupies a lane.
+        let tx = tile_idx % tiles_x;
+        let ty = tile_idx / tiles_x;
+        let x0 = tx * TILE;
+        let y0 = ty * TILE;
+        let lane_of = |p: PixelCoord| -> usize {
+            let lx = p.x as usize - x0;
+            let ly = p.y as usize - y0;
+            ly * TILE + lx
+        };
+        // Bucket requested pixels into warps.
+        let warps_per_tile = (TILE * TILE).div_ceil(WARP);
+        let mut warp_members: Vec<Vec<(PixelCoord, usize)>> = vec![Vec::new(); warps_per_tile];
+        for &(p, out_idx) in group {
+            warp_members[lane_of(p) / WARP].push((p, out_idx));
+        }
+        for members in warp_members.iter().filter(|m| !m.is_empty()) {
+            // Per-member compositing state.
+            let mut state: Vec<(Vec3, f64, f64)> =
+                vec![(Vec3::ZERO, 0.0, 1.0); members.len()]; // (color, depth, T)
+            let mut live = members.len();
+            for &pi in list.iter() {
+                if live == 0 {
+                    break;
+                }
+                f.warp_steps += 1;
+                let pg = &projected[pi as usize];
+                let mut active_this_step = 0u64;
+                for (mi, &(p, out_idx)) in members.iter().enumerate() {
+                    let (c, d, t) = state[mi];
+                    if t < config.transmittance_min {
+                        continue;
+                    }
+                    // α-checking for this pixel–Gaussian pair.
+                    f.raster_alpha_checks += 1;
+                    f.exp_evals += 1;
+                    let (alpha, _) = alpha_at(pg, p.center(), config);
+                    if alpha < config.alpha_threshold {
+                        continue;
+                    }
+                    active_this_step += 1;
+                    let w = t * alpha;
+                    let nc = c + pg.color * w;
+                    let nd = d + pg.depth * w;
+                    let nt = t * (1.0 - alpha);
+                    contributions[out_idx].push(Contribution {
+                        gaussian: pg.id,
+                        alpha,
+                        transmittance: t,
+                    });
+                    f.pairs_integrated += 1;
+                    state[mi] = (nc, nd, nt);
+                    if nt < config.transmittance_min {
+                        live -= 1;
+                    }
+                }
+                f.warp_active += active_this_step;
+            }
+            for (mi, &(_, out_idx)) in members.iter().enumerate() {
+                let (c, d, t) = state[mi];
+                color[out_idx] = c + config.background * t;
+                depth[out_idx] = d;
+                t_final[out_idx] = t;
+                f.pixels_shaded += 1;
+                f.bytes_written += bytes::PIXEL_OUT;
+            }
+        }
+    }
+
+    for contribs in &contributions {
+        f.pixel_list_len.push(contribs.len() as f64);
+        trace.pixel_lists.push(contribs.len() as u32);
+    }
+
+    ForwardResult {
+        color,
+        depth,
+        final_transmittance: t_final,
+        contributions,
+        trace,
+    }
+}
+
+/// Backward pass of the tile-based pipeline.
+///
+/// Re-uses the cached tile–Gaussian sorted lists (modelled by re-projecting,
+/// which is deterministic) and the per-pixel contributions from `forward`.
+pub fn backward(
+    scene: &GaussianScene,
+    camera: &Camera,
+    pixels: &PixelSet,
+    forward_result: &ForwardResult,
+    loss_grads: &[LossGrad],
+    config: &RenderConfig,
+) -> (SceneGrads, PoseGrad, RenderTrace) {
+    assert_eq!(
+        loss_grads.len(),
+        pixels.len(),
+        "loss gradients must cover the pixel set"
+    );
+    let width = pixels.width();
+    let height = pixels.height();
+    let mut trace = RenderTrace::new();
+
+    // The cached projected set (read back from the forward pass).
+    let (mut projected, _) = project_scene(scene, camera, config);
+    crate::kernel::sort_by_depth(&mut projected);
+    let mut proj_of_id: Vec<u32> = vec![u32::MAX; scene.len()];
+    for (pi, pg) in projected.iter().enumerate() {
+        proj_of_id[pg.id as usize] = pi as u32;
+    }
+    let (tile_lists, tile_pairs) = build_tile_lists(&projected, width, height);
+    let tiles_x = width.div_ceil(TILE);
+    let tiles_y = height.div_ceil(TILE);
+
+    {
+        let b = &mut trace.backward;
+        b.bytes_read += tile_pairs * bytes::PAIR_ENTRY;
+        b.bytes_read += projected.len() as u64 * bytes::PROJECTED;
+    }
+
+    // Reverse rasterization with the same warp shape as the forward pass:
+    // every pixel re-walks its tile list, α-checking each pair.
+    let groups = group_pixels_by_tile(pixels, tiles_x, tiles_y);
+    let mut accum = CamGradAccumulator::new(scene.len());
+    accum.reset(scene.len());
+    let lookup = |id: u32| projected[proj_of_id[id as usize] as usize];
+
+    for (tile_idx, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let list = &tile_lists[tile_idx];
+        if list.is_empty() {
+            continue;
+        }
+        let tx = tile_idx % tiles_x;
+        let ty = tile_idx / tiles_x;
+        let x0 = tx * TILE;
+        let y0 = ty * TILE;
+        let warps_per_tile = (TILE * TILE).div_ceil(WARP);
+        let mut warp_members: Vec<Vec<(PixelCoord, usize)>> = vec![Vec::new(); warps_per_tile];
+        for &(p, out_idx) in group {
+            let lane = (p.y as usize - y0) * TILE + (p.x as usize - x0);
+            warp_members[lane / WARP].push((p, out_idx));
+        }
+        for members in warp_members.iter().filter(|m| !m.is_empty()) {
+            // Each member keeps a cursor into its contribution list; the
+            // warp walks the tile list and a lane is active on the steps
+            // where its pixel's next contribution matches.
+            let mut cursors = vec![0usize; members.len()];
+            let b = &mut trace.backward;
+            for &pi in list.iter() {
+                let pg = &projected[pi as usize];
+                b.warp_steps += 1;
+                let mut active = 0u64;
+                for (mi, &(_, out_idx)) in members.iter().enumerate() {
+                    let contribs = &forward_result.contributions[out_idx];
+                    if cursors[mi] >= contribs.len() {
+                        continue;
+                    }
+                    // α re-check for this pair (exp on the SFU).
+                    b.alpha_checks += 1;
+                    b.exp_evals += 1;
+                    if contribs[cursors[mi]].gaussian == pg.id {
+                        active += 1;
+                        cursors[mi] += 1;
+                    }
+                }
+                b.warp_active += active;
+            }
+        }
+        // The gradient math itself (schedule-independent).
+        for &(p, out_idx) in group {
+            let counts = pixel_backward(
+                p.center(),
+                &forward_result.contributions[out_idx],
+                &lookup,
+                loss_grads[out_idx].d_color,
+                loss_grads[out_idx].d_depth,
+                config,
+                config.background,
+                &mut accum,
+            );
+            let b = &mut trace.backward;
+            b.pairs_grad += counts.pairs;
+            b.atomic_adds += counts.atomic_adds;
+            b.bytes_written += counts.pairs * bytes::GRADIENT;
+        }
+    }
+
+    // Aggregation statistics.
+    {
+        let b = &mut trace.backward;
+        for &id in accum.touched() {
+            b.gaussian_touches.push(accum.get(id).count as f64);
+        }
+        b.gaussians_touched = accum.touched().len() as u64;
+        b.reprojections = accum.touched().len() as u64;
+        b.bytes_read += b.gaussians_touched * bytes::GRADIENT;
+        b.bytes_written += b.gaussians_touched * bytes::GRADIENT;
+    }
+
+    let (grads, pose) = reproject(scene, camera, &accum, true);
+    (grads, pose, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatonic_math::{Pose, Quat, Vec2};
+    use splatonic_scene::{Gaussian, Intrinsics};
+
+    fn small_scene() -> (GaussianScene, Camera) {
+        let mut scene = GaussianScene::new();
+        scene.push(Gaussian::new(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::splat(0.15),
+            Quat::IDENTITY,
+            0.9,
+            Vec3::new(1.0, 0.2, 0.1),
+        ));
+        scene.push(Gaussian::new(
+            Vec3::new(0.3, 0.1, 3.0),
+            Vec3::splat(0.2),
+            Quat::IDENTITY,
+            0.8,
+            Vec3::new(0.1, 0.9, 0.2),
+        ));
+        let cam = Camera::new(Intrinsics::with_fov(64, 48, 1.2), Pose::identity());
+        (scene, cam)
+    }
+
+    #[test]
+    fn dense_forward_shades_all_pixels() {
+        let (scene, cam) = small_scene();
+        let pixels = PixelSet::dense(64, 48);
+        let out = forward(&scene, &cam, &pixels, &RenderConfig::default());
+        assert_eq!(out.color.len(), 64 * 48);
+        assert_eq!(out.trace.forward.pixels_shaded, 64 * 48);
+        // The center pixel must have been hit by the front Gaussian.
+        let center = 24 * 64 + 32;
+        assert!(out.color[center].x > 0.1, "center {:?}", out.color[center]);
+        assert!(out.final_transmittance[center] < 1.0);
+    }
+
+    #[test]
+    fn empty_scene_renders_background() {
+        let cam = Camera::new(Intrinsics::with_fov(32, 32, 1.0), Pose::identity());
+        let cfg = RenderConfig {
+            background: Vec3::new(0.3, 0.3, 0.3),
+            ..RenderConfig::default()
+        };
+        let pixels = PixelSet::dense(32, 32);
+        let out = forward(&GaussianScene::new(), &cam, &pixels, &cfg);
+        assert!(out.color.iter().all(|c| (c.x - 0.3).abs() < 1e-12));
+        assert!(out.final_transmittance.iter().all(|&t| t == 1.0));
+    }
+
+    #[test]
+    fn contributions_are_depth_ordered() {
+        let (scene, cam) = small_scene();
+        let pixels = PixelSet::dense(64, 48);
+        let out = forward(&scene, &cam, &pixels, &RenderConfig::default());
+        for contribs in &out.contributions {
+            for w in contribs.windows(2) {
+                // Transmittance decreases along the list (front-to-back).
+                assert!(w[1].transmittance <= w[0].transmittance + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_pixels_shade_subset() {
+        let (scene, cam) = small_scene();
+        let pixels = PixelSet::from_tile_chooser(64, 48, 16, |_, _, x0, y0, w, h| {
+            Some(crate::pixelset::PixelCoord::new(
+                (x0 + w / 2) as u16,
+                (y0 + h / 2) as u16,
+            ))
+        });
+        let out = forward(&scene, &cam, &pixels, &RenderConfig::default());
+        assert_eq!(out.color.len(), pixels.len());
+        assert!(out.trace.forward.pixels_shaded as usize == pixels.len());
+        // Tile work is unchanged by sparsity (that is the point).
+        assert!(out.trace.forward.tile_pairs > 0);
+    }
+
+    #[test]
+    fn sparse_warp_utilization_lower_than_dense() {
+        let (scene, cam) = small_scene();
+        let dense = forward(
+            &scene,
+            &cam,
+            &PixelSet::dense(64, 48),
+            &RenderConfig::default(),
+        );
+        let sparse_set = PixelSet::from_tile_chooser(64, 48, 16, |_, _, x0, y0, _, _| {
+            Some(crate::pixelset::PixelCoord::new(x0 as u16, y0 as u16))
+        });
+        let sparse = forward(&scene, &cam, &sparse_set, &RenderConfig::default());
+        let ud = dense.trace.forward.warp_utilization();
+        let us = sparse.trace.forward.warp_utilization();
+        assert!(
+            us < ud,
+            "sparse utilization {us} should be below dense {ud}"
+        );
+        // A single resident pixel caps utilization at 1/32.
+        assert!(us <= 1.0 / 32.0 + 1e-9);
+    }
+
+    #[test]
+    fn backward_produces_gradients() {
+        let (scene, cam) = small_scene();
+        let pixels = PixelSet::dense(64, 48);
+        let cfg = RenderConfig::default();
+        let out = forward(&scene, &cam, &pixels, &cfg);
+        let grads: Vec<LossGrad> = out
+            .color
+            .iter()
+            .map(|_| LossGrad {
+                d_color: Vec3::splat(1.0),
+                d_depth: 0.1,
+            })
+            .collect();
+        let (sg, pg, trace) = backward(&scene, &cam, &pixels, &out, &grads, &cfg);
+        assert!(!sg.is_empty());
+        assert!(pg.xi.norm() > 0.0);
+        assert!(trace.backward.pairs_grad > 0);
+        assert!(trace.backward.atomic_adds >= trace.backward.pairs_grad);
+        assert_eq!(trace.backward.reprojections, sg.len() as u64);
+    }
+
+    #[test]
+    fn backward_zero_loss_zero_grad() {
+        let (scene, cam) = small_scene();
+        let pixels = PixelSet::dense(32, 32);
+        let cfg = RenderConfig::default();
+        let out = forward(&scene, &cam, &pixels, &cfg);
+        let grads = vec![LossGrad::default(); pixels.len()];
+        let (sg, pg, _) = backward(&scene, &cam, &pixels, &out, &grads, &cfg);
+        for (_, g) in &sg.entries {
+            assert!(g.mean.norm() < 1e-12);
+            assert!(g.color.norm() < 1e-12);
+        }
+        assert!(pg.xi.norm() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_to_tiles_covers_projection() {
+        let (scene, cam) = small_scene();
+        let cfg = RenderConfig::default();
+        let (projected, _) = project_scene(&scene, &cam, &cfg);
+        let (lists, pairs) = build_tile_lists(&projected, 64, 48);
+        assert_eq!(pairs, lists.iter().map(|l| l.len() as u64).sum::<u64>());
+        // The tile containing each Gaussian's center must list it.
+        for (pi, pg) in projected.iter().enumerate() {
+            let tx = (pg.mean2d.x as usize / TILE).min(64usize.div_ceil(TILE) - 1);
+            let ty = (pg.mean2d.y as usize / TILE).min(48usize.div_ceil(TILE) - 1);
+            assert!(lists[ty * 64usize.div_ceil(TILE) + tx].contains(&(pi as u32)));
+        }
+    }
+
+    #[test]
+    fn early_termination_limits_list() {
+        // Stack many opaque Gaussians; the pixel should terminate early.
+        let mut scene = GaussianScene::new();
+        for i in 0..50 {
+            scene.push(Gaussian::new(
+                Vec3::new(0.0, 0.0, 1.0 + i as f64 * 0.1),
+                Vec3::splat(0.3),
+                Quat::IDENTITY,
+                0.95,
+                Vec3::splat(0.5),
+            ));
+        }
+        let cam = Camera::new(Intrinsics::with_fov(32, 32, 1.0), Pose::identity());
+        let pixels = PixelSet::from_pixels(32, 32, vec![PixelCoord::new(16, 16)]);
+        let out = forward(&scene, &cam, &pixels, &RenderConfig::default());
+        assert!(
+            out.contributions[0].len() < 10,
+            "opaque stack should terminate after a few Gaussians, got {}",
+            out.contributions[0].len()
+        );
+        assert!(out.final_transmittance[0] < 1e-3);
+    }
+
+    #[test]
+    fn alpha_checks_exceed_integrations() {
+        let (scene, cam) = small_scene();
+        let pixels = PixelSet::dense(64, 48);
+        let out = forward(&scene, &cam, &pixels, &RenderConfig::default());
+        let f = &out.trace.forward;
+        assert!(f.raster_alpha_checks >= f.pairs_integrated);
+        assert!(f.exp_evals >= f.raster_alpha_checks);
+    }
+
+    #[test]
+    fn projected_center_matches_camera_projection() {
+        let (scene, cam) = small_scene();
+        let cfg = RenderConfig::default();
+        let (projected, _) = project_scene(&scene, &cam, &cfg);
+        for pg in &projected {
+            let expect = cam
+                .project_point(scene.gaussians()[pg.id as usize].mean)
+                .unwrap();
+            assert!((pg.mean2d - Vec2::new(expect.x, expect.y)).norm() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Failure-injection tests: the renderer must stay finite and well-behaved
+//! on degenerate inputs (DESIGN.md §7) — zero scales, behind-camera and
+//! far-outside Gaussians, saturated opacities, empty pixel sets, zero-
+//! texture frames, and non-finite parameters must never produce NaNs or
+//! panics in either pipeline.
+
+use splatonic_math::{Pose, Quat, Vec3};
+use splatonic_render::prelude::*;
+use splatonic_render::{loss, LossConfig};
+use splatonic_scene::{Camera, Frame, Gaussian, GaussianScene, Intrinsics};
+
+const W: usize = 48;
+const H: usize = 36;
+
+fn camera() -> Camera {
+    Camera::new(Intrinsics::with_fov(W, H, 1.2), Pose::identity())
+}
+
+fn render_both(scene: &GaussianScene, pixels: &PixelSet) -> (ForwardResult, ForwardResult) {
+    let cfg = RenderConfig::default();
+    let cam = camera();
+    (
+        render_forward(scene, &cam, pixels, Pipeline::TileBased, &cfg),
+        render_forward(scene, &cam, pixels, Pipeline::PixelBased, &cfg),
+    )
+}
+
+fn assert_finite(out: &ForwardResult) {
+    for c in &out.color {
+        assert!(c.is_finite(), "non-finite color {c:?}");
+    }
+    for &d in &out.depth {
+        assert!(d.is_finite());
+    }
+    for &t in &out.final_transmittance {
+        assert!(t.is_finite() && (0.0..=1.0 + 1e-9).contains(&t));
+    }
+}
+
+#[test]
+fn zero_scale_gaussian_is_harmless() {
+    let mut scene = GaussianScene::new();
+    scene.push(Gaussian::new(
+        Vec3::new(0.0, 0.0, 2.0),
+        Vec3::splat(0.0), // clamped to the positive floor internally
+        Quat::IDENTITY,
+        0.9,
+        Vec3::splat(0.5),
+    ));
+    let pixels = PixelSet::dense(W, H);
+    let (a, b) = render_both(&scene, &pixels);
+    assert_finite(&a);
+    assert_finite(&b);
+}
+
+#[test]
+fn behind_camera_gaussians_render_background() {
+    let mut scene = GaussianScene::new();
+    for z in [-5.0, -0.5, 0.0, 0.1] {
+        scene.push(Gaussian::new(
+            Vec3::new(0.0, 0.0, z),
+            Vec3::splat(0.2),
+            Quat::IDENTITY,
+            0.9,
+            Vec3::splat(1.0),
+        ));
+    }
+    let pixels = PixelSet::dense(W, H);
+    let (a, b) = render_both(&scene, &pixels);
+    assert_finite(&a);
+    assert_finite(&b);
+    // Everything is behind the near plane (0.2): nothing renders.
+    assert!(a.color.iter().all(|c| c.norm() == 0.0));
+    assert!(b.total_contributions() == 0);
+}
+
+#[test]
+fn extreme_scales_do_not_blow_up() {
+    let mut scene = GaussianScene::new();
+    // A giant fog blob and a microscopic speck.
+    scene.push(Gaussian::new(
+        Vec3::new(0.0, 0.0, 3.0),
+        Vec3::splat(50.0),
+        Quat::IDENTITY,
+        0.5,
+        Vec3::new(0.2, 0.4, 0.6),
+    ));
+    scene.push(Gaussian::new(
+        Vec3::new(0.1, 0.1, 1.0),
+        Vec3::splat(1e-9),
+        Quat::IDENTITY,
+        0.9,
+        Vec3::splat(1.0),
+    ));
+    let pixels = PixelSet::dense(W, H);
+    let (a, b) = render_both(&scene, &pixels);
+    assert_finite(&a);
+    assert_finite(&b);
+}
+
+#[test]
+fn saturated_opacity_is_clamped() {
+    let mut scene = GaussianScene::new();
+    scene.push(Gaussian::new(
+        Vec3::new(0.0, 0.0, 1.5),
+        Vec3::splat(0.5),
+        Quat::IDENTITY,
+        5.0, // clamped into (0, 1) by the logit storage
+        Vec3::splat(1.0),
+    ));
+    let pixels = PixelSet::dense(W, H);
+    let (a, _) = render_both(&scene, &pixels);
+    assert_finite(&a);
+    for contribs in &a.contributions {
+        for c in contribs {
+            assert!(c.alpha <= RenderConfig::default().alpha_max + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn empty_pixel_set_renders_nothing() {
+    let mut scene = GaussianScene::new();
+    scene.push(Gaussian::new(
+        Vec3::new(0.0, 0.0, 2.0),
+        Vec3::splat(0.2),
+        Quat::IDENTITY,
+        0.9,
+        Vec3::splat(0.5),
+    ));
+    let pixels = PixelSet::from_pixels(W, H, Vec::new());
+    let (a, b) = render_both(&scene, &pixels);
+    assert!(a.color.is_empty());
+    assert!(b.color.is_empty());
+}
+
+#[test]
+fn empty_scene_backward_is_empty() {
+    let scene = GaussianScene::new();
+    let cam = camera();
+    let cfg = RenderConfig::default();
+    let pixels = PixelSet::dense(W, H);
+    let out = render_forward(&scene, &cam, &pixels, Pipeline::PixelBased, &cfg);
+    let grads = vec![
+        loss::LossGrad {
+            d_color: Vec3::splat(1.0),
+            d_depth: 1.0
+        };
+        pixels.len()
+    ];
+    let (sg, pg, trace) =
+        render_backward(&scene, &cam, &pixels, &out, &grads, Pipeline::PixelBased, &cfg);
+    assert!(sg.is_empty());
+    assert_eq!(pg.xi.norm(), 0.0);
+    assert_eq!(trace.backward.pairs_grad, 0);
+}
+
+#[test]
+fn zero_texture_frame_loss_is_well_defined() {
+    // A pitch-black reference with no depth: loss must be finite and its
+    // gradients defined (the paper's samplers must also survive this).
+    let mut scene = GaussianScene::new();
+    scene.push(Gaussian::new(
+        Vec3::new(0.0, 0.0, 2.0),
+        Vec3::splat(0.3),
+        Quat::IDENTITY,
+        0.9,
+        Vec3::splat(0.7),
+    ));
+    let cam = camera();
+    let cfg = RenderConfig::default();
+    let pixels = PixelSet::dense(W, H);
+    let out = render_forward(&scene, &cam, &pixels, Pipeline::TileBased, &cfg);
+    let frame = Frame::new(
+        splatonic_math::Image::filled(W, H, Vec3::ZERO),
+        splatonic_math::Image::filled(W, H, 0.0),
+        0,
+    );
+    let l = loss::evaluate_loss(&out, &frame, &pixels, &LossConfig::default());
+    assert!(l.value.is_finite());
+    assert!(l.grads.iter().all(|g| g.d_color.is_finite()));
+    // Invalid depths disable every depth gradient.
+    assert!(l.grads.iter().all(|g| g.d_depth == 0.0));
+}
+
+#[test]
+fn zero_texture_frame_samplers_survive() {
+    use splatonic_render::sampling::{tracking_plan, MappingStrategy, SamplingPlan};
+    use splatonic_render::MappingSampler;
+    let frame = Frame::new(
+        splatonic_math::Image::filled(W, H, Vec3::splat(0.5)),
+        splatonic_math::Image::filled(W, H, 1.0),
+        0,
+    );
+    // Harris on a perfectly flat frame must fall back to random coverage.
+    let plan = tracking_plan(SamplingStrategy::HarrisPerTile { tile: 8 }, &frame, 1, None);
+    let SamplingPlan::Pixels(p) = plan else {
+        panic!()
+    };
+    assert_eq!(p.len(), (W / 8) * (H.div_ceil(8)));
+    // Weighted mapping sampling on zero gradients likewise.
+    let sampler = MappingSampler::new(4, MappingStrategy::WeightedOnly);
+    let t = splatonic_math::Image::filled(W, H, 0.0);
+    let set = sampler.build(&frame, &t, 2);
+    assert_eq!(set.sample_count(), (W / 4) * (H / 4));
+}
+
+#[test]
+fn non_finite_gaussian_is_culled_not_propagated() {
+    let mut scene = GaussianScene::new();
+    scene.push(Gaussian {
+        mean: Vec3::new(f64::NAN, 0.0, 2.0),
+        log_scale: Vec3::splat(-2.0),
+        rotation: Quat::IDENTITY,
+        opacity_logit: 1.0,
+        color: Vec3::splat(0.5),
+    });
+    scene.push(Gaussian::new(
+        Vec3::new(0.0, 0.0, 2.0),
+        Vec3::splat(0.2),
+        Quat::IDENTITY,
+        0.9,
+        Vec3::splat(0.5),
+    ));
+    let pixels = PixelSet::dense(W, H);
+    let (a, b) = render_both(&scene, &pixels);
+    assert_finite(&a);
+    assert_finite(&b);
+    // The healthy Gaussian still renders.
+    assert!(a.total_contributions() > 0);
+}

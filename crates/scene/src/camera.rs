@@ -1,0 +1,302 @@
+//! Pinhole camera model.
+//!
+//! A [`Camera`] pairs fixed [`Intrinsics`] with a world-to-camera [`Pose`];
+//! tracking optimizes the pose while the intrinsics stay constant.
+
+use splatonic_math::{Pose, Vec2, Vec3};
+
+/// Pinhole camera intrinsics.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_scene::Intrinsics;
+/// let intr = Intrinsics::with_fov(128, 96, 90f64.to_radians());
+/// assert_eq!(intr.width, 128);
+/// assert!((intr.cx - 64.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Intrinsics {
+    /// Focal length along x, in pixels.
+    pub fx: f64,
+    /// Focal length along y, in pixels.
+    pub fy: f64,
+    /// Principal point x, in pixels.
+    pub cx: f64,
+    /// Principal point y, in pixels.
+    pub cy: f64,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+}
+
+impl Intrinsics {
+    /// Creates intrinsics from explicit parameters.
+    pub fn new(fx: f64, fy: f64, cx: f64, cy: f64, width: usize, height: usize) -> Self {
+        Intrinsics {
+            fx,
+            fy,
+            cx,
+            cy,
+            width,
+            height,
+        }
+    }
+
+    /// Creates intrinsics from a horizontal field of view.
+    ///
+    /// The principal point is the image centre and pixels are square.
+    pub fn with_fov(width: usize, height: usize, horizontal_fov: f64) -> Self {
+        let f = width as f64 * 0.5 / (horizontal_fov * 0.5).tan();
+        Intrinsics {
+            fx: f,
+            fy: f,
+            cx: width as f64 * 0.5,
+            cy: height as f64 * 0.5,
+            width,
+            height,
+        }
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Projects a camera-frame point to pixel coordinates.
+    ///
+    /// Returns `None` when the point is at or behind the camera plane
+    /// (`z <= near`).
+    #[inline]
+    pub fn project(&self, p_cam: Vec3, near: f64) -> Option<Vec2> {
+        if p_cam.z <= near {
+            return None;
+        }
+        Some(Vec2::new(
+            self.fx * p_cam.x / p_cam.z + self.cx,
+            self.fy * p_cam.y / p_cam.z + self.cy,
+        ))
+    }
+
+    /// Back-projects pixel `(u, v)` at `depth` into the camera frame.
+    #[inline]
+    pub fn unproject(&self, u: f64, v: f64, depth: f64) -> Vec3 {
+        Vec3::new(
+            (u - self.cx) / self.fx * depth,
+            (v - self.cy) / self.fy * depth,
+            depth,
+        )
+    }
+
+    /// Returns `true` when pixel coordinates fall inside the image, with a
+    /// `margin` (in pixels) of slack outside the border.
+    #[inline]
+    pub fn in_bounds(&self, px: Vec2, margin: f64) -> bool {
+        px.x >= -margin
+            && px.y >= -margin
+            && px.x < self.width as f64 + margin
+            && px.y < self.height as f64 + margin
+    }
+
+    /// Returns intrinsics for the same field of view at a scaled resolution.
+    ///
+    /// Used by the "Low-Res." sampling baseline: a `factor`-times smaller
+    /// image keeps the same FOV with proportionally shorter focal lengths.
+    pub fn downscaled(&self, factor: usize) -> Intrinsics {
+        let f = factor.max(1) as f64;
+        Intrinsics {
+            fx: self.fx / f,
+            fy: self.fy / f,
+            cx: self.cx / f,
+            cy: self.cy / f,
+            width: (self.width / factor.max(1)).max(1),
+            height: (self.height / factor.max(1)).max(1),
+        }
+    }
+}
+
+/// A posed pinhole camera (world-to-camera convention).
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_scene::{Camera, Intrinsics};
+/// use splatonic_math::{Pose, Vec3};
+///
+/// let cam = Camera::new(Intrinsics::with_fov(64, 48, 1.2), Pose::identity());
+/// let px = cam.project_point(Vec3::new(0.0, 0.0, 2.0)).unwrap();
+/// assert!((px.x - 32.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Fixed intrinsics.
+    pub intrinsics: Intrinsics,
+    /// World-to-camera pose (`p_cam = R p_world + t`).
+    pub pose: Pose,
+}
+
+impl Camera {
+    /// Near-plane distance below which points are culled.
+    pub const NEAR: f64 = 0.05;
+
+    /// Creates a camera from intrinsics and a pose.
+    pub fn new(intrinsics: Intrinsics, pose: Pose) -> Self {
+        Camera { intrinsics, pose }
+    }
+
+    /// Transforms a world point into the camera frame.
+    #[inline]
+    pub fn to_camera(&self, p_world: Vec3) -> Vec3 {
+        self.pose.transform(p_world)
+    }
+
+    /// Projects a world point to pixel coordinates (`None` if behind).
+    #[inline]
+    pub fn project_point(&self, p_world: Vec3) -> Option<Vec2> {
+        self.intrinsics.project(self.to_camera(p_world), Self::NEAR)
+    }
+
+    /// Back-projects pixel `(u, v)` at `depth` into world coordinates.
+    pub fn unproject_to_world(&self, u: f64, v: f64, depth: f64) -> Vec3 {
+        let p_cam = self.intrinsics.unproject(u, v, depth);
+        self.pose.inverse().transform(p_cam)
+    }
+
+    /// Camera center in world coordinates.
+    pub fn center(&self) -> Vec3 {
+        self.pose.camera_center()
+    }
+
+    /// Returns a camera looking from `eye` toward `target` with `up` hint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eye == target`.
+    pub fn look_at(intrinsics: Intrinsics, eye: Vec3, target: Vec3, up: Vec3) -> Camera {
+        let forward = (target - eye).normalized();
+        assert!(forward != Vec3::ZERO, "look_at: eye and target coincide");
+        // Camera frame: +z forward, +x right, +y down (image convention).
+        let right = forward.cross(up.normalized() * -1.0).normalized();
+        let right = if right == Vec3::ZERO {
+            // up parallel to forward; pick any orthogonal.
+            forward.cross(Vec3::X).normalized()
+        } else {
+            right
+        };
+        let down = forward.cross(right);
+        // Rows of R are the camera axes expressed in world coordinates.
+        let r = splatonic_math::Mat3::from_rows(right, down, forward);
+        let t = -(r * eye);
+        Camera::new(intrinsics, Pose::new(r, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatonic_math::Mat3;
+
+    fn intr() -> Intrinsics {
+        Intrinsics::with_fov(128, 96, 1.2)
+    }
+
+    #[test]
+    fn project_unproject_round_trip() {
+        let intr = intr();
+        let p = Vec3::new(0.3, -0.2, 2.5);
+        let px = intr.project(p, 0.01).unwrap();
+        let back = intr.unproject(px.x, px.y, p.z);
+        assert!((back - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn behind_camera_is_culled() {
+        let intr = intr();
+        assert!(intr.project(Vec3::new(0.0, 0.0, -1.0), 0.01).is_none());
+        assert!(intr.project(Vec3::new(0.0, 0.0, 0.005), 0.01).is_none());
+    }
+
+    #[test]
+    fn principal_point_projects_to_center() {
+        let intr = intr();
+        let px = intr.project(Vec3::new(0.0, 0.0, 1.0), 0.01).unwrap();
+        assert!((px.x - intr.cx).abs() < 1e-12);
+        assert!((px.y - intr.cy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_bounds_with_margin() {
+        let intr = intr();
+        assert!(intr.in_bounds(Vec2::new(0.0, 0.0), 0.0));
+        assert!(!intr.in_bounds(Vec2::new(-1.0, 0.0), 0.0));
+        assert!(intr.in_bounds(Vec2::new(-1.0, 0.0), 2.0));
+        assert!(!intr.in_bounds(Vec2::new(128.0, 0.0), 0.0));
+    }
+
+    #[test]
+    fn downscaled_preserves_fov() {
+        let intr = intr();
+        let d = intr.downscaled(2);
+        assert_eq!(d.width, 64);
+        // Same point projects to half the pixel coordinates.
+        let p = Vec3::new(0.4, 0.1, 2.0);
+        let a = intr.project(p, 0.01).unwrap();
+        let b = d.project(p, 0.01).unwrap();
+        assert!((a.x / 2.0 - b.x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn world_round_trip_with_pose() {
+        let cam = Camera::look_at(
+            intr(),
+            Vec3::new(1.0, 2.0, -3.0),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::Y,
+        );
+        let p = Vec3::new(0.2, -0.1, 0.3);
+        let px = cam.project_point(p).unwrap();
+        let depth = cam.to_camera(p).z;
+        let back = cam.unproject_to_world(px.x, px.y, depth);
+        assert!((back - p).norm() < 1e-9);
+    }
+
+    #[test]
+    fn look_at_points_camera_at_target() {
+        let eye = Vec3::new(3.0, 1.0, -2.0);
+        let target = Vec3::new(0.0, 0.5, 1.0);
+        let cam = Camera::look_at(intr(), eye, target, Vec3::Y);
+        // The target must land on the optical axis.
+        let t_cam = cam.to_camera(target);
+        assert!(t_cam.x.abs() < 1e-9);
+        assert!(t_cam.y.abs() < 1e-9);
+        assert!(t_cam.z > 0.0);
+        // Rotation must be orthonormal.
+        let rrt = cam.pose.rotation * cam.pose.rotation.transpose();
+        let id = Mat3::identity();
+        for i in 0..9 {
+            assert!((rrt.m[i] - id.m[i]).abs() < 1e-9);
+        }
+        // Camera center round-trips.
+        assert!((cam.center() - eye).norm() < 1e-9);
+    }
+
+    #[test]
+    fn look_at_up_parallel_fallback() {
+        // Forward along +y and up along +y would degenerate; must not panic.
+        let cam = Camera::look_at(
+            intr(),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::Y,
+        );
+        assert!((cam.pose.rotation.det() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn look_at_same_point_panics() {
+        let _ = Camera::look_at(intr(), Vec3::ZERO, Vec3::ZERO, Vec3::Y);
+    }
+}

@@ -1,0 +1,114 @@
+//! RGB-D frame types.
+//!
+//! A [`Frame`] is one sensor observation: an RGB image plus an aligned depth
+//! map, exactly what the RGB-D SLAM algorithms of the paper consume.
+
+use splatonic_math::{Image, Vec3};
+
+/// An RGB image: one [`Vec3`] (channels in `[0, 1]`) per pixel.
+pub type ColorImage = Image<Vec3>;
+
+/// A depth image in meters; `0.0` marks invalid / no-return pixels.
+pub type DepthImage = Image<f64>;
+
+/// One RGB-D observation.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_scene::Frame;
+/// use splatonic_math::{Image, Vec3};
+///
+/// let frame = Frame::new(
+///     Image::filled(4, 3, Vec3::splat(0.5)),
+///     Image::filled(4, 3, 1.0),
+///     0,
+/// );
+/// assert_eq!(frame.width(), 4);
+/// assert!((frame.luminance()[(0, 0)] - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// RGB color image.
+    pub color: ColorImage,
+    /// Aligned depth image (meters).
+    pub depth: DepthImage,
+    /// Frame index within its sequence.
+    pub index: usize,
+}
+
+impl Frame {
+    /// Creates a frame from aligned color and depth images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the color and depth dimensions differ.
+    pub fn new(color: ColorImage, depth: DepthImage, index: usize) -> Self {
+        assert_eq!(
+            (color.width(), color.height()),
+            (depth.width(), depth.height()),
+            "color and depth images must be aligned"
+        );
+        Frame {
+            color,
+            depth,
+            index,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.color.width()
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.color.height()
+    }
+
+    /// Per-pixel luminance (Rec. 601 weights), used by the samplers.
+    pub fn luminance(&self) -> Image<f64> {
+        self.color
+            .map(|c| 0.299 * c.x + 0.587 * c.y + 0.114 * c.z)
+    }
+
+    /// Fraction of pixels with valid (positive) depth.
+    pub fn depth_coverage(&self) -> f64 {
+        if self.depth.is_empty() {
+            return 0.0;
+        }
+        let valid = self.depth.as_slice().iter().filter(|&&d| d > 0.0).count();
+        valid as f64 / self.depth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatonic_math::Image;
+
+    #[test]
+    fn luminance_weights() {
+        let color = Image::filled(2, 2, Vec3::new(1.0, 0.0, 0.0));
+        let f = Frame::new(color, Image::filled(2, 2, 1.0), 0);
+        assert!((f.luminance()[(0, 0)] - 0.299).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_coverage_counts_positive() {
+        let mut depth = Image::filled(2, 2, 0.0);
+        depth[(0, 0)] = 1.0;
+        depth[(1, 1)] = 2.0;
+        let f = Frame::new(Image::filled(2, 2, Vec3::ZERO), depth, 3);
+        assert!((f.depth_coverage() - 0.5).abs() < 1e-12);
+        assert_eq!(f.index, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn mismatched_dimensions_panic() {
+        let _ = Frame::new(Image::filled(2, 2, Vec3::ZERO), Image::filled(3, 2, 1.0), 0);
+    }
+}

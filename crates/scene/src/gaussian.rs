@@ -1,0 +1,384 @@
+//! 3D Gaussian primitives and the scene container.
+//!
+//! Each [`Gaussian`] carries the trainable attributes of paper Sec. II-B:
+//! mean position, anisotropic scale, orientation, opacity, and color. Scale
+//! and opacity are stored in unconstrained form (log-scale, logit-opacity) so
+//! the mapping optimizer can take raw gradient steps, matching the reference
+//! 3DGS implementation.
+
+use splatonic_math::{Mat3, Quat, Vec3};
+
+/// Numerically safe sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Inverse sigmoid; input is clamped away from {0, 1}.
+#[inline]
+pub fn logit(p: f64) -> f64 {
+    let p = p.clamp(1e-6, 1.0 - 1e-6);
+    (p / (1.0 - p)).ln()
+}
+
+/// A single trainable 3D Gaussian primitive.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_scene::Gaussian;
+/// use splatonic_math::{Vec3, Quat};
+///
+/// let g = Gaussian::new(
+///     Vec3::new(0.0, 0.0, 2.0),
+///     Vec3::splat(0.1),
+///     Quat::IDENTITY,
+///     0.9,
+///     Vec3::new(1.0, 0.5, 0.2),
+/// );
+/// assert!((g.opacity() - 0.9).abs() < 1e-9);
+/// assert!((g.scale().x - 0.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Mean position in world coordinates.
+    pub mean: Vec3,
+    /// Per-axis log-scale (standard deviation is `exp(log_scale)`).
+    pub log_scale: Vec3,
+    /// Orientation quaternion (may be unnormalized; normalized on use).
+    pub rotation: Quat,
+    /// Opacity in logit space (opacity is `sigmoid(opacity_logit)`).
+    pub opacity_logit: f64,
+    /// RGB color in `[0, 1]` per channel (clamped at render time).
+    pub color: Vec3,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian from *natural* parameters.
+    ///
+    /// `scale` components are clamped to a small positive floor; `opacity`
+    /// is clamped into `(0, 1)`.
+    pub fn new(mean: Vec3, scale: Vec3, rotation: Quat, opacity: f64, color: Vec3) -> Self {
+        let s = scale.max(Vec3::splat(1e-6));
+        Gaussian {
+            mean,
+            log_scale: Vec3::new(s.x.ln(), s.y.ln(), s.z.ln()),
+            rotation,
+            opacity_logit: logit(opacity),
+            color,
+        }
+    }
+
+    /// Natural per-axis scale (standard deviations).
+    #[inline]
+    pub fn scale(&self) -> Vec3 {
+        Vec3::new(
+            self.log_scale.x.exp(),
+            self.log_scale.y.exp(),
+            self.log_scale.z.exp(),
+        )
+    }
+
+    /// Natural opacity in `(0, 1)`.
+    #[inline]
+    pub fn opacity(&self) -> f64 {
+        sigmoid(self.opacity_logit)
+    }
+
+    /// World-space 3D covariance `Σ = R S Sᵀ Rᵀ`.
+    pub fn covariance(&self) -> Mat3 {
+        let r = self.rotation.to_rotation_matrix();
+        let s = self.scale();
+        let d = Mat3::diag(s.x * s.x, s.y * s.y, s.z * s.z);
+        r * d * r.transpose()
+    }
+
+    /// Radius of the bounding sphere at 3σ of the largest axis.
+    pub fn bounding_radius(&self) -> f64 {
+        3.0 * self.scale().max_component()
+    }
+
+    /// Returns `true` when every parameter is finite.
+    pub fn is_finite(&self) -> bool {
+        self.mean.is_finite()
+            && self.log_scale.is_finite()
+            && self.opacity_logit.is_finite()
+            && self.color.is_finite()
+            && self.rotation.norm_sq().is_finite()
+    }
+}
+
+/// The scene representation `{G_i}`: a growable set of Gaussians.
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_scene::{Gaussian, GaussianScene};
+/// use splatonic_math::{Vec3, Quat};
+///
+/// let mut scene = GaussianScene::new();
+/// scene.push(Gaussian::new(Vec3::ZERO, Vec3::splat(0.1), Quat::IDENTITY, 0.8, Vec3::splat(0.5)));
+/// assert_eq!(scene.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaussianScene {
+    gaussians: Vec<Gaussian>,
+}
+
+impl GaussianScene {
+    /// Creates an empty scene.
+    pub fn new() -> Self {
+        GaussianScene {
+            gaussians: Vec::new(),
+        }
+    }
+
+    /// Creates a scene with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        GaussianScene {
+            gaussians: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of Gaussians.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// Returns `true` when the scene holds no Gaussians.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+
+    /// Appends a Gaussian, returning its index.
+    pub fn push(&mut self, g: Gaussian) -> usize {
+        self.gaussians.push(g);
+        self.gaussians.len() - 1
+    }
+
+    /// Immutable view of the Gaussians.
+    #[inline]
+    pub fn gaussians(&self) -> &[Gaussian] {
+        &self.gaussians
+    }
+
+    /// Mutable view of the Gaussians (used by the mapping optimizer).
+    #[inline]
+    pub fn gaussians_mut(&mut self) -> &mut [Gaussian] {
+        &mut self.gaussians
+    }
+
+    /// Immutable access by index.
+    pub fn get(&self, i: usize) -> Option<&Gaussian> {
+        self.gaussians.get(i)
+    }
+
+    /// Retains only Gaussians satisfying the predicate (pruning).
+    pub fn retain(&mut self, f: impl FnMut(&Gaussian) -> bool) {
+        self.gaussians.retain(f);
+    }
+
+    /// Iterates over the Gaussians.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gaussian> {
+        self.gaussians.iter()
+    }
+
+    /// Axis-aligned bounding box of all means, or `None` when empty.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let first = self.gaussians.first()?;
+        let mut lo = first.mean;
+        let mut hi = first.mean;
+        for g in &self.gaussians {
+            lo = lo.min(g.mean);
+            hi = hi.max(g.mean);
+        }
+        Some((lo, hi))
+    }
+}
+
+impl FromIterator<Gaussian> for GaussianScene {
+    fn from_iter<I: IntoIterator<Item = Gaussian>>(iter: I) -> Self {
+        GaussianScene {
+            gaussians: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Gaussian> for GaussianScene {
+    fn extend<I: IntoIterator<Item = Gaussian>>(&mut self, iter: I) {
+        self.gaussians.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a GaussianScene {
+    type Item = &'a Gaussian;
+    type IntoIter = std::slice::Iter<'a, Gaussian>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gaussians.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Gaussian {
+        Gaussian::new(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.1, 0.2, 0.05),
+            Quat::from_axis_angle(Vec3::new(1.0, 1.0, 0.0), 0.6),
+            0.75,
+            Vec3::new(0.9, 0.1, 0.4),
+        )
+    }
+
+    #[test]
+    fn natural_parameter_round_trip() {
+        let g = sample();
+        assert!((g.opacity() - 0.75).abs() < 1e-9);
+        let s = g.scale();
+        assert!((s.x - 0.1).abs() < 1e-9);
+        assert!((s.y - 0.2).abs() < 1e-9);
+        assert!((s.z - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opacity_clamped_to_open_interval() {
+        let g = Gaussian::new(Vec3::ZERO, Vec3::splat(0.1), Quat::IDENTITY, 1.5, Vec3::ZERO);
+        assert!(g.opacity() < 1.0);
+        let g = Gaussian::new(Vec3::ZERO, Vec3::splat(0.1), Quat::IDENTITY, -0.5, Vec3::ZERO);
+        assert!(g.opacity() > 0.0);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_positive() {
+        let g = sample();
+        let c = g.covariance();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.at(i, j) - c.at(j, i)).abs() < 1e-12);
+            }
+        }
+        assert!(c.det() > 0.0);
+        assert!(c.trace() > 0.0);
+    }
+
+    #[test]
+    fn covariance_of_axis_aligned_is_diagonal() {
+        let g = Gaussian::new(
+            Vec3::ZERO,
+            Vec3::new(0.1, 0.2, 0.3),
+            Quat::IDENTITY,
+            0.5,
+            Vec3::ZERO,
+        );
+        let c = g.covariance();
+        assert!((c.at(0, 0) - 0.01).abs() < 1e-9);
+        assert!((c.at(1, 1) - 0.04).abs() < 1e-9);
+        assert!((c.at(2, 2) - 0.09).abs() < 1e-9);
+        assert!(c.at(0, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_radius_uses_largest_axis() {
+        let g = Gaussian::new(
+            Vec3::ZERO,
+            Vec3::new(0.1, 0.5, 0.2),
+            Quat::IDENTITY,
+            0.5,
+            Vec3::ZERO,
+        );
+        assert!((g.bounding_radius() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_logit_inverse() {
+        for p in [0.01, 0.3, 0.5, 0.9, 0.999] {
+            assert!((sigmoid(logit(p)) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sigmoid_extremes_are_stable() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn scene_push_get_retain() {
+        let mut scene = GaussianScene::new();
+        assert!(scene.is_empty());
+        let idx = scene.push(sample());
+        assert_eq!(idx, 0);
+        scene.push(Gaussian::new(
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::splat(0.1),
+            Quat::IDENTITY,
+            0.5,
+            Vec3::ZERO,
+        ));
+        assert_eq!(scene.len(), 2);
+        scene.retain(|g| g.mean.x < 5.0);
+        assert_eq!(scene.len(), 1);
+        assert!(scene.get(0).is_some());
+        assert!(scene.get(1).is_none());
+    }
+
+    #[test]
+    fn scene_bounds() {
+        let mut scene = GaussianScene::new();
+        assert!(scene.bounds().is_none());
+        scene.push(Gaussian::new(
+            Vec3::new(-1.0, 0.0, 2.0),
+            Vec3::splat(0.1),
+            Quat::IDENTITY,
+            0.5,
+            Vec3::ZERO,
+        ));
+        scene.push(Gaussian::new(
+            Vec3::new(3.0, -2.0, 1.0),
+            Vec3::splat(0.1),
+            Quat::IDENTITY,
+            0.5,
+            Vec3::ZERO,
+        ));
+        let (lo, hi) = scene.bounds().unwrap();
+        assert_eq!(lo, Vec3::new(-1.0, -2.0, 1.0));
+        assert_eq!(hi, Vec3::new(3.0, 0.0, 2.0));
+    }
+
+    #[test]
+    fn scene_from_iterator_and_extend() {
+        let mut scene: GaussianScene = (0..3)
+            .map(|i| {
+                Gaussian::new(
+                    Vec3::new(i as f64, 0.0, 0.0),
+                    Vec3::splat(0.1),
+                    Quat::IDENTITY,
+                    0.5,
+                    Vec3::ZERO,
+                )
+            })
+            .collect();
+        assert_eq!(scene.len(), 3);
+        scene.extend(std::iter::once(sample()));
+        assert_eq!(scene.len(), 4);
+        assert_eq!(scene.iter().count(), 4);
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut g = sample();
+        assert!(g.is_finite());
+        g.mean.x = f64::NAN;
+        assert!(!g.is_finite());
+    }
+}

@@ -1,0 +1,36 @@
+//! Scene primitives and synthetic-world generation for SPLATONIC.
+//!
+//! This crate defines the data the SLAM system operates on:
+//!
+//! * [`Gaussian`] / [`GaussianScene`] — the 3D Gaussian primitives `{G_i}`
+//!   that represent the reconstructed scene (paper Sec. II-B),
+//! * [`Camera`] / [`Intrinsics`] — the pinhole camera and pose `{C_t}`,
+//! * [`Frame`] — RGB-D reference frames,
+//! * [`world`] — procedural ground-truth worlds standing in for the Replica
+//!   and TUM RGB-D datasets (see DESIGN.md §2 for the substitution argument),
+//! * [`trajectory`] — smooth (Replica-like) and fast-motion (TUM-like)
+//!   camera trajectories.
+//!
+//! # Examples
+//!
+//! ```
+//! use splatonic_scene::world::{WorldBuilder, WorldStyle};
+//!
+//! let world = WorldBuilder::new(7)
+//!     .style(WorldStyle::ReplicaLike)
+//!     .gaussian_spacing(0.4)
+//!     .build();
+//! assert!(world.scene.len() > 100);
+//! ```
+
+pub mod camera;
+pub mod frame;
+pub mod gaussian;
+pub mod trajectory;
+pub mod world;
+
+pub use camera::{Camera, Intrinsics};
+pub use frame::{ColorImage, DepthImage, Frame};
+pub use gaussian::{Gaussian, GaussianScene};
+pub use trajectory::{Trajectory, TrajectoryKind};
+pub use world::{SyntheticWorld, WorldBuilder, WorldStyle};

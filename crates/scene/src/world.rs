@@ -1,0 +1,457 @@
+//! Procedural ground-truth worlds.
+//!
+//! These stand in for the Replica \[70] and TUM RGB-D \[71] datasets (see
+//! DESIGN.md §2): an indoor "room" is assembled from Gaussian-covered
+//! surfaces — floor, ceiling, walls, and box-shaped furniture — with
+//! procedural textures. Texture-rich and texture-flat regions coexist by
+//! construction, which is what the mapping sampler's Sobel weighting (paper
+//! Eq. 3) keys on, and furniture creates occlusion boundaries that become
+//! "unseen" regions (paper Eq. 2) as the camera moves.
+
+use crate::gaussian::{Gaussian, GaussianScene};
+use crate::trajectory::TrajectoryKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use splatonic_math::{Quat, Vec3};
+
+/// Dataset family the world mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorldStyle {
+    /// Replica-like: large clean room, moderate furniture, smooth motion.
+    ReplicaLike,
+    /// TUM-like: cluttered desk-scale scene, fast camera motion.
+    TumLike,
+}
+
+impl WorldStyle {
+    /// The trajectory family matching this dataset family.
+    pub fn trajectory_kind(self) -> TrajectoryKind {
+        match self {
+            WorldStyle::ReplicaLike => TrajectoryKind::SmoothIndoor,
+            WorldStyle::TumLike => TrajectoryKind::FastMotion,
+        }
+    }
+}
+
+/// Procedural surface texture assigned to a wall or furniture face.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Texture {
+    Flat(Vec3),
+    Checker(Vec3, Vec3, f64),
+    Stripes(Vec3, Vec3, f64),
+    Noise(Vec3, f64),
+}
+
+impl Texture {
+    fn sample(&self, u: f64, v: f64) -> Vec3 {
+        match *self {
+            Texture::Flat(c) => c,
+            Texture::Checker(a, b, cell) => {
+                let iu = (u / cell).floor() as i64;
+                let iv = (v / cell).floor() as i64;
+                if (iu + iv) % 2 == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            Texture::Stripes(a, b, width) => {
+                if ((u / width).floor() as i64) % 2 == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            Texture::Noise(base, amp) => {
+                let n = value_noise(u * 4.0, v * 4.0);
+                (base + Vec3::splat((n - 0.5) * amp)).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    fn random(rng: &mut StdRng, rich: bool) -> Texture {
+        let c1 = Vec3::new(rng.gen(), rng.gen(), rng.gen()) * 0.8 + Vec3::splat(0.1);
+        let c2 = Vec3::new(rng.gen(), rng.gen(), rng.gen()) * 0.8 + Vec3::splat(0.1);
+        if !rich {
+            return Texture::Flat(c1);
+        }
+        match rng.gen_range(0..3) {
+            0 => Texture::Checker(c1, c2, rng.gen_range(0.25..0.6)),
+            1 => Texture::Stripes(c1, c2, rng.gen_range(0.2..0.5)),
+            _ => Texture::Noise(c1, rng.gen_range(0.4..0.8)),
+        }
+    }
+}
+
+/// Hash-based 2D value noise in `[0, 1]` (deterministic, seedless).
+fn value_noise(x: f64, y: f64) -> f64 {
+    let xi = x.floor();
+    let yi = y.floor();
+    let fx = x - xi;
+    let fy = y - yi;
+    let h = |i: i64, j: i64| -> f64 {
+        let mut v = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        v ^= v >> 33;
+        v = v.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        v ^= v >> 33;
+        (v % 10_000) as f64 / 10_000.0
+    };
+    let (i, j) = (xi as i64, yi as i64);
+    let s = |t: f64| t * t * (3.0 - 2.0 * t);
+    let (sx, sy) = (s(fx), s(fy));
+    let top = h(i, j) * (1.0 - sx) + h(i + 1, j) * sx;
+    let bot = h(i, j + 1) * (1.0 - sx) + h(i + 1, j + 1) * sx;
+    top * (1.0 - sy) + bot * sy
+}
+
+/// A ground-truth world: Gaussians plus room metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticWorld {
+    /// Ground-truth Gaussians.
+    pub scene: GaussianScene,
+    /// Room extent (width, height, depth), centered at the origin.
+    pub extent: Vec3,
+    /// Dataset family.
+    pub style: WorldStyle,
+    /// Seed the world was generated from.
+    pub seed: u64,
+}
+
+/// Builder for [`SyntheticWorld`].
+///
+/// # Examples
+///
+/// ```
+/// use splatonic_scene::{WorldBuilder, WorldStyle};
+///
+/// let world = WorldBuilder::new(3)
+///     .style(WorldStyle::TumLike)
+///     .gaussian_spacing(0.3)
+///     .furniture(2)
+///     .build();
+/// assert!(!world.scene.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    seed: u64,
+    style: WorldStyle,
+    extent: Vec3,
+    spacing: f64,
+    furniture: usize,
+}
+
+impl WorldBuilder {
+    /// Creates a builder with Replica-like defaults.
+    pub fn new(seed: u64) -> Self {
+        WorldBuilder {
+            seed,
+            style: WorldStyle::ReplicaLike,
+            extent: Vec3::new(6.0, 3.0, 5.0),
+            spacing: 0.16,
+            furniture: 4,
+        }
+    }
+
+    /// Sets the dataset family (adjusts the default room size).
+    pub fn style(mut self, style: WorldStyle) -> Self {
+        self.style = style;
+        if style == WorldStyle::TumLike {
+            self.extent = Vec3::new(4.0, 2.5, 4.0);
+            self.furniture = 6;
+        }
+        self
+    }
+
+    /// Sets the room extent (width, height, depth) in meters.
+    pub fn extent(mut self, extent: Vec3) -> Self {
+        self.extent = extent;
+        self
+    }
+
+    /// Sets the spacing between surface Gaussians in meters.
+    ///
+    /// Smaller spacing → more Gaussians → denser workload.
+    pub fn gaussian_spacing(mut self, spacing: f64) -> Self {
+        self.spacing = spacing.max(0.02);
+        self
+    }
+
+    /// Sets the number of furniture boxes.
+    pub fn furniture(mut self, n: usize) -> Self {
+        self.furniture = n;
+        self
+    }
+
+    /// Builds the world.
+    pub fn build(self) -> SyntheticWorld {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut scene = GaussianScene::new();
+        let e = self.extent * 0.5;
+        let sp = self.spacing;
+
+        // Six room surfaces. Normals point inward. Roughly half the
+        // surfaces get rich textures, the rest stay flat (low-texture
+        // regions matter for the sampling experiments).
+        let surfaces: [(Vec3, Vec3, Vec3, f64, f64); 6] = [
+            // (origin corner, u axis, v axis, u extent, v extent)
+            (Vec3::new(-e.x, -e.y, -e.z), Vec3::X, Vec3::Z, self.extent.x, self.extent.z), // floor
+            (Vec3::new(-e.x, e.y, -e.z), Vec3::X, Vec3::Z, self.extent.x, self.extent.z),  // ceiling
+            (Vec3::new(-e.x, -e.y, -e.z), Vec3::X, Vec3::Y, self.extent.x, self.extent.y), // back wall
+            (Vec3::new(-e.x, -e.y, e.z), Vec3::X, Vec3::Y, self.extent.x, self.extent.y),  // front wall
+            (Vec3::new(-e.x, -e.y, -e.z), Vec3::Z, Vec3::Y, self.extent.z, self.extent.y), // left wall
+            (Vec3::new(e.x, -e.y, -e.z), Vec3::Z, Vec3::Y, self.extent.z, self.extent.y),  // right wall
+        ];
+        for (i, (origin, u_axis, v_axis, u_len, v_len)) in surfaces.iter().enumerate() {
+            let rich = i % 2 == 0 || rng.gen_bool(0.4);
+            let tex = Texture::random(&mut rng, rich);
+            add_surface(
+                &mut scene, &mut rng, *origin, *u_axis, *v_axis, *u_len, *v_len, sp, &tex,
+            );
+        }
+
+        // Furniture boxes standing on the floor, placed toward the room
+        // corners so they occlude and texture the scene without blocking
+        // the camera's orbit path (trajectories circle the room center).
+        for _ in 0..self.furniture {
+            let size = Vec3::new(
+                rng.gen_range(0.3..0.5),
+                rng.gen_range(0.4..0.8),
+                rng.gen_range(0.3..0.5),
+            );
+            let sx = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let sz = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let cx = sx * rng.gen_range(e.x * 0.70..e.x * 0.85);
+            let cz = sz * rng.gen_range(e.z * 0.70..e.z * 0.85);
+            let base = Vec3::new(cx, -e.y, cz);
+            let rich = rng.gen_bool(0.7);
+            let tex = Texture::random(&mut rng, rich);
+            add_box(&mut scene, &mut rng, base, size, sp, &tex);
+        }
+
+        SyntheticWorld {
+            scene,
+            extent: self.extent,
+            style: self.style,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Adds a Gaussian-covered rectangle spanning `origin + u*u_axis + v*v_axis`.
+#[allow(clippy::too_many_arguments)]
+fn add_surface(
+    scene: &mut GaussianScene,
+    rng: &mut StdRng,
+    origin: Vec3,
+    u_axis: Vec3,
+    v_axis: Vec3,
+    u_len: f64,
+    v_len: f64,
+    spacing: f64,
+    tex: &Texture,
+) {
+    let normal = u_axis.cross(v_axis).normalized();
+    // Orientation: rotate the local z axis onto the surface normal.
+    let rot = rotation_aligning_z(normal);
+    let nu = (u_len / spacing).ceil() as usize;
+    let nv = (v_len / spacing).ceil() as usize;
+    for iv in 0..nv {
+        for iu in 0..nu {
+            let ju = rng.gen_range(-0.2..0.2) * spacing;
+            let jv = rng.gen_range(-0.2..0.2) * spacing;
+            let u = (iu as f64 + 0.5) * spacing + ju;
+            let v = (iv as f64 + 0.5) * spacing + jv;
+            if u > u_len || v > v_len {
+                continue;
+            }
+            let pos = origin + u_axis * u + v_axis * v;
+            let color = tex.sample(u, v);
+            let tangent_scale = spacing * rng.gen_range(0.55..0.75);
+            let g = Gaussian::new(
+                pos,
+                Vec3::new(tangent_scale, tangent_scale, spacing * 0.08),
+                rot,
+                rng.gen_range(0.85..0.97),
+                color,
+            );
+            scene.push(g);
+        }
+    }
+}
+
+/// Adds the five exposed faces of an axis-aligned box resting on `base`.
+fn add_box(
+    scene: &mut GaussianScene,
+    rng: &mut StdRng,
+    base: Vec3,
+    size: Vec3,
+    spacing: f64,
+    tex: &Texture,
+) {
+    let lo = Vec3::new(base.x - size.x * 0.5, base.y, base.z - size.z * 0.5);
+    // Top face plus four sides (bottom rests on the floor).
+    let faces: [(Vec3, Vec3, Vec3, f64, f64); 5] = [
+        (
+            Vec3::new(lo.x, lo.y + size.y, lo.z),
+            Vec3::X,
+            Vec3::Z,
+            size.x,
+            size.z,
+        ),
+        (lo, Vec3::X, Vec3::Y, size.x, size.y),
+        (
+            Vec3::new(lo.x, lo.y, lo.z + size.z),
+            Vec3::X,
+            Vec3::Y,
+            size.x,
+            size.y,
+        ),
+        (lo, Vec3::Z, Vec3::Y, size.z, size.y),
+        (
+            Vec3::new(lo.x + size.x, lo.y, lo.z),
+            Vec3::Z,
+            Vec3::Y,
+            size.z,
+            size.y,
+        ),
+    ];
+    // Furniture uses a slightly denser sampling so boxes look solid.
+    let sp = spacing * 0.9;
+    for (origin, u_axis, v_axis, u_len, v_len) in faces {
+        add_surface(scene, rng, origin, u_axis, v_axis, u_len, v_len, sp, tex);
+    }
+}
+
+/// Quaternion rotating local +z onto the given unit `normal`.
+fn rotation_aligning_z(normal: Vec3) -> Quat {
+    let z = Vec3::Z;
+    let d = z.dot(normal).clamp(-1.0, 1.0);
+    if d > 1.0 - 1e-9 {
+        return Quat::IDENTITY;
+    }
+    if d < -1.0 + 1e-9 {
+        return Quat::from_axis_angle(Vec3::X, std::f64::consts::PI);
+    }
+    let axis = z.cross(normal);
+    Quat::from_axis_angle(axis, d.acos())
+}
+
+/// Named Replica-like sequence descriptors (8 sequences, paper Sec. VI).
+pub fn replica_sequences() -> Vec<(&'static str, u64)> {
+    vec![
+        ("room0", 101),
+        ("room1", 102),
+        ("room2", 103),
+        ("office0", 104),
+        ("office1", 105),
+        ("office2", 106),
+        ("office3", 107),
+        ("office4", 108),
+    ]
+}
+
+/// Named TUM-like sequence descriptors (3 sequences, paper Sec. VI).
+pub fn tum_sequences() -> Vec<(&'static str, u64)> {
+    vec![("fr1/desk", 201), ("fr2/xyz", 202), ("fr3/office", 203)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = WorldBuilder::new(5).gaussian_spacing(0.5).build();
+        let b = WorldBuilder::new(5).gaussian_spacing(0.5).build();
+        assert_eq!(a.scene.len(), b.scene.len());
+        assert_eq!(a.scene.gaussians()[0], b.scene.gaussians()[0]);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_worlds() {
+        let a = WorldBuilder::new(5).gaussian_spacing(0.5).build();
+        let b = WorldBuilder::new(6).gaussian_spacing(0.5).build();
+        assert_ne!(a.scene.gaussians()[0], b.scene.gaussians()[0]);
+    }
+
+    #[test]
+    fn gaussians_lie_within_room() {
+        let w = WorldBuilder::new(1).gaussian_spacing(0.4).build();
+        let e = w.extent * 0.5;
+        let slack = 0.3;
+        for g in w.scene.iter() {
+            assert!(g.mean.x.abs() <= e.x + slack);
+            assert!(g.mean.y.abs() <= e.y + slack);
+            assert!(g.mean.z.abs() <= e.z + slack);
+        }
+    }
+
+    #[test]
+    fn finer_spacing_means_more_gaussians() {
+        let coarse = WorldBuilder::new(2).gaussian_spacing(0.6).build();
+        let fine = WorldBuilder::new(2).gaussian_spacing(0.3).build();
+        assert!(fine.scene.len() > coarse.scene.len() * 2);
+    }
+
+    #[test]
+    fn all_gaussians_are_finite_and_opaque_enough() {
+        let w = WorldBuilder::new(3).gaussian_spacing(0.4).build();
+        for g in w.scene.iter() {
+            assert!(g.is_finite());
+            assert!(g.opacity() > 0.5);
+            assert!(g.color.x >= 0.0 && g.color.x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn tum_style_changes_defaults() {
+        let w = WorldBuilder::new(4).style(WorldStyle::TumLike).gaussian_spacing(0.4).build();
+        assert_eq!(w.style, WorldStyle::TumLike);
+        assert!(w.extent.x < 6.0);
+        assert_eq!(w.style.trajectory_kind(), TrajectoryKind::FastMotion);
+    }
+
+    #[test]
+    fn sequence_descriptors() {
+        assert_eq!(replica_sequences().len(), 8);
+        assert_eq!(tum_sequences().len(), 3);
+        let seeds: std::collections::HashSet<u64> = replica_sequences()
+            .iter()
+            .chain(tum_sequences().iter())
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(seeds.len(), 11, "sequence seeds must be unique");
+    }
+
+    #[test]
+    fn value_noise_in_unit_interval() {
+        for i in 0..100 {
+            let v = value_noise(i as f64 * 0.37, i as f64 * 0.91);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rotation_aligning_z_cases() {
+        for n in [Vec3::Z, -Vec3::Z, Vec3::X, Vec3::new(1.0, 2.0, -0.5).normalized()] {
+            let q = rotation_aligning_z(n);
+            let rotated = q.rotate(Vec3::Z);
+            assert!((rotated - n).norm() < 1e-9, "normal {n:?}");
+        }
+    }
+
+    #[test]
+    fn textures_sample_in_gamut() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let t = Texture::random(&mut rng, true);
+            for i in 0..10 {
+                let c = t.sample(i as f64 * 0.21, i as f64 * 0.13);
+                assert!(c.x >= 0.0 && c.x <= 1.0);
+                assert!(c.y >= 0.0 && c.y <= 1.0);
+                assert!(c.z >= 0.0 && c.z <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Adam optimizer states for pose and Gaussian parameters.
+//!
+//! Both SLAM processes are first-order optimizations (paper Sec. II-B);
+//! Adam is the de-facto choice of the reference implementations.
+
+/// Scalar Adam state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdamScalar {
+    m: f64,
+    v: f64,
+}
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamParams {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical epsilon.
+    pub eps: f64,
+}
+
+impl AdamParams {
+    /// Creates parameters with the standard betas and the given rate.
+    pub fn with_lr(lr: f64) -> Self {
+        AdamParams {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+impl Default for AdamParams {
+    fn default() -> Self {
+        AdamParams::with_lr(1e-3)
+    }
+}
+
+impl AdamScalar {
+    /// Applies one Adam step; returns the parameter *delta* (to subtract is
+    /// already folded in: add the returned value to the parameter).
+    ///
+    /// `t` is the 1-based step count for bias correction.
+    pub fn step(&mut self, grad: f64, t: u64, p: &AdamParams) -> f64 {
+        self.m = p.beta1 * self.m + (1.0 - p.beta1) * grad;
+        self.v = p.beta2 * self.v + (1.0 - p.beta2) * grad * grad;
+        let m_hat = self.m / (1.0 - p.beta1.powi(t as i32));
+        let v_hat = self.v / (1.0 - p.beta2.powi(t as i32));
+        -p.lr * m_hat / (v_hat.sqrt() + p.eps)
+    }
+}
+
+/// Adam state over a fixed-size parameter vector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdamVector {
+    state: Vec<AdamScalar>,
+    t: u64,
+}
+
+impl AdamVector {
+    /// Creates state for `n` parameters.
+    pub fn new(n: usize) -> Self {
+        AdamVector {
+            state: vec![AdamScalar::default(); n],
+            t: 0,
+        }
+    }
+
+    /// Number of tracked parameters.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Returns `true` when tracking zero parameters.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Grows the state to `n` parameters (new entries start cold).
+    pub fn grow(&mut self, n: usize) {
+        if n > self.state.len() {
+            self.state.resize(n, AdamScalar::default());
+        }
+    }
+
+    /// Applies one step over `grads`, writing deltas through `apply`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` exceeds the tracked parameter count.
+    pub fn step(&mut self, grads: &[(usize, f64)], p: &AdamParams, mut apply: impl FnMut(usize, f64)) {
+        self.t += 1;
+        for &(idx, g) in grads {
+            assert!(idx < self.state.len(), "parameter index out of range");
+            let delta = self.state[idx].step(g, self.t, p);
+            apply(idx, delta);
+        }
+    }
+
+    /// Resets moments to zero, keeping the size.
+    pub fn reset(&mut self) {
+        for s in &mut self.state {
+            *s = AdamScalar::default();
+        }
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_descends_quadratic() {
+        // Minimize f(x) = (x-3)² from x = 0.
+        let mut x = 0.0;
+        let mut st = AdamScalar::default();
+        let p = AdamParams::with_lr(0.1);
+        for t in 1..=500 {
+            let g = 2.0 * (x - 3.0);
+            x += st.step(g, t, &p);
+        }
+        assert!((x - 3.0).abs() < 0.05, "converged to {x}");
+    }
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        let mut st = AdamScalar::default();
+        let p = AdamParams::with_lr(0.01);
+        let d = st.step(5.0, 1, &p);
+        // Bias-corrected first step ≈ −lr · sign(grad).
+        assert!((d + 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vector_state_grows_cold() {
+        let mut v = AdamVector::new(2);
+        v.grow(4);
+        assert_eq!(v.len(), 4);
+        let mut deltas = vec![0.0; 4];
+        v.step(&[(3, 1.0)], &AdamParams::default(), |i, d| deltas[i] = d);
+        assert!(deltas[3] < 0.0);
+        assert_eq!(deltas[0], 0.0);
+    }
+
+    #[test]
+    fn reset_clears_momentum() {
+        let mut v = AdamVector::new(1);
+        let p = AdamParams::default();
+        v.step(&[(0, 1.0)], &p, |_, _| {});
+        let before = v.clone();
+        v.reset();
+        assert_ne!(before, v);
+        assert_eq!(v, AdamVector::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let mut v = AdamVector::new(1);
+        v.step(&[(5, 1.0)], &AdamParams::default(), |_, _| {});
+    }
+}

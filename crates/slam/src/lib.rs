@@ -1,0 +1,48 @@
+//! The 3DGS-SLAM layer: tracking, mapping, and evaluation.
+//!
+//! Implements the SLAM structure of paper Sec. II-A on top of the
+//! differentiable renderer:
+//!
+//! * [`tracking`] — per-frame camera-pose optimization (`S_t` iterations of
+//!   Adam on se(3), pixels chosen by a [`splatonic_render::SamplingStrategy`]),
+//! * [`mapping`] — keyframe-window scene refinement (`S_m` iterations of
+//!   Adam on Gaussian parameters) with unseen-region densification,
+//! * [`algorithm`] — behavioral presets for the four evaluated 3DGS-SLAM
+//!   algorithms (SplaTAM, MonoGS, GS-SLAM, FlashSLAM),
+//! * [`system`] — the end-to-end [`system::SlamSystem`] loop,
+//! * [`dataset`] — renders synthetic worlds into RGB-D sequences,
+//! * [`metrics`] — ATE (Umeyama-aligned RMSE) and PSNR,
+//! * [`adam`] — the Adam optimizer used by both processes.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use splatonic_slam::prelude::*;
+//!
+//! let dataset = Dataset::replica_like("room0", 101, DatasetConfig::small());
+//! let mut system = SlamSystem::new(SlamConfig::default(), dataset.intrinsics);
+//! let result = system.run(&dataset);
+//! println!("ATE: {:.2} cm", result.ate_cm);
+//! ```
+
+pub mod adam;
+pub mod algorithm;
+pub mod dataset;
+pub mod mapping;
+pub mod metrics;
+pub mod system;
+pub mod tracking;
+
+pub use algorithm::{AlgorithmPreset, AlgorithmConfig};
+pub use dataset::{Dataset, DatasetConfig};
+pub use metrics::{ate_rmse_cm, psnr_db};
+pub use system::{SlamConfig, SlamResult, SlamSystem};
+
+/// Convenience prelude re-exporting the common entry points.
+pub mod prelude {
+    pub use crate::algorithm::{AlgorithmConfig, AlgorithmPreset};
+    pub use crate::dataset::{Dataset, DatasetConfig};
+    pub use crate::metrics::{ate_rmse_cm, psnr_db};
+    pub use crate::system::{SlamConfig, SlamResult, SlamSystem};
+    pub use splatonic_render::{Pipeline, SamplingStrategy};
+}

@@ -1,0 +1,54 @@
+//! Accelerator exploration: price one sparse tracking iteration across all
+//! hardware targets, then sweep the SPLATONIC configuration space
+//! (projection units × render units, paper Fig. 27 style).
+//!
+//! ```sh
+//! cargo run --release --example accelerator_sweep
+//! ```
+
+use splatonic::accel::{DramModel, SplatonicAccel, SplatonicConfig};
+use splatonic::harness::{measure_tracking_iteration, TrackingScenario};
+use splatonic::prelude::*;
+
+fn main() {
+    let dataset = Dataset::replica_like("room0", 101, DatasetConfig::small());
+    let scenario = TrackingScenario::prepare(&dataset, dataset.len() / 2);
+    let sampling = SamplingStrategy::RandomPerTile { tile: 16 };
+    let tile_m = measure_tracking_iteration(&scenario, Pipeline::TileBased, sampling, 3);
+    let pixel_m = measure_tracking_iteration(&scenario, Pipeline::PixelBased, sampling, 3);
+
+    println!("one sparse tracking iteration (one pixel per 16x16 tile):\n");
+    println!("{:<18} {:>12} {:>12}", "target", "latency", "energy");
+    for target in HardwareTarget::all() {
+        let m = match target.expected_pipeline() {
+            Pipeline::TileBased => &tile_m,
+            Pipeline::PixelBased => &pixel_m,
+        };
+        let c = target.price(m);
+        println!(
+            "{:<18} {:>10.1} us {:>10.2} uJ",
+            target.name(),
+            c.seconds * 1e6,
+            c.joules * 1e6
+        );
+    }
+
+    println!("\nSPLATONIC configuration sweep (normalized to 8 projection / 4 render units):");
+    let price = |proj: usize, render: usize| -> f64 {
+        SplatonicAccel {
+            config: SplatonicConfig::paper().with_units(proj, render),
+            dram: DramModel::lpddr3_1600_x4(),
+        }
+        .price(&pixel_m.workload)
+        .total_seconds()
+    };
+    let base = price(8, 4);
+    println!("{:<8} {:>6} {:>6} {:>6}", "", "2r", "4r", "8r");
+    for proj in [2usize, 4, 8, 16] {
+        let row: Vec<String> = [2usize, 4, 8]
+            .iter()
+            .map(|&r| format!("{:.2}", base / price(proj, r)))
+            .collect();
+        println!("{:<8} {:>6} {:>6} {:>6}", format!("{proj}p"), row[0], row[1], row[2]);
+    }
+}

@@ -1,0 +1,52 @@
+//! TUM-like fast-motion evaluation: compare tracking sampling strategies
+//! under fast camera motion (paper Fig. 10 / Fig. 18 territory).
+//!
+//! ```sh
+//! cargo run --release --example tum_fast_motion
+//! ```
+
+use splatonic::prelude::*;
+
+fn main() {
+    let dataset = Dataset::tum_like(
+        "fr1/desk",
+        201,
+        DatasetConfig {
+            width: 128,
+            height: 96,
+            frames: 24,
+            spacing: 0.2,
+            fov: 1.25,
+            furniture: 5,
+        },
+    );
+    println!(
+        "TUM-like sequence: {} frames, mean camera step {:.1} mm/frame\n",
+        dataset.len(),
+        mean_step_mm(&dataset)
+    );
+
+    let algo = AlgorithmConfig::default();
+    let strategies: [(&str, SamplingStrategy); 4] = [
+        ("Random 16x16 (paper)", SamplingStrategy::RandomPerTile { tile: 16 }),
+        ("Harris 16x16", SamplingStrategy::HarrisPerTile { tile: 16 }),
+        ("Low-Res. 16x", SamplingStrategy::LowRes { factor: 16 }),
+        ("Loss-guided (GauSPU)", SamplingStrategy::LossGuidedTiles { tile: 16 }),
+    ];
+    println!("{:<24} {:>9} {:>10}", "strategy", "ATE (cm)", "PSNR (dB)");
+    for (name, strategy) in strategies {
+        let mut config = SlamConfig::splatonic(algo);
+        config.tracking_sampling = strategy;
+        let mut system = SlamSystem::new(config, dataset.intrinsics);
+        let r = system.run(&dataset);
+        println!("{:<24} {:>9.2} {:>10.2}", name, r.ate_cm, r.psnr_db);
+    }
+}
+
+fn mean_step_mm(dataset: &Dataset) -> f64 {
+    let mut total = 0.0;
+    for w in dataset.gt_poses.windows(2) {
+        total += (w[0].camera_center() - w[1].camera_center()).norm();
+    }
+    total / (dataset.len() - 1).max(1) as f64 * 1000.0
+}

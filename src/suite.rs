@@ -1,0 +1,2 @@
+//! Umbrella crate for integration tests and examples.
+pub use splatonic;
