@@ -111,6 +111,27 @@ impl AccelEnergyReport {
     pub fn total_j(&self) -> f64 {
         self.compute_j + self.sram_j + self.dram_j + self.static_j
     }
+
+    /// Exports the energy components as telemetry gauges under `prefix`
+    /// (exhaustively destructured: new components must be exported here).
+    pub fn export_telemetry(&self, telemetry: &splatonic_telemetry::Telemetry, prefix: &str) {
+        let AccelEnergyReport {
+            compute_j,
+            sram_j,
+            dram_j,
+            static_j,
+        } = self;
+        let parts = [
+            ("compute_j", *compute_j),
+            ("sram_j", *sram_j),
+            ("dram_j", *dram_j),
+            ("static_j", *static_j),
+            ("total_j", self.total_j()),
+        ];
+        for (name, value) in parts {
+            telemetry.gauge_set(&format!("{prefix}/{name}"), value);
+        }
+    }
 }
 
 #[cfg(test)]

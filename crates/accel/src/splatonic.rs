@@ -69,6 +69,53 @@ impl AccelReport {
     pub fn total_seconds(&self) -> f64 {
         (self.forward_cycles() + self.backward_cycles()) / self.clock_hz
     }
+
+    /// Exports the stage cycle breakdown (and the aggregation-unit detail)
+    /// as telemetry gauges under `prefix` (e.g. `hw/splatonic`).
+    ///
+    /// Destructuring is exhaustive: a new report field fails compilation
+    /// here until it is exported.
+    pub fn export_telemetry(&self, telemetry: &splatonic_telemetry::Telemetry, prefix: &str) {
+        let AccelReport {
+            projection_cycles,
+            sorting_cycles,
+            raster_cycles,
+            reverse_cycles,
+            aggregation_cycles,
+            reprojection_cycles,
+            fwd_dram_cycles,
+            bwd_dram_cycles,
+            fill_cycles,
+            clock_hz,
+            aggregation,
+        } = self;
+        let stages = [
+            ("projection_cycles", *projection_cycles),
+            ("sorting_cycles", *sorting_cycles),
+            ("raster_cycles", *raster_cycles),
+            ("reverse_cycles", *reverse_cycles),
+            ("aggregation_cycles", *aggregation_cycles),
+            ("reprojection_cycles", *reprojection_cycles),
+            ("fwd_dram_cycles", *fwd_dram_cycles),
+            ("bwd_dram_cycles", *bwd_dram_cycles),
+            ("fill_cycles", *fill_cycles),
+            ("clock_hz", *clock_hz),
+            ("forward_cycles", self.forward_cycles()),
+            ("backward_cycles", self.backward_cycles()),
+            ("total_s", self.total_seconds()),
+        ];
+        for (name, value) in stages {
+            telemetry.gauge_set(&format!("{prefix}/{name}"), value);
+        }
+        telemetry.gauge_set(
+            &format!("{prefix}/aggregation/stall_cycles"),
+            aggregation.stall_cycles as f64,
+        );
+        telemetry.gauge_set(
+            &format!("{prefix}/aggregation/dram_bytes"),
+            aggregation.dram_bytes as f64,
+        );
+    }
 }
 
 /// The SPLATONIC accelerator model.

@@ -4,8 +4,14 @@
 //!   figures all [--quick]
 //!   figures fig10 fig22 [--quick]
 //!   figures --list
+//!   figures --report BENCH_smoke.json [--quick]
+//!
+//! `--report <path>` runs a fully-instrumented SLAM pass plus hardware
+//! pricing and writes a machine-readable run report (spans, workload
+//! counters, per-frame accuracy trajectory) to `<path>`. Experiment ids may
+//! be combined with it; with `--report` alone, only the report is produced.
 
-use splatonic_bench::{run_experiment, Settings, EXPERIMENTS};
+use splatonic_bench::{report, run_experiment, Settings, EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,12 +23,31 @@ fn main() {
     }
     let quick = args.iter().any(|a| a == "--quick");
     let settings = if quick { Settings::quick() } else { Settings::full() };
-    let mut ids: Vec<&str> = args
+    let report_path = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    if ids.is_empty() || ids.contains(&"all") {
+        .position(|a| a == "--report")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--report requires a path argument");
+            std::process::exit(2);
+        }));
+    let mut ids: Vec<&str> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--report" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .map(String::as_str)
+            .collect()
+    };
+    if ids.contains(&"all") || (ids.is_empty() && report_path.is_none()) {
         ids = EXPERIMENTS.to_vec();
     }
     for id in ids {
@@ -32,5 +57,24 @@ fn main() {
             println!("{table}");
         }
         eprintln!("[figures] {id} done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+    if let Some(path) = report_path {
+        let start = std::time::Instant::now();
+        eprintln!("[figures] running instrumented report pass...");
+        let name = std::path::Path::new(&path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("bench")
+            .to_string();
+        let run = report::instrumented_run(&name, &settings);
+        print!("{}", run.to_text());
+        if let Err(e) = run.write_json_file(std::path::Path::new(&path)) {
+            eprintln!("[figures] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[figures] report written to {path} in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

@@ -1,0 +1,214 @@
+//! Plain timing micro-benchmarks for the hot kernels: both rendering
+//! schedules (dense and sparse), the backward pass, the sampling
+//! strategies, the loss, and the aggregation-unit simulation.
+//!
+//! These complement the `figures` binary (which regenerates the paper's
+//! modelled results) by measuring the *host* implementation itself. Timing
+//! uses telemetry spans (count/mean/p50/p95 per kernel), so the harness has
+//! no external dependencies and builds offline.
+//!
+//! Usage:
+//!   kernels [--iters N] [--report out.json]
+
+use splatonic::telemetry::{AccuracySummary, Telemetry};
+use splatonic_accel::{AggregationConfig, DramModel, FrameWorkload, SplatonicAccel};
+use splatonic_render::prelude::*;
+use splatonic_render::sampling::{tracking_plan, MappingStrategy};
+use splatonic_render::{loss, LossConfig, MappingSampler};
+use splatonic_scene::{Camera, Intrinsics, WorldBuilder};
+use splatonic_slam::dataset::{Dataset, DatasetConfig};
+
+const W: usize = 96;
+const H: usize = 72;
+
+fn bench_scene() -> (splatonic_scene::GaussianScene, Camera) {
+    let world = WorldBuilder::new(5).gaussian_spacing(0.25).furniture(3).build();
+    let cam = Camera::look_at(
+        Intrinsics::with_fov(W, H, 1.25),
+        splatonic_math::Vec3::new(0.6, -0.1, -0.4),
+        splatonic_math::Vec3::new(0.0, 0.0, 2.2),
+        splatonic_math::Vec3::Y,
+    );
+    (world.scene, cam)
+}
+
+fn sparse_set() -> PixelSet {
+    PixelSet::from_tile_chooser(W, H, 16, |_, _, x0, y0, tw, th| {
+        Some(splatonic_render::pixelset::PixelCoord::new(
+            (x0 + tw / 2) as u16,
+            (y0 + th / 2) as u16,
+        ))
+    })
+}
+
+fn bench_dataset(name: &str, frames: usize) -> Dataset {
+    Dataset::replica_like(
+        name,
+        9,
+        DatasetConfig {
+            width: W,
+            height: H,
+            frames,
+            spacing: 0.3,
+            fov: 1.25,
+            furniture: 2,
+        },
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: usize = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let report_path = args
+        .iter()
+        .position(|a| a == "--report")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let t = Telemetry::enabled();
+
+    // Forward kernels: schedule × density.
+    let (scene, cam) = bench_scene();
+    let cfg = RenderConfig::default();
+    let dense = PixelSet::dense(W, H);
+    let sparse = sparse_set();
+    let forward_cases: [(&str, Pipeline, &PixelSet); 4] = [
+        ("tile_dense", Pipeline::TileBased, &dense),
+        ("pixel_dense", Pipeline::PixelBased, &dense),
+        ("tile_sparse16", Pipeline::TileBased, &sparse),
+        ("pixel_sparse16", Pipeline::PixelBased, &sparse),
+    ];
+    for (name, pipeline, pixels) in forward_cases {
+        let _outer = t.span("forward");
+        for _ in 0..iters {
+            let _span = t.span(name);
+            std::hint::black_box(render_forward(&scene, &cam, pixels, pipeline, &cfg));
+        }
+    }
+
+    // Backward kernel on the sparse pixel-based schedule.
+    {
+        let out = render_forward(&scene, &cam, &sparse, Pipeline::PixelBased, &cfg);
+        let grads = vec![
+            loss::LossGrad {
+                d_color: splatonic_math::Vec3::splat(0.1),
+                d_depth: 0.05,
+            };
+            sparse.len()
+        ];
+        let _outer = t.span("backward");
+        for _ in 0..iters {
+            let _span = t.span("pixel_sparse16");
+            std::hint::black_box(render_backward(
+                &scene,
+                &cam,
+                &sparse,
+                &out,
+                &grads,
+                Pipeline::PixelBased,
+                &cfg,
+            ));
+        }
+    }
+
+    // Sampling strategies.
+    {
+        let d = bench_dataset("bench", 2);
+        let frame = &d.frames[0];
+        let transmittance = splatonic_math::Image::filled(W, H, 0.2);
+        let sampler = MappingSampler::new(4, MappingStrategy::Combined);
+        let _outer = t.span("sampling");
+        for _ in 0..iters {
+            {
+                let _span = t.span("random_per_tile16");
+                std::hint::black_box(tracking_plan(
+                    SamplingStrategy::RandomPerTile { tile: 16 },
+                    frame,
+                    1,
+                    None,
+                ));
+            }
+            {
+                let _span = t.span("harris_per_tile16");
+                std::hint::black_box(tracking_plan(
+                    SamplingStrategy::HarrisPerTile { tile: 16 },
+                    frame,
+                    1,
+                    None,
+                ));
+            }
+            {
+                let _span = t.span("mapping_combined_w4");
+                std::hint::black_box(sampler.build(frame, &transmittance, 1));
+            }
+        }
+    }
+
+    // Dense loss evaluation.
+    {
+        let out = render_forward(&scene, &cam, &dense, Pipeline::TileBased, &cfg);
+        let d = bench_dataset("bench-loss", 1);
+        let _outer = t.span("loss");
+        for _ in 0..iters {
+            let _span = t.span("dense");
+            std::hint::black_box(loss::evaluate_loss(
+                &out,
+                &d.frames[0],
+                &dense,
+                &LossConfig::default(),
+            ));
+        }
+    }
+
+    // Aggregation-unit simulation and full accelerator pricing.
+    {
+        let stream: Vec<Vec<u32>> = (0..2000u32)
+            .map(|p| (0..16u32).map(|k| (p / 4) * 8 + k * 37 % 4000).collect())
+            .collect();
+        let dram = DramModel::lpddr3_1600_x4();
+        let workload = FrameWorkload {
+            gaussians: 4000,
+            projected: 3000,
+            proj_candidates: vec![4; 3000],
+            pairs_kept: 960,
+            pixel_lists: vec![20; 48],
+            grad_stream: (0..48u32)
+                .map(|p| (0..20u32).map(|k| (p * 37 + k * 113) % 4000).collect())
+                .collect(),
+            fwd_bytes: 300_000,
+            bwd_bytes: 50_000,
+            pixels: 48,
+            ..FrameWorkload::default()
+        };
+        let _outer = t.span("accel");
+        for _ in 0..iters {
+            {
+                let _span = t.span("aggregation_unit");
+                std::hint::black_box(splatonic_accel::aggregation::simulate(
+                    &stream,
+                    &AggregationConfig::paper(),
+                    &dram,
+                    500e6,
+                ));
+            }
+            {
+                let _span = t.span("price_sparse_iteration");
+                std::hint::black_box(SplatonicAccel::paper().price(&workload));
+            }
+        }
+    }
+
+    let report = t.finish("kernels", AccuracySummary::default());
+    print!("{}", report.to_text());
+    if let Some(path) = report_path {
+        if let Err(e) = report.write_json_file(std::path::Path::new(&path)) {
+            eprintln!("[kernels] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[kernels] report written to {path}");
+    }
+}

@@ -6,6 +6,7 @@
 //! `area`) to regenerate one, and `--quick` for a scaled-down pass.
 
 pub mod experiments;
+pub mod report;
 pub mod tables;
 
 pub use tables::Table;

@@ -1,0 +1,114 @@
+//! Instrumented benchmark runs producing machine-readable `BENCH_*.json`
+//! reports (`figures --report out.json`).
+//!
+//! One instrumented run executes the full SLAM loop with telemetry enabled
+//! (spans, per-frame accuracy trajectory, merged workload counters), then
+//! prices a representative tracking iteration on every hardware target and
+//! exports the stage/energy breakdowns as gauges. The resulting
+//! [`RunReport`] serializes as `{name, date, frames, spans, counters,
+//! accuracy}`.
+
+use crate::Settings;
+use splatonic::harness::{measure_tracking_iteration, TrackingScenario};
+use splatonic::prelude::*;
+use splatonic::telemetry::{AccuracySummary, RunReport, Telemetry};
+use splatonic_slam::dataset::Dataset;
+
+/// Telemetry gauge prefix for a hardware target: `hw/` + a lowercase slug
+/// of the display name (`hw/splatonic-hw`, `hw/gpu-tile-based`).
+fn target_slug(target: HardwareTarget) -> String {
+    let slug: String = target
+        .name()
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let parts: Vec<&str> = slug.split('-').filter(|s| !s.is_empty()).collect();
+    format!("hw/{}", parts.join("-"))
+}
+
+/// Runs one fully-instrumented SLAM pass plus hardware pricing and returns
+/// the run report.
+pub fn instrumented_run(name: &str, settings: &Settings) -> RunReport {
+    let dataset = Dataset::replica_like("report-room", 7, settings.dataset_config());
+    let telemetry = Telemetry::enabled();
+
+    // End-to-end SLAM with spans and per-frame records.
+    let slam_cfg = SlamConfig::splatonic(AlgorithmConfig::default());
+    let mut system = SlamSystem::new(slam_cfg, dataset.intrinsics);
+    let result = system.run_with_telemetry(&dataset, &telemetry);
+
+    // Price one representative tracking iteration on every target and
+    // export the stage/energy breakdowns.
+    let scenario = TrackingScenario::prepare(&dataset, 1);
+    for target in HardwareTarget::all() {
+        let m = measure_tracking_iteration(
+            &scenario,
+            target.expected_pipeline(),
+            slam_cfg.tracking_sampling,
+            1,
+        );
+        let cost = {
+            let _span = telemetry.span("pricing");
+            target.price(&m)
+        };
+        cost.export_telemetry(&telemetry, &target_slug(target));
+    }
+
+    telemetry.finish(
+        name,
+        AccuracySummary {
+            ate_cm: result.ate_cm,
+            psnr_db: result.psnr_db,
+            frames: result.frames,
+            scene_size: result.scene_size,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatonic::telemetry::json;
+
+    #[test]
+    fn target_slugs_are_clean() {
+        assert_eq!(target_slug(HardwareTarget::SplatonicHw), "hw/splatonic-hw");
+        assert_eq!(target_slug(HardwareTarget::GpuTile), "hw/gpu-tile-based");
+    }
+
+    #[test]
+    fn instrumented_run_meets_report_contract() {
+        let report = instrumented_run("bench-unit", &Settings::quick());
+        let doc = json::parse(&report.to_json_string()).expect("report must be valid JSON");
+
+        // Per-span timing for tracking and mapping.
+        let spans = doc.get("spans").expect("spans section");
+        for path in ["tracking", "tracking/forward", "mapping", "mapping/backward"] {
+            assert!(spans.get(path).is_some(), "missing span {path}");
+        }
+        // Merged forward/backward workload counters.
+        let counters = doc.get("counters").expect("counters section");
+        for name in [
+            "tracking/forward/pairs_integrated",
+            "tracking/backward/atomic_adds",
+            "mapping/forward/pixels_shaded",
+        ] {
+            assert!(counters.get(name).is_some(), "missing counter {name}");
+        }
+        // Per-frame array with accuracy trajectory.
+        let frames = doc.get("frames").expect("frames section").as_arr().unwrap();
+        assert!(!frames.is_empty());
+        for f in frames {
+            assert!(f.get("psnr_db").is_some());
+            assert!(f.get("ate_so_far_cm").is_some());
+        }
+        // Hardware gauges for every target.
+        let gauges = doc.get("gauges").expect("gauges section");
+        for target in HardwareTarget::all() {
+            let key = format!("{}/seconds", target_slug(target));
+            assert!(gauges.get(&key).is_some(), "missing gauge {key}");
+        }
+        assert!(doc.get("accuracy").unwrap().get("ate_cm").unwrap().as_f64().is_some());
+    }
+}

@@ -51,6 +51,7 @@ pub use splatonic_math as math;
 pub use splatonic_render as render;
 pub use splatonic_scene as scene;
 pub use splatonic_slam as slam;
+pub use splatonic_telemetry as telemetry;
 
 /// Common entry points.
 pub mod prelude {
@@ -58,4 +59,5 @@ pub mod prelude {
     pub use crate::targets::{HardwareTarget, IterationCost};
     pub use splatonic_render::{Pipeline, SamplingStrategy};
     pub use splatonic_slam::prelude::*;
+    pub use splatonic_telemetry::{AccuracySummary, RunReport, Telemetry};
 }

@@ -162,6 +162,37 @@ impl IterationCost {
             self.joules * iterations as f64,
         )
     }
+
+    /// Exports the priced iteration as telemetry gauges under `prefix`
+    /// (e.g. `hw/SPLATONIC-HW`), including the target-specific stage
+    /// breakdown carried in [`CostDetail`].
+    pub fn export_telemetry(&self, telemetry: &splatonic_telemetry::Telemetry, prefix: &str) {
+        let IterationCost {
+            seconds,
+            joules,
+            forward_seconds,
+            backward_seconds,
+            detail,
+        } = self;
+        let parts = [
+            ("seconds", *seconds),
+            ("joules", *joules),
+            ("forward_seconds", *forward_seconds),
+            ("backward_seconds", *backward_seconds),
+        ];
+        for (name, value) in parts {
+            telemetry.gauge_set(&format!("{prefix}/{name}"), value);
+        }
+        match detail {
+            CostDetail::Gpu(r) => r.export_telemetry(telemetry, prefix),
+            CostDetail::Accel(r) => r.export_telemetry(telemetry, prefix),
+            CostDetail::Baseline(r) => {
+                telemetry.gauge_set(&format!("{prefix}/forward_s"), r.forward_s);
+                telemetry.gauge_set(&format!("{prefix}/backward_s"), r.backward_s);
+                telemetry.gauge_set(&format!("{prefix}/energy_j"), r.energy_j);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

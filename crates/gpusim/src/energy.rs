@@ -90,6 +90,27 @@ impl EnergyBreakdown {
     pub fn total_j(&self) -> f64 {
         self.compute_j + self.atomic_j + self.dram_j + self.static_j
     }
+
+    /// Exports the energy components as telemetry gauges under `prefix`
+    /// (exhaustively destructured: new components must be exported here).
+    pub fn export_telemetry(&self, telemetry: &splatonic_telemetry::Telemetry, prefix: &str) {
+        let EnergyBreakdown {
+            compute_j,
+            atomic_j,
+            dram_j,
+            static_j,
+        } = self;
+        let parts = [
+            ("compute_j", *compute_j),
+            ("atomic_j", *atomic_j),
+            ("dram_j", *dram_j),
+            ("static_j", *static_j),
+            ("total_j", self.total_j()),
+        ];
+        for (name, value) in parts {
+            telemetry.gauge_set(&format!("{prefix}/{name}"), value);
+        }
+    }
 }
 
 #[cfg(test)]

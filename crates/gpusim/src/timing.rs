@@ -278,6 +278,52 @@ impl GpuReport {
         }
         self.backward.aggregation / t
     }
+
+    /// Exports the stage breakdown as telemetry gauges under `prefix` (e.g.
+    /// `hw/gpu`), one gauge per stage plus pass totals.
+    ///
+    /// Destructuring is exhaustive: a new stage field fails compilation here
+    /// until it is exported.
+    pub fn export_telemetry(&self, telemetry: &splatonic_telemetry::Telemetry, prefix: &str) {
+        let GpuReport { forward, backward } = self;
+        let StageTimes {
+            projection,
+            sorting,
+            rasterization,
+            dram_floor,
+            launch,
+        } = forward;
+        let fwd = [
+            ("projection_s", *projection),
+            ("sorting_s", *sorting),
+            ("rasterization_s", *rasterization),
+            ("dram_floor_s", *dram_floor),
+            ("launch_s", *launch),
+            ("total_s", forward.total()),
+        ];
+        for (name, value) in fwd {
+            telemetry.gauge_set(&format!("{prefix}/forward/{name}"), value);
+        }
+        let BackwardTimes {
+            reverse_raster,
+            aggregation,
+            reprojection,
+            dram_floor,
+            launch,
+        } = backward;
+        let bwd = [
+            ("reverse_raster_s", *reverse_raster),
+            ("aggregation_s", *aggregation),
+            ("reprojection_s", *reprojection),
+            ("dram_floor_s", *dram_floor),
+            ("launch_s", *launch),
+            ("total_s", backward.total()),
+        ];
+        for (name, value) in bwd {
+            telemetry.gauge_set(&format!("{prefix}/backward/{name}"), value);
+        }
+        telemetry.gauge_set(&format!("{prefix}/total_s"), self.total_seconds());
+    }
 }
 
 #[cfg(test)]
@@ -386,17 +432,26 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_is_launch_only() {
+    fn empty_trace_is_pure_overhead() {
+        // No work: only launch overhead plus the per-stage kernel-tail
+        // floor remains (three forward stages, reverse raster, aggregation;
+        // reprojection has no floor).
         let r = price_default(&RenderTrace::new());
         let cfg = GpuConfig::orin_like();
-        let expect = (cfg.forward_launches + cfg.backward_launches) * cfg.launch_overhead_us * 1e-6;
-        assert!((r.total_seconds() - expect).abs() < 1e-12);
+        let launches =
+            (cfg.forward_launches + cfg.backward_launches) * cfg.launch_overhead_us * 1e-6;
+        let floors = 5.0 * cfg.stage_floor_us * 1e-6;
+        assert!((r.total_seconds() - (launches + floors)).abs() < 1e-12);
     }
 
     #[test]
     fn pixel_pipeline_prices_projection_alpha_checks() {
+        // The SW pixel-based projection term scans every sampled pixel per
+        // projected Gaussian, so the trace must carry both counts.
         let mut t = RenderTrace::new();
         t.forward.gaussians_input = 10_000;
+        t.forward.gaussians_projected = 8_000;
+        t.forward.pixels_shaded = 1_000;
         t.forward.proj_alpha_checks = 5_000_000;
         t.forward.proj_pairs_kept = 100_000;
         let tile = GpuConfig::orin_like().price(&t, Pipeline::TileBased);

@@ -31,11 +31,13 @@ pub mod explut;
 pub mod image;
 pub mod mat;
 pub mod quat;
+pub mod rng;
 pub mod se3;
 pub mod stats;
 pub mod vec;
 
 pub use explut::ExpLut;
+pub use rng::Rng64;
 pub use image::Image;
 pub use mat::{Mat2, Mat3, Mat4};
 pub use quat::Quat;

@@ -14,13 +14,21 @@
 /// assert_eq!(s.mean(), 2.5);
 /// assert_eq!(s.max(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     count: usize,
     sum: f64,
     sum_sq: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Summary {
+    // Must match `new()`: a derived Default would seed min/max with 0.0,
+    // corrupting the extrema of every summary built via `..Default::default()`.
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {

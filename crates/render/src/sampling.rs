@@ -16,8 +16,7 @@
 //!   `P(p) = w_R(p)·r`, `w_R = √(Gx²+Gy²)` from Sobel filters (Eq. 3).
 
 use crate::pixelset::{PixelCoord, PixelSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use splatonic_math::rng::Rng64;
 use splatonic_math::image::{harris_response, sobel_magnitude};
 use splatonic_math::Image;
 use splatonic_scene::Frame;
@@ -96,7 +95,7 @@ pub fn tracking_plan(
         SamplingStrategy::Dense => SamplingPlan::Pixels(PixelSet::dense(w, h)),
         SamplingStrategy::LowRes { factor } => SamplingPlan::LowRes { factor },
         SamplingStrategy::RandomPerTile { tile } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng64::seed_from_u64(seed);
             SamplingPlan::Pixels(PixelSet::from_tile_chooser(
                 w,
                 h,
@@ -112,7 +111,7 @@ pub fn tracking_plan(
         SamplingStrategy::HarrisPerTile { tile } => {
             let lum = reference.luminance();
             let harris = harris_response(&lum);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng64::seed_from_u64(seed);
             SamplingPlan::Pixels(PixelSet::from_tile_chooser(
                 w,
                 h,
@@ -156,7 +155,7 @@ pub fn tracking_plan(
                     idx
                 }
                 _ => {
-                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut rng = Rng64::seed_from_u64(seed);
                     let mut idx: Vec<usize> = (0..total_tiles).collect();
                     for i in (1..idx.len()).rev() {
                         idx.swap(i, rng.gen_range(0..=i));
@@ -247,7 +246,7 @@ impl MappingSampler {
             (w, h),
             "transmittance map must match the frame"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut set = match self.strategy {
             MappingStrategy::UnseenOnly => PixelSet::from_pixels(w, h, Vec::new()),
             MappingStrategy::RandomOnly => {

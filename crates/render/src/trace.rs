@@ -131,43 +131,84 @@ impl RenderTrace {
     }
 
     /// Merges another trace's counters into this one (summing counts).
+    ///
+    /// The destructuring below is deliberately exhaustive (no `..`): adding
+    /// a counter to [`ForwardStats`], [`BackwardStats`], or [`RenderTrace`]
+    /// fails compilation here until the merge handles it, so a new counter
+    /// can never be silently dropped when traces are aggregated.
     pub fn merge(&mut self, other: &RenderTrace) {
+        let RenderTrace {
+            forward,
+            backward,
+            pixel_lists,
+            proj_candidates,
+        } = other;
         let f = &mut self.forward;
-        let o = &other.forward;
-        f.gaussians_input += o.gaussians_input;
-        f.gaussians_culled += o.gaussians_culled;
-        f.gaussians_projected += o.gaussians_projected;
-        f.tile_pairs += o.tile_pairs;
-        f.proj_alpha_checks += o.proj_alpha_checks;
-        f.proj_pairs_kept += o.proj_pairs_kept;
-        f.sort_elems += o.sort_elems;
-        f.sort_lists += o.sort_lists;
-        f.raster_alpha_checks += o.raster_alpha_checks;
-        f.pairs_integrated += o.pairs_integrated;
-        f.pixels_shaded += o.pixels_shaded;
-        f.exp_evals += o.exp_evals;
-        f.warp_steps += o.warp_steps;
-        f.warp_active += o.warp_active;
-        f.pixel_list_len.merge(&o.pixel_list_len);
-        f.bytes_read += o.bytes_read;
-        f.bytes_written += o.bytes_written;
+        let ForwardStats {
+            gaussians_input,
+            gaussians_culled,
+            gaussians_projected,
+            tile_pairs,
+            proj_alpha_checks,
+            proj_pairs_kept,
+            sort_elems,
+            sort_lists,
+            raster_alpha_checks,
+            pairs_integrated,
+            pixels_shaded,
+            exp_evals,
+            warp_steps,
+            warp_active,
+            pixel_list_len,
+            bytes_read,
+            bytes_written,
+        } = forward;
+        f.gaussians_input += gaussians_input;
+        f.gaussians_culled += gaussians_culled;
+        f.gaussians_projected += gaussians_projected;
+        f.tile_pairs += tile_pairs;
+        f.proj_alpha_checks += proj_alpha_checks;
+        f.proj_pairs_kept += proj_pairs_kept;
+        f.sort_elems += sort_elems;
+        f.sort_lists += sort_lists;
+        f.raster_alpha_checks += raster_alpha_checks;
+        f.pairs_integrated += pairs_integrated;
+        f.pixels_shaded += pixels_shaded;
+        f.exp_evals += exp_evals;
+        f.warp_steps += warp_steps;
+        f.warp_active += warp_active;
+        f.pixel_list_len.merge(pixel_list_len);
+        f.bytes_read += bytes_read;
+        f.bytes_written += bytes_written;
         let b = &mut self.backward;
-        let ob = &other.backward;
-        b.alpha_checks += ob.alpha_checks;
-        b.pairs_grad += ob.pairs_grad;
-        b.reduction_ops += ob.reduction_ops;
-        b.atomic_adds += ob.atomic_adds;
-        b.exp_evals += ob.exp_evals;
-        b.warp_steps += ob.warp_steps;
-        b.warp_active += ob.warp_active;
-        b.gaussian_touches.merge(&ob.gaussian_touches);
-        b.gaussians_touched += ob.gaussians_touched;
-        b.reprojections += ob.reprojections;
-        b.bytes_read += ob.bytes_read;
-        b.bytes_written += ob.bytes_written;
-        self.pixel_lists.extend_from_slice(&other.pixel_lists);
-        self.proj_candidates
-            .extend_from_slice(&other.proj_candidates);
+        let BackwardStats {
+            alpha_checks,
+            pairs_grad,
+            reduction_ops,
+            atomic_adds,
+            exp_evals,
+            warp_steps,
+            warp_active,
+            gaussian_touches,
+            gaussians_touched,
+            reprojections,
+            bytes_read,
+            bytes_written,
+        } = backward;
+        b.alpha_checks += alpha_checks;
+        b.pairs_grad += pairs_grad;
+        b.reduction_ops += reduction_ops;
+        b.atomic_adds += atomic_adds;
+        b.exp_evals += exp_evals;
+        b.warp_steps += warp_steps;
+        b.warp_active += warp_active;
+        b.gaussian_touches.merge(gaussian_touches);
+        b.gaussians_touched += gaussians_touched;
+        b.reprojections += reprojections;
+        b.bytes_read += bytes_read;
+        b.bytes_written += bytes_written;
+        self.pixel_lists.extend_from_slice(pixel_lists);
+        self.proj_candidates.extend_from_slice(proj_candidates);
     }
 }
 

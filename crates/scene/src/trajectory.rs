@@ -9,8 +9,7 @@
 //!   motion", paper Sec. VI).
 
 use crate::camera::{Camera, Intrinsics};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use splatonic_math::rng::Rng64;
 use splatonic_math::{Pose, Vec3};
 
 /// Trajectory style.
@@ -56,7 +55,7 @@ impl Trajectory {
     /// Panics if `frames == 0`.
     pub fn generate(kind: TrajectoryKind, extent: Vec3, frames: usize, seed: u64) -> Self {
         assert!(frames > 0, "trajectory needs at least one frame");
-        let mut rng = StdRng::seed_from_u64(seed ^ TRAJECTORY_SEED_SALT);
+        let mut rng = Rng64::seed_from_u64(seed ^ TRAJECTORY_SEED_SALT);
         let (orbit_rx, orbit_rz) = (extent.x * 0.22, extent.z * 0.22);
         let eye_height = -extent.y * 0.05;
         // Per-sequence phase offsets so different seeds see the room from

@@ -10,8 +10,7 @@
 
 use crate::gaussian::{Gaussian, GaussianScene};
 use crate::trajectory::TrajectoryKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use splatonic_math::rng::Rng64;
 use splatonic_math::{Quat, Vec3};
 
 /// Dataset family the world mimics.
@@ -69,9 +68,9 @@ impl Texture {
         }
     }
 
-    fn random(rng: &mut StdRng, rich: bool) -> Texture {
-        let c1 = Vec3::new(rng.gen(), rng.gen(), rng.gen()) * 0.8 + Vec3::splat(0.1);
-        let c2 = Vec3::new(rng.gen(), rng.gen(), rng.gen()) * 0.8 + Vec3::splat(0.1);
+    fn random(rng: &mut Rng64, rich: bool) -> Texture {
+        let c1 = Vec3::new(rng.gen_f64(), rng.gen_f64(), rng.gen_f64()) * 0.8 + Vec3::splat(0.1);
+        let c2 = Vec3::new(rng.gen_f64(), rng.gen_f64(), rng.gen_f64()) * 0.8 + Vec3::splat(0.1);
         if !rich {
             return Texture::Flat(c1);
         }
@@ -185,7 +184,7 @@ impl WorldBuilder {
 
     /// Builds the world.
     pub fn build(self) -> SyntheticWorld {
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Rng64::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut scene = GaussianScene::new();
         let e = self.extent * 0.5;
         let sp = self.spacing;
@@ -242,7 +241,7 @@ impl WorldBuilder {
 #[allow(clippy::too_many_arguments)]
 fn add_surface(
     scene: &mut GaussianScene,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     origin: Vec3,
     u_axis: Vec3,
     v_axis: Vec3,
@@ -283,7 +282,7 @@ fn add_surface(
 /// Adds the five exposed faces of an axis-aligned box resting on `base`.
 fn add_box(
     scene: &mut GaussianScene,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     base: Vec3,
     size: Vec3,
     spacing: f64,
@@ -443,7 +442,7 @@ mod tests {
 
     #[test]
     fn textures_sample_in_gamut() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         for _ in 0..20 {
             let t = Texture::random(&mut rng, true);
             for i in 0..10 {

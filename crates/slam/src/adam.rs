@@ -142,7 +142,7 @@ mod tests {
         let mut v = AdamVector::new(2);
         v.grow(4);
         assert_eq!(v.len(), 4);
-        let mut deltas = vec![0.0; 4];
+        let mut deltas = [0.0; 4];
         v.step(&[(3, 1.0)], &AdamParams::default(), |i, d| deltas[i] = d);
         assert!(deltas[3] < 0.0);
         assert_eq!(deltas[0], 0.0);

@@ -19,6 +19,7 @@ use splatonic_render::{
     RenderTrace,
 };
 use splatonic_scene::{Camera, Frame, Gaussian, GaussianScene, Intrinsics};
+use splatonic_telemetry::Telemetry;
 
 /// Parameters per Gaussian tracked by the mapping optimizer
 /// (mean 3 + log-scale 3 + quaternion 4 + opacity 1 + color 3).
@@ -137,6 +138,35 @@ pub fn map_scene(
     render_cfg: &RenderConfig,
     seed: u64,
 ) -> MappingOutput {
+    map_scene_with_telemetry(
+        scene,
+        keyframes,
+        intrinsics,
+        sampler,
+        algo,
+        pipeline,
+        render_cfg,
+        seed,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`map_scene`] with span instrumentation: the once-per-invocation dense Γ
+/// pass is timed as `gamma_dense`, each optimization iteration's render
+/// passes as `forward` / `backward`, and densify/prune counts are exported
+/// as counters. A disabled handle adds no overhead.
+#[allow(clippy::too_many_arguments)]
+pub fn map_scene_with_telemetry(
+    scene: &mut GaussianScene,
+    keyframes: &[Keyframe],
+    intrinsics: Intrinsics,
+    sampler: &MappingSampler,
+    algo: &AlgorithmConfig,
+    pipeline: Pipeline,
+    render_cfg: &RenderConfig,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> MappingOutput {
     assert!(!keyframes.is_empty(), "mapping needs at least one keyframe");
     let newest = keyframes.last().expect("non-empty");
     let mut trace = RenderTrace::new();
@@ -144,7 +174,10 @@ pub fn map_scene(
     // 1. Dense forward pass for Γ_final (once per mapping invocation).
     let dense = PixelSet::dense(intrinsics.width, intrinsics.height);
     let cam_new = Camera::new(intrinsics, newest.pose);
-    let dense_out = render_forward(scene, &cam_new, &dense, pipeline, render_cfg);
+    let dense_out = {
+        let _span = telemetry.span("gamma_dense");
+        render_forward(scene, &cam_new, &dense, pipeline, render_cfg)
+    };
     trace.merge(&dense_out.trace);
     let mut transmittance = Image::filled(intrinsics.width, intrinsics.height, 1.0);
     for (i, p) in dense.iter_all().enumerate() {
@@ -185,10 +218,15 @@ pub fn map_scene(
             continue;
         }
         pixels_total += pixels.len();
-        let out = render_forward(scene, &cam, &pixels, pipeline, render_cfg);
+        let out = {
+            let _span = telemetry.span("forward");
+            render_forward(scene, &cam, &pixels, pipeline, render_cfg)
+        };
         let l = loss::evaluate_loss(&out, &kf.frame, &pixels, &algo.loss);
-        let (scene_grads, _, bwd_trace) =
-            render_backward(scene, &cam, &pixels, &out, &l.grads, pipeline, render_cfg);
+        let (scene_grads, _, bwd_trace) = {
+            let _span = telemetry.span("backward");
+            render_backward(scene, &cam, &pixels, &out, &l.grads, pipeline, render_cfg)
+        };
         trace.merge(&out.trace);
         trace.merge(&bwd_trace);
         // Adam update over the touched Gaussians.
@@ -248,6 +286,8 @@ pub fn map_scene(
     let before = scene.len();
     scene.retain(|g| g.opacity() > 0.02 && g.is_finite());
     let pruned = before - scene.len();
+    telemetry.counter_add("mapping/gaussians_densified", densified as u64);
+    telemetry.counter_add("mapping/gaussians_pruned", pruned as u64);
 
     MappingOutput {
         trace,

@@ -7,9 +7,9 @@
 //! from the first frame's depth.
 
 use crate::algorithm::AlgorithmConfig;
-use crate::mapping::{map_scene, seed_scene_from_frame, Keyframe};
+use crate::mapping::{map_scene_with_telemetry, seed_scene_from_frame, Keyframe};
 use crate::metrics::{ate_rmse_cm, psnr_db};
-use crate::tracking::{constant_velocity_init, track_frame};
+use crate::tracking::{constant_velocity_init, track_frame_with_telemetry};
 use crate::Dataset;
 use splatonic_math::{Image, Pose, Vec3};
 use splatonic_render::sampling::MappingStrategy;
@@ -17,7 +17,9 @@ use splatonic_render::{
     render_forward, MappingSampler, Pipeline, PixelSet, RenderConfig, RenderTrace,
     SamplingStrategy,
 };
-use splatonic_scene::{Camera, GaussianScene, Intrinsics};
+use splatonic_scene::{Camera, Frame, GaussianScene, Intrinsics};
+use splatonic_telemetry::{FrameRecord, Telemetry};
+use std::time::Instant;
 
 /// System-level configuration: which pipeline, which samplers, which
 /// algorithm preset.
@@ -147,6 +149,22 @@ impl SlamSystem {
     ///
     /// Panics if the dataset is empty.
     pub fn run(&mut self, dataset: &Dataset) -> SlamResult {
+        self.run_with_telemetry(dataset, &Telemetry::disabled())
+    }
+
+    /// [`Self::run`] with full instrumentation: `tracking` / `mapping` spans
+    /// (render passes nest under them as `forward` / `backward`), one
+    /// [`FrameRecord`] per frame including running PSNR and ATE, and the
+    /// aggregated workload traces exported as counters.
+    ///
+    /// Per-frame PSNR/ATE evaluation renders the current map densely, which
+    /// real SLAM would not do each frame — it only happens when `telemetry`
+    /// is enabled, so the uninstrumented path is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn run_with_telemetry(&mut self, dataset: &Dataset, telemetry: &Telemetry) -> SlamResult {
         assert!(!dataset.is_empty(), "dataset must contain frames");
         let cfg = self.config;
         let algo = cfg.algorithm;
@@ -174,39 +192,65 @@ impl SlamSystem {
         let sampler = MappingSampler::new(cfg.mapping_tile, cfg.mapping_strategy);
 
         // Initial mapping refines the seeded scene.
-        let m0 = map_scene(
-            &mut self.scene,
-            &keyframes,
-            self.intrinsics,
-            &sampler,
-            &algo,
-            cfg.pipeline,
-            &cfg.render,
-            cfg.seed,
-        );
+        let map0_start = Instant::now();
+        let m0 = {
+            let _span = telemetry.span("mapping");
+            map_scene_with_telemetry(
+                &mut self.scene,
+                &keyframes,
+                self.intrinsics,
+                &sampler,
+                &algo,
+                cfg.pipeline,
+                &cfg.render,
+                cfg.seed,
+                telemetry,
+            )
+        };
         mapping_trace.merge(&m0.trace);
         mapping_iters += m0.iters;
         mapping_invocations += 1;
+        if telemetry.is_enabled() {
+            telemetry.record_frame(FrameRecord {
+                frame_idx: 0,
+                track_iters: 0,
+                map_invoked: true,
+                sampled_pixels: 0,
+                gaussian_count: self.scene.len(),
+                psnr_db: self.frame_psnr(&dataset.frames[0], est_poses[0]),
+                ate_so_far_cm: 0.0, // the anchor pose is given
+                track_ms: 0.0,
+                map_ms: map0_start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
 
         for t in 1..n {
             let prev = est_poses[t - 1];
             let prev_prev = if t >= 2 { Some(est_poses[t - 2]) } else { None };
             let init = constant_velocity_init(prev, prev_prev);
-            let out = track_frame(
-                &self.scene,
-                self.intrinsics,
-                init,
-                &dataset.frames[t],
-                cfg.tracking_sampling,
-                cfg.pipeline,
-                &algo,
-                &cfg.render,
-                cfg.seed ^ (t as u64).wrapping_mul(0xA5A5_5A5A),
-            );
+            let track_start = Instant::now();
+            let out = {
+                let _span = telemetry.span("tracking");
+                track_frame_with_telemetry(
+                    &self.scene,
+                    self.intrinsics,
+                    init,
+                    &dataset.frames[t],
+                    cfg.tracking_sampling,
+                    cfg.pipeline,
+                    &algo,
+                    &cfg.render,
+                    cfg.seed ^ (t as u64).wrapping_mul(0xA5A5_5A5A),
+                    telemetry,
+                )
+            };
+            let track_ms = track_start.elapsed().as_secs_f64() * 1e3;
             tracking_trace.merge(&out.trace);
             tracking_iters += out.iters;
             est_poses.push(out.pose);
 
+            let mut map_invoked = false;
+            let mut map_ms = 0.0;
             if t % algo.mapping_every == 0 {
                 keyframes.push(Keyframe {
                     frame: dataset.frames[t].clone(),
@@ -216,24 +260,52 @@ impl SlamSystem {
                     let cut = keyframes.len() - algo.keyframe_window;
                     keyframes.drain(..cut);
                 }
-                let m = map_scene(
-                    &mut self.scene,
-                    &keyframes,
-                    self.intrinsics,
-                    &sampler,
-                    &algo,
-                    cfg.pipeline,
-                    &cfg.render,
-                    cfg.seed ^ (t as u64).wrapping_mul(0x5A5A_A5A5) ^ 0xF0F0,
-                );
+                let map_start = Instant::now();
+                let m = {
+                    let _span = telemetry.span("mapping");
+                    map_scene_with_telemetry(
+                        &mut self.scene,
+                        &keyframes,
+                        self.intrinsics,
+                        &sampler,
+                        &algo,
+                        cfg.pipeline,
+                        &cfg.render,
+                        cfg.seed ^ (t as u64).wrapping_mul(0x5A5A_A5A5) ^ 0xF0F0,
+                        telemetry,
+                    )
+                };
+                map_ms = map_start.elapsed().as_secs_f64() * 1e3;
+                map_invoked = true;
                 mapping_trace.merge(&m.trace);
                 mapping_iters += m.iters;
                 mapping_invocations += 1;
+            }
+
+            if telemetry.is_enabled() {
+                telemetry.record_frame(FrameRecord {
+                    frame_idx: t,
+                    track_iters: out.iters,
+                    map_invoked,
+                    sampled_pixels: (out.pixels_per_iter * out.iters as f64).round() as usize,
+                    gaussian_count: self.scene.len(),
+                    psnr_db: self.frame_psnr(&dataset.frames[t], out.pose),
+                    ate_so_far_cm: ate_rmse_cm(&est_poses, &dataset.gt_poses[..=t]),
+                    track_ms,
+                    map_ms,
+                });
             }
         }
 
         let ate_cm = ate_rmse_cm(&est_poses, &dataset.gt_poses[..n]);
         let psnr = self.evaluate_psnr(dataset, &est_poses, algo.mapping_every);
+
+        telemetry.record_trace("tracking", &tracking_trace);
+        telemetry.record_trace("mapping", &mapping_trace);
+        telemetry.counter_add("slam/tracking_iters", tracking_iters as u64);
+        telemetry.counter_add("slam/mapping_iters", mapping_iters as u64);
+        telemetry.counter_add("slam/mapping_invocations", mapping_invocations as u64);
+        telemetry.gauge_set("slam/scene_size", self.scene.len() as f64);
 
         SlamResult {
             est_poses,
@@ -249,25 +321,30 @@ impl SlamSystem {
         }
     }
 
+    /// PSNR of the current map rendered densely at `pose` versus `frame`.
+    fn frame_psnr(&self, frame: &Frame, pose: Pose) -> f64 {
+        let pixels = PixelSet::dense(self.intrinsics.width, self.intrinsics.height);
+        let cam = Camera::new(self.intrinsics, pose);
+        let out = render_forward(
+            &self.scene,
+            &cam,
+            &pixels,
+            Pipeline::TileBased,
+            &self.config.render,
+        );
+        let mut img = Image::filled(self.intrinsics.width, self.intrinsics.height, Vec3::ZERO);
+        for (i, p) in pixels.iter_all().enumerate() {
+            img[(p.x as usize, p.y as usize)] = out.color[i];
+        }
+        psnr_db(&img, &frame.color)
+    }
+
     /// Mean PSNR of final-map renders at every `stride`-th frame pose.
     fn evaluate_psnr(&self, dataset: &Dataset, est_poses: &[Pose], stride: usize) -> f64 {
-        let pixels = PixelSet::dense(self.intrinsics.width, self.intrinsics.height);
         let mut total = 0.0;
         let mut count = 0;
         for t in (0..dataset.len()).step_by(stride.max(1)) {
-            let cam = Camera::new(self.intrinsics, est_poses[t]);
-            let out = render_forward(
-                &self.scene,
-                &cam,
-                &pixels,
-                Pipeline::TileBased,
-                &self.config.render,
-            );
-            let mut img = Image::filled(self.intrinsics.width, self.intrinsics.height, Vec3::ZERO);
-            for (i, p) in pixels.iter_all().enumerate() {
-                img[(p.x as usize, p.y as usize)] = out.color[i];
-            }
-            let v = psnr_db(&img, &dataset.frames[t].color);
+            let v = self.frame_psnr(&dataset.frames[t], est_poses[t]);
             if v.is_finite() {
                 total += v;
                 count += 1;
@@ -332,6 +409,74 @@ mod tests {
         let track_px = r.tracking_trace.forward.pixels_shaded as f64 / r.tracking_iters as f64;
         let map_px = r.mapping_trace.forward.pixels_shaded as f64 / r.mapping_iters as f64;
         assert!(map_px > track_px);
+    }
+
+    #[test]
+    fn telemetry_records_spans_frames_and_counters() {
+        let d = tiny();
+        let mut sys = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        let telemetry = Telemetry::enabled();
+        let r = sys.run_with_telemetry(&d, &telemetry);
+        let report = telemetry.finish(
+            "sys-test",
+            splatonic_telemetry::AccuracySummary {
+                ate_cm: r.ate_cm,
+                psnr_db: r.psnr_db,
+                frames: r.frames,
+                scene_size: r.scene_size,
+            },
+        );
+        // One record per frame, running metrics populated.
+        assert_eq!(report.frames.len(), r.frames);
+        assert!(report.frames[1..].iter().all(|f| f.track_iters > 0));
+        assert!(report.frames.iter().any(|f| f.map_invoked));
+        assert!(report.frames.last().unwrap().psnr_db.is_finite());
+        assert!(report.frames.last().unwrap().ate_so_far_cm.is_finite());
+        // Nested spans: render passes under tracking and mapping.
+        let span = |p: &str| report.spans.iter().find(|(n, _)| n == p);
+        for path in [
+            "tracking",
+            "tracking/forward",
+            "tracking/backward",
+            "mapping",
+            "mapping/gamma_dense",
+            "mapping/forward",
+            "mapping/backward",
+        ] {
+            assert!(span(path).is_some(), "missing span {path}");
+        }
+        assert_eq!(span("tracking").unwrap().1.count(), r.frames - 1);
+        assert_eq!(span("mapping").unwrap().1.count(), r.mapping_invocations);
+        // Workload counters match the aggregated traces.
+        let counter = |n: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            counter("tracking/forward/pixels_shaded"),
+            r.tracking_trace.forward.pixels_shaded
+        );
+        assert_eq!(
+            counter("mapping/backward/atomic_adds"),
+            r.mapping_trace.backward.atomic_adds
+        );
+        assert!(counter("mapping/gaussians_densified") > 0);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results() {
+        let d = tiny();
+        let mut a = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        let ra = a.run(&d);
+        let mut b = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        let rb = b.run_with_telemetry(&d, &Telemetry::enabled());
+        assert_eq!(ra.est_poses, rb.est_poses);
+        assert_eq!(ra.ate_cm, rb.ate_cm);
+        assert_eq!(ra.tracking_trace, rb.tracking_trace);
     }
 
     #[test]

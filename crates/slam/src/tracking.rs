@@ -15,6 +15,7 @@ use splatonic_render::{
     SamplingStrategy,
 };
 use splatonic_scene::{Camera, Frame, GaussianScene, Intrinsics};
+use splatonic_telemetry::Telemetry;
 
 /// Output of tracking one frame.
 #[derive(Debug, Clone)]
@@ -63,6 +64,36 @@ pub fn track_frame(
     render_cfg: &RenderConfig,
     seed: u64,
 ) -> TrackerOutput {
+    track_frame_with_telemetry(
+        scene,
+        intrinsics,
+        init_pose,
+        frame,
+        strategy,
+        pipeline,
+        algo,
+        render_cfg,
+        seed,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`track_frame`] with span instrumentation: each iteration's render passes
+/// are timed under `forward` / `backward` (nested under whatever span the
+/// caller holds, e.g. `tracking`). A disabled handle adds no overhead.
+#[allow(clippy::too_many_arguments)]
+pub fn track_frame_with_telemetry(
+    scene: &GaussianScene,
+    intrinsics: Intrinsics,
+    init_pose: Pose,
+    frame: &Frame,
+    strategy: SamplingStrategy,
+    pipeline: Pipeline,
+    algo: &AlgorithmConfig,
+    render_cfg: &RenderConfig,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> TrackerOutput {
     let mut pose = init_pose;
     let mut best_pose = init_pose;
     let mut best_loss = f64::INFINITY;
@@ -107,7 +138,10 @@ pub fn track_frame(
             (SamplingPlan::LowRes { .. }, None) => unreachable!("lowres prepared above"),
         };
         pixels_total += pixels.len();
-        let out = render_forward(scene, &cam, &pixels, pipeline, render_cfg);
+        let out = {
+            let _span = telemetry.span("forward");
+            render_forward(scene, &cam, &pixels, pipeline, render_cfg)
+        };
         let l = loss::evaluate_loss(&out, reference, &pixels, &algo.loss);
         if l.value < best_loss {
             best_loss = l.value;
@@ -116,8 +150,10 @@ pub fn track_frame(
         if resample_per_iter {
             tile_loss = Some(update_tile_losses(tile_loss.take(), &out, reference, &pixels));
         }
-        let (_, pose_grad, bwd_trace) =
-            render_backward(scene, &cam, &pixels, &out, &l.grads, pipeline, render_cfg);
+        let (_, pose_grad, bwd_trace) = {
+            let _span = telemetry.span("backward");
+            render_backward(scene, &cam, &pixels, &out, &l.grads, pipeline, render_cfg)
+        };
         trace.merge(&out.trace);
         trace.merge(&bwd_trace);
         // A zero gradient means the render saw no Gaussians (the pose left

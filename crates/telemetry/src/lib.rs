@@ -1,0 +1,430 @@
+//! Dependency-free telemetry for the SPLATONIC suite.
+//!
+//! One [`Telemetry`] handle carries everything an instrumented run records:
+//!
+//! * **Spans** — RAII wall-clock timers ([`Telemetry::span`]) that nest; a
+//!   guard created while another is live records under the `/`-joined path
+//!   (`tracking/forward`). Each path keeps count/total/min/max/p50/p95
+//!   ([`SpanStats`]).
+//! * **Counters and gauges** — monotonic `u64` counters and point-in-time
+//!   `f64` gauges. [`Telemetry::record_trace`] exports every field of a
+//!   renderer [`RenderTrace`] as counters (exhaustively destructured, so a
+//!   new trace field is a compile error here until it is exported).
+//! * **Frames** — per-frame SLAM records ([`FrameRecord`]) forming the
+//!   accuracy/workload trajectory of a run.
+//! * **Reports** — [`Telemetry::finish`] snapshots everything into a
+//!   [`RunReport`] that serializes to JSON ([`json::Json`]) or renders as
+//!   aligned text.
+//!
+//! The handle is deliberately cheap to thread everywhere: a disabled handle
+//! ([`Telemetry::disabled`]) holds no state and every operation on it —
+//! including [`Telemetry::span`] — returns without allocating, so hot render
+//! loops can take `&Telemetry` unconditionally.
+//!
+//! Everything here is hand-rolled on `std` only: the suite builds offline,
+//! so no `tracing`, no `serde` (DESIGN.md "Telemetry & run reports").
+
+pub mod frame;
+pub mod json;
+pub mod report;
+pub mod span;
+
+pub use frame::FrameRecord;
+pub use json::Json;
+pub use report::{utc_date, AccuracySummary, RunReport};
+pub use span::SpanStats;
+
+use splatonic_render::trace::{BackwardStats, ForwardStats, RenderTrace};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Live span names, innermost last; joined with `/` to form paths.
+    stack: Vec<String>,
+    spans: BTreeMap<String, SpanStats>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    frames: Vec<FrameRecord>,
+}
+
+/// Telemetry sink for one run.
+///
+/// Not `Sync`; each run owns its handle (the suite is single-threaded by
+/// design — determinism first, see DESIGN.md).
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// `None` = disabled: every method is a no-op and allocates nothing.
+    inner: Option<RefCell<Inner>>,
+}
+
+impl Telemetry {
+    /// An enabled, empty telemetry sink.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(RefCell::new(Inner::default())),
+        }
+    }
+
+    /// A disabled sink: all operations no-op without allocating.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a timed span. The returned guard records elapsed wall-clock
+    /// milliseconds under the current nesting path when dropped.
+    ///
+    /// ```
+    /// let t = splatonic_telemetry::Telemetry::enabled();
+    /// {
+    ///     let _outer = t.span("tracking");
+    ///     let _inner = t.span("forward"); // records as "tracking/forward"
+    /// }
+    /// let report = t.finish("doc", Default::default());
+    /// assert!(report.spans.iter().any(|(p, _)| p == "tracking/forward"));
+    /// ```
+    #[must_use = "dropping the guard immediately records a ~0 ms span"]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let Some(cell) = &self.inner else {
+            return SpanGuard { live: None };
+        };
+        let mut inner = cell.borrow_mut();
+        inner.stack.push(name.to_string());
+        let path = inner.stack.join("/");
+        drop(inner);
+        SpanGuard {
+            live: Some(LiveSpan {
+                telemetry: self,
+                path,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(cell) = &self.inner {
+            let mut inner = cell.borrow_mut();
+            *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(cell) = &self.inner {
+            cell.borrow_mut().gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Appends one per-frame SLAM record.
+    pub fn record_frame(&self, record: FrameRecord) {
+        if let Some(cell) = &self.inner {
+            cell.borrow_mut().frames.push(record);
+        }
+    }
+
+    /// Exports every counter of a render trace under `prefix` (e.g.
+    /// `tracking`), plus derived utilization/contention gauges.
+    ///
+    /// The destructuring below is deliberately exhaustive (no `..`): adding a
+    /// field to [`ForwardStats`] or [`BackwardStats`] fails compilation here
+    /// until the new counter is exported — the same drift-proofing contract
+    /// as [`RenderTrace::merge`].
+    pub fn record_trace(&self, prefix: &str, trace: &RenderTrace) {
+        if self.inner.is_none() {
+            return;
+        }
+        let RenderTrace {
+            forward,
+            backward,
+            pixel_lists: _,     // raw distributions; summarized via Summary fields
+            proj_candidates: _, // below, not exported element-wise
+        } = trace;
+
+        let ForwardStats {
+            gaussians_input,
+            gaussians_culled,
+            gaussians_projected,
+            tile_pairs,
+            proj_alpha_checks,
+            proj_pairs_kept,
+            sort_elems,
+            sort_lists,
+            raster_alpha_checks,
+            pairs_integrated,
+            pixels_shaded,
+            exp_evals,
+            warp_steps,
+            warp_active,
+            pixel_list_len,
+            bytes_read,
+            bytes_written,
+        } = forward;
+        let fwd = [
+            ("gaussians_input", *gaussians_input),
+            ("gaussians_culled", *gaussians_culled),
+            ("gaussians_projected", *gaussians_projected),
+            ("tile_pairs", *tile_pairs),
+            ("proj_alpha_checks", *proj_alpha_checks),
+            ("proj_pairs_kept", *proj_pairs_kept),
+            ("sort_elems", *sort_elems),
+            ("sort_lists", *sort_lists),
+            ("raster_alpha_checks", *raster_alpha_checks),
+            ("pairs_integrated", *pairs_integrated),
+            ("pixels_shaded", *pixels_shaded),
+            ("exp_evals", *exp_evals),
+            ("warp_steps", *warp_steps),
+            ("warp_active", *warp_active),
+            ("bytes_read", *bytes_read),
+            ("bytes_written", *bytes_written),
+        ];
+        for (name, value) in fwd {
+            self.counter_add(&format!("{prefix}/forward/{name}"), value);
+        }
+        self.gauge_set(
+            &format!("{prefix}/forward/pixel_list_len_mean"),
+            pixel_list_len.mean(),
+        );
+        self.gauge_set(
+            &format!("{prefix}/forward/warp_utilization"),
+            forward.warp_utilization(),
+        );
+
+        let BackwardStats {
+            alpha_checks,
+            pairs_grad,
+            reduction_ops,
+            atomic_adds,
+            exp_evals,
+            warp_steps,
+            warp_active,
+            gaussian_touches,
+            gaussians_touched,
+            reprojections,
+            bytes_read,
+            bytes_written,
+        } = backward;
+        let bwd = [
+            ("alpha_checks", *alpha_checks),
+            ("pairs_grad", *pairs_grad),
+            ("reduction_ops", *reduction_ops),
+            ("atomic_adds", *atomic_adds),
+            ("exp_evals", *exp_evals),
+            ("warp_steps", *warp_steps),
+            ("warp_active", *warp_active),
+            ("gaussians_touched", *gaussians_touched),
+            ("reprojections", *reprojections),
+            ("bytes_read", *bytes_read),
+            ("bytes_written", *bytes_written),
+        ];
+        for (name, value) in bwd {
+            self.counter_add(&format!("{prefix}/backward/{name}"), value);
+        }
+        self.gauge_set(
+            &format!("{prefix}/backward/mean_contention"),
+            gaussian_touches.mean(),
+        );
+        self.gauge_set(
+            &format!("{prefix}/backward/warp_utilization"),
+            backward.warp_utilization(),
+        );
+    }
+
+    /// Snapshots everything recorded so far into a [`RunReport`].
+    ///
+    /// The handle stays usable afterwards (the report is a copy), so a
+    /// caller can emit intermediate reports from a long run.
+    pub fn finish(&self, name: &str, accuracy: AccuracySummary) -> RunReport {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut report = RunReport {
+            name: name.to_string(),
+            date: utc_date(unix_time),
+            unix_time,
+            frames: Vec::new(),
+            spans: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            accuracy,
+        };
+        if let Some(cell) = &self.inner {
+            let inner = cell.borrow();
+            report.frames = inner.frames.clone();
+            report.spans = inner
+                .spans
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            report.counters = inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            report.gauges = inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        }
+        report
+    }
+
+    fn end_span(&self, path: &str, elapsed_ms: f64) {
+        if let Some(cell) = &self.inner {
+            let mut inner = cell.borrow_mut();
+            inner.stack.pop();
+            inner.spans.entry(path.to_string()).or_default().record(elapsed_ms);
+        }
+    }
+}
+
+struct LiveSpan<'a> {
+    telemetry: &'a Telemetry,
+    path: String,
+    start: Instant,
+}
+
+/// RAII guard returned by [`Telemetry::span`]; records on drop.
+pub struct SpanGuard<'a> {
+    /// `None` when the telemetry handle is disabled — dropping is free.
+    live: Option<LiveSpan<'a>>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let ms = live.start.elapsed().as_secs_f64() * 1e3;
+            live.telemetry.end_span(&live.path, ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_build_slash_paths() {
+        let t = Telemetry::enabled();
+        for _ in 0..3 {
+            let _track = t.span("tracking");
+            {
+                let _fwd = t.span("forward");
+            }
+            let _bwd = t.span("backward");
+        }
+        let report = t.finish("r", AccuracySummary::default());
+        let paths: Vec<&str> = report.spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["tracking", "tracking/backward", "tracking/forward"]);
+        for (_, stats) in &report.spans {
+            assert_eq!(stats.count(), 3);
+        }
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let t = Telemetry::enabled();
+        {
+            let _a = t.span("a");
+        }
+        {
+            let _b = t.span("b");
+        }
+        let report = t.finish("r", AccuracySummary::default());
+        let paths: Vec<&str> = report.spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        {
+            let _s = t.span("tracking");
+            t.counter_add("c", 5);
+            t.gauge_set("g", 1.0);
+            t.record_frame(FrameRecord {
+                frame_idx: 0,
+                track_iters: 0,
+                map_invoked: false,
+                sampled_pixels: 0,
+                gaussian_count: 0,
+                psnr_db: 0.0,
+                ate_so_far_cm: 0.0,
+                track_ms: 0.0,
+                map_ms: 0.0,
+            });
+            t.record_trace("x", &RenderTrace::new());
+        }
+        let report = t.finish("r", AccuracySummary::default());
+        assert!(report.spans.is_empty());
+        assert!(report.counters.is_empty());
+        assert!(report.gauges.is_empty());
+        assert!(report.frames.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let t = Telemetry::enabled();
+        t.counter_add("pairs", 3);
+        t.counter_add("pairs", 4);
+        t.gauge_set("util", 0.2);
+        t.gauge_set("util", 0.9);
+        let report = t.finish("r", AccuracySummary::default());
+        assert_eq!(report.counters, vec![("pairs".to_string(), 7)]);
+        assert_eq!(report.gauges, vec![("util".to_string(), 0.9)]);
+    }
+
+    #[test]
+    fn record_trace_exports_forward_and_backward_counters() {
+        let mut trace = RenderTrace::new();
+        trace.forward.pairs_integrated = 42;
+        trace.forward.pixels_shaded = 7;
+        trace.forward.warp_steps = 10;
+        trace.forward.warp_active = 160;
+        trace.backward.atomic_adds = 11;
+        trace.backward.gaussian_touches.push(4.0);
+        let t = Telemetry::enabled();
+        t.record_trace("tracking", &trace);
+        t.record_trace("tracking", &trace); // counters sum across calls
+        let report = t.finish("r", AccuracySummary::default());
+        let get = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("tracking/forward/pairs_integrated"), Some(84));
+        assert_eq!(get("tracking/forward/pixels_shaded"), Some(14));
+        assert_eq!(get("tracking/backward/atomic_adds"), Some(22));
+        let util = report
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "tracking/forward/warp_utilization")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!((util - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_report_is_valid_json() {
+        let t = Telemetry::enabled();
+        {
+            let _s = t.span("tracking");
+        }
+        t.counter_add("tracking/forward/pixels_shaded", 9);
+        let report = t.finish(
+            "unit",
+            AccuracySummary {
+                ate_cm: 1.0,
+                psnr_db: 20.0,
+                frames: 1,
+                scene_size: 10,
+            },
+        );
+        let doc = json::parse(&report.to_json_string()).expect("valid JSON");
+        assert_eq!(doc.get("name").unwrap(), &Json::Str("unit".into()));
+        assert!(doc.get("spans").unwrap().get("tracking").is_some());
+    }
+}

@@ -1,0 +1,288 @@
+//! Machine-readable run reports and their human-readable rendering.
+//!
+//! A [`RunReport`] is the terminal artifact of an instrumented run: span
+//! timing stats, workload counters, hardware gauges, the per-frame SLAM
+//! trajectory, and final accuracy, serialized as JSON
+//! (`{name, date, frames, spans, counters, accuracy}` — the `BENCH_*.json`
+//! perf-trajectory schema) or rendered as aligned-column text.
+
+use crate::frame::FrameRecord;
+use crate::json::Json;
+use crate::span::SpanStats;
+
+/// Final accuracy of a run (the `accuracy` report section).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccuracySummary {
+    /// Absolute trajectory error (cm).
+    pub ate_cm: f64,
+    /// Mean PSNR of final-map renders (dB).
+    pub psnr_db: f64,
+    /// Frames processed.
+    pub frames: usize,
+    /// Final scene size (Gaussians).
+    pub scene_size: usize,
+}
+
+impl AccuracySummary {
+    /// JSON object for this summary.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("ate_cm", self.ate_cm)
+            .set("psnr_db", self.psnr_db)
+            .set("frames", self.frames)
+            .set("scene_size", self.scene_size);
+        o
+    }
+}
+
+/// A complete instrumented-run report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Run name (e.g. the benchmark id).
+    pub name: String,
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    /// Unix timestamp (seconds) of report creation.
+    pub unix_time: u64,
+    /// Per-frame SLAM trajectory.
+    pub frames: Vec<FrameRecord>,
+    /// Span timing stats by `/`-separated path, sorted.
+    pub spans: Vec<(String, SpanStats)>,
+    /// Monotonic workload counters by name, sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges (hardware model outputs etc.) by name, sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Final accuracy.
+    pub accuracy: AccuracySummary,
+}
+
+impl RunReport {
+    /// The full JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut spans = Json::obj();
+        for (path, stats) in &self.spans {
+            spans.set(path, stats.to_json());
+        }
+        let mut counters = Json::obj();
+        for (name, value) in &self.counters {
+            counters.set(name, *value);
+        }
+        let mut gauges = Json::obj();
+        for (name, value) in &self.gauges {
+            gauges.set(name, *value);
+        }
+        let mut o = Json::obj();
+        o.set("name", self.name.as_str())
+            .set("date", self.date.as_str())
+            .set("unix_time", self.unix_time)
+            .set(
+                "frames",
+                Json::Arr(self.frames.iter().map(FrameRecord::to_json).collect()),
+            )
+            .set("spans", spans)
+            .set("counters", counters)
+            .set("gauges", gauges)
+            .set("accuracy", self.accuracy.to_json());
+        o
+    }
+
+    /// Pretty JSON text.
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    pub fn write_json_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+
+    /// Aligned-column text rendering: the span tree, the counters, and the
+    /// accuracy line. Span nesting is shown by indenting each path segment
+    /// under its parent.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== run report: {} ({}) ==\n", self.name, self.date));
+
+        if !self.spans.is_empty() {
+            let rows: Vec<[String; 7]> = self
+                .spans
+                .iter()
+                .map(|(path, s)| {
+                    let depth = path.matches('/').count();
+                    let leaf = path.rsplit('/').next().unwrap_or(path);
+                    [
+                        format!("{}{}", "  ".repeat(depth), leaf),
+                        s.count().to_string(),
+                        format!("{:.2}", s.total_ms()),
+                        format!("{:.3}", s.mean_ms()),
+                        format!("{:.3}", s.p50_ms()),
+                        format!("{:.3}", s.p95_ms()),
+                        format!("{:.3}", s.max_ms()),
+                    ]
+                })
+                .collect();
+            let header = ["span", "count", "total ms", "mean", "p50", "p95", "max"];
+            let mut w: Vec<usize> = header.iter().map(|h| h.len()).collect();
+            for row in &rows {
+                for (i, cell) in row.iter().enumerate() {
+                    w[i] = w[i].max(cell.chars().count());
+                }
+            }
+            let fmt_row = |cells: &[String]| {
+                cells
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        if i == 0 {
+                            format!("{:<width$}", c, width = w[i])
+                        } else {
+                            format!("{:>width$}", c, width = w[i])
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            };
+            let header: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+            out.push_str(&fmt_row(&header));
+            out.push('\n');
+            for row in rows {
+                out.push_str(&fmt_row(&row));
+                out.push('\n');
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("-- counters --\n");
+            let w = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.chars().count())
+                .max()
+                .unwrap_or(0);
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<w$}  {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("-- gauges --\n");
+            let w = self
+                .gauges
+                .iter()
+                .map(|(n, _)| n.chars().count())
+                .max()
+                .unwrap_or(0);
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("{name:<w$}  {value:.6}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "accuracy: ATE {:.2} cm, PSNR {:.2} dB over {} frames ({} gaussians)\n",
+            self.accuracy.ate_cm,
+            self.accuracy.psnr_db,
+            self.accuracy.frames,
+            self.accuracy.scene_size
+        ));
+        out
+    }
+}
+
+/// `YYYY-MM-DD` (UTC) for a unix timestamp, via the standard civil-from-days
+/// conversion (Howard Hinnant's algorithm) — no time-zone database needed.
+pub fn utc_date(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_report() -> RunReport {
+        let mut tracking = SpanStats::default();
+        tracking.record(5.0);
+        tracking.record(7.0);
+        let mut forward = SpanStats::default();
+        forward.record(1.0);
+        RunReport {
+            name: "smoke".into(),
+            date: "2026-08-06".into(),
+            unix_time: 1_786_000_000,
+            frames: vec![FrameRecord {
+                frame_idx: 1,
+                track_iters: 10,
+                map_invoked: false,
+                sampled_pixels: 48,
+                gaussian_count: 900,
+                psnr_db: 20.0,
+                ate_so_far_cm: 0.4,
+                track_ms: 5.0,
+                map_ms: 0.0,
+            }],
+            spans: vec![
+                ("tracking".into(), tracking),
+                ("tracking/forward".into(), forward),
+            ],
+            counters: vec![("tracking/forward/pixels_shaded".into(), 480)],
+            gauges: vec![("hw/splatonic/total_s".into(), 1.25e-4)],
+            accuracy: AccuracySummary {
+                ate_cm: 0.4,
+                psnr_db: 20.0,
+                frames: 2,
+                scene_size: 900,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_matches_schema() {
+        let r = sample_report();
+        let doc = parse(&r.to_json_string()).expect("report must be valid JSON");
+        for key in ["name", "date", "frames", "spans", "counters", "accuracy"] {
+            assert!(doc.get(key).is_some(), "schema section {key} missing");
+        }
+        let frames = doc.get("frames").unwrap().as_arr().unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].get("psnr_db").unwrap().as_f64(), Some(20.0));
+        let spans = doc.get("spans").unwrap();
+        let t = spans.get("tracking").unwrap();
+        assert_eq!(t.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(t.get("total_ms").unwrap().as_f64(), Some(12.0));
+        assert_eq!(
+            doc.get("accuracy").unwrap().get("ate_cm").unwrap().as_f64(),
+            Some(0.4)
+        );
+    }
+
+    #[test]
+    fn text_rendering_aligns_and_indents() {
+        let text = sample_report().to_text();
+        assert!(text.contains("tracking"));
+        // The nested span is indented under its parent.
+        assert!(text.contains("\n  forward") || text.contains("  forward  "));
+        assert!(text.contains("accuracy: ATE 0.40 cm"));
+        assert!(text.contains("pixels_shaded"));
+    }
+
+    #[test]
+    fn utc_date_known_values() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(86_400), "1970-01-02");
+        // 2000-03-01 (leap-century boundary).
+        assert_eq!(utc_date(951_868_800), "2000-03-01");
+        // 2026-08-06 00:00:00 UTC (day 20671 since epoch).
+        assert_eq!(utc_date(1_785_974_400), "2026-08-06");
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-span-path wall-clock statistics.
+//!
+//! Span paths are `/`-separated (e.g. `tracking/forward`), built from the
+//! nesting of [`crate::Telemetry::span`] guards at record time. Each path
+//! accumulates a [`Summary`] (count/total/min/max/mean) plus the raw sample
+//! list so report time can compute order statistics (p50/p95).
+
+use crate::json::Json;
+use splatonic_math::stats::{percentile, Summary};
+
+/// Timing statistics for one span path, in milliseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStats {
+    summary: Summary,
+    samples: Vec<f64>,
+}
+
+impl SpanStats {
+    /// Records one timed execution.
+    pub fn record(&mut self, ms: f64) {
+        self.summary.push(ms);
+        self.samples.push(ms);
+    }
+
+    /// Number of recorded executions.
+    pub fn count(&self) -> usize {
+        self.summary.count()
+    }
+
+    /// Total milliseconds across executions.
+    pub fn total_ms(&self) -> f64 {
+        self.summary.sum()
+    }
+
+    /// Mean milliseconds per execution.
+    pub fn mean_ms(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Fastest execution.
+    pub fn min_ms(&self) -> f64 {
+        self.summary.min()
+    }
+
+    /// Slowest execution.
+    pub fn max_ms(&self) -> f64 {
+        self.summary.max()
+    }
+
+    /// Median execution time (nearest rank).
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile execution time (nearest rank).
+    pub fn p95_ms(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        let mut v = self.samples.clone();
+        percentile(&mut v, p)
+    }
+
+    /// Merges another path's statistics into this one.
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.summary.merge(&other.summary);
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// JSON object with the stats fields (`count`, `total_ms`, …).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("count", self.count())
+            .set("total_ms", self.total_ms())
+            .set("mean_ms", self.mean_ms())
+            .set("min_ms", self.min_ms())
+            .set("max_ms", self.max_ms())
+            .set("p50_ms", self.p50_ms())
+            .set("p95_ms", self.p95_ms());
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = SpanStats::default();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.total_ms(), 10.0);
+        assert_eq!(s.mean_ms(), 2.5);
+        assert_eq!(s.min_ms(), 1.0);
+        assert_eq!(s.max_ms(), 4.0);
+        assert_eq!(s.p50_ms(), 3.0); // nearest rank
+    }
+
+    #[test]
+    fn p95_tracks_the_tail() {
+        let mut s = SpanStats::default();
+        for _ in 0..99 {
+            s.record(1.0);
+        }
+        s.record(100.0);
+        assert_eq!(s.p50_ms(), 1.0);
+        assert!(s.p95_ms() <= 1.0 + 1e-12);
+        assert_eq!(s.max_ms(), 100.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = SpanStats::default();
+        a.record(1.0);
+        let mut b = SpanStats::default();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean_ms(), 2.0);
+    }
+
+    #[test]
+    fn json_has_all_fields() {
+        let mut s = SpanStats::default();
+        s.record(2.0);
+        let j = s.to_json();
+        for key in ["count", "total_ms", "mean_ms", "min_ms", "max_ms", "p50_ms", "p95_ms"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything here must pass before merging.
+#
+# The suite is dependency-free by design (see DESIGN.md "Telemetry & run
+# reports"), so this runs fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --workspace --release =="
+cargo build --workspace --release
+
+echo "== cargo test --workspace --release -q =="
+cargo test --workspace --release -q
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

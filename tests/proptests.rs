@@ -1,51 +1,82 @@
-//! Property-based tests over the public API (proptest).
+//! Randomized property tests over the public API.
 //!
 //! These check the invariants DESIGN.md §7 calls out: compositing
 //! monotonicity, α bounds, SE(3) round-trips, ATE rigid-invariance, pixel-
 //! set structure, and the exp-LUT's approximation contract.
+//!
+//! The harness is hand-rolled on the suite's own deterministic PRNG
+//! ([`Rng64`]) instead of an external property-testing crate, so the test
+//! suite builds offline. Each property runs a fixed number of cases from a
+//! fixed master seed; a failure message includes the case index, which
+//! pins down the failing input exactly (case `i` uses seed `MASTER ^ i`).
 
-use proptest::prelude::*;
-use splatonic::math::{ExpLut, Pose, Se3, Vec3};
+use splatonic::math::{ExpLut, Pose, Rng64, Se3, Vec3};
 use splatonic::render::prelude::*;
 use splatonic::scene::{Camera, Gaussian, GaussianScene, Intrinsics};
 use splatonic_math::Quat;
 
-fn small_vec3() -> impl Strategy<Value = Vec3> {
-    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: usize = 48;
+
+/// Runs `f` once per case with a per-case deterministic generator.
+fn for_each_case(master_seed: u64, f: impl Fn(usize, &mut Rng64)) {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(master_seed ^ case as u64);
+        f(case, &mut rng);
+    }
 }
 
-fn arb_gaussian() -> impl Strategy<Value = Gaussian> {
-    (
-        small_vec3(),
-        (0.02f64..0.4, 0.02f64..0.4, 0.02f64..0.4),
-        (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0, 0.1f64..1.0),
-        0.05f64..0.95,
-        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
-        1.2f64..4.0,
+fn small_vec3(rng: &mut Rng64) -> Vec3 {
+    Vec3::new(
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0),
     )
-        .prop_map(|(offset, (sx, sy, sz), (qx, qy, qz, qw), opacity, (r, g, b), depth)| {
-            Gaussian::new(
-                Vec3::new(offset.x, offset.y, depth),
-                Vec3::new(sx, sy, sz),
-                Quat::new(qw, qx, qy, qz),
-                opacity,
-                Vec3::new(r, g, b),
-            )
-        })
+}
+
+fn arb_gaussian(rng: &mut Rng64) -> Gaussian {
+    let offset = small_vec3(rng);
+    let scale = Vec3::new(
+        rng.gen_range(0.02..0.4),
+        rng.gen_range(0.02..0.4),
+        rng.gen_range(0.02..0.4),
+    );
+    let (qx, qy, qz) = (
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0),
+    );
+    let qw = rng.gen_range(0.1..1.0);
+    let opacity = rng.gen_range(0.05..0.95);
+    let color = Vec3::new(
+        rng.gen_range(0.0..1.0),
+        rng.gen_range(0.0..1.0),
+        rng.gen_range(0.0..1.0),
+    );
+    let depth = rng.gen_range(1.2..4.0);
+    Gaussian::new(
+        Vec3::new(offset.x, offset.y, depth),
+        scale,
+        Quat::new(qw, qx, qy, qz),
+        opacity,
+        color,
+    )
+}
+
+fn arb_scene(rng: &mut Rng64, min: usize, max: usize) -> GaussianScene {
+    let n = rng.gen_range(min..max);
+    (0..n).map(|_| arb_gaussian(rng)).collect()
 }
 
 fn camera() -> Camera {
     Camera::new(Intrinsics::with_fov(48, 36, 1.2), Pose::identity())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Rendering invariants: Γ ∈ [0,1] and decreasing along each pixel's
-    /// contribution list, α within (0, α_max], colors finite and bounded.
-    #[test]
-    fn forward_render_invariants(gaussians in prop::collection::vec(arb_gaussian(), 1..24)) {
-        let scene: GaussianScene = gaussians.into_iter().collect();
+/// Rendering invariants: Γ ∈ [0,1] and decreasing along each pixel's
+/// contribution list, α within (0, α_max], colors finite and bounded.
+#[test]
+fn forward_render_invariants() {
+    for_each_case(0x0BAD_5EED, |case, rng| {
+        let scene = arb_scene(rng, 1, 24);
         let cam = camera();
         let pixels = PixelSet::dense(48, 36);
         let cfg = RenderConfig::default();
@@ -53,79 +84,115 @@ proptest! {
         for (i, contribs) in out.contributions.iter().enumerate() {
             let mut prev_t = 1.0f64;
             for c in contribs {
-                prop_assert!(c.alpha > 0.0 && c.alpha <= cfg.alpha_max + 1e-12);
-                prop_assert!(c.transmittance <= prev_t + 1e-12);
-                prop_assert!(c.transmittance >= 0.0);
+                assert!(
+                    c.alpha > 0.0 && c.alpha <= cfg.alpha_max + 1e-12,
+                    "case {case}: alpha {} out of range",
+                    c.alpha
+                );
+                assert!(c.transmittance <= prev_t + 1e-12, "case {case}: Γ increased");
+                assert!(c.transmittance >= 0.0, "case {case}");
                 prev_t = c.transmittance;
             }
-            prop_assert!(out.final_transmittance[i] >= 0.0);
-            prop_assert!(out.final_transmittance[i] <= 1.0 + 1e-12);
-            prop_assert!(out.color[i].is_finite());
+            assert!(out.final_transmittance[i] >= 0.0, "case {case}");
+            assert!(out.final_transmittance[i] <= 1.0 + 1e-12, "case {case}");
+            assert!(out.color[i].is_finite(), "case {case}");
             // Composited color of [0,1] sources stays in [0,1] (+bg 0).
-            prop_assert!(out.color[i].max_component() <= 1.0 + 1e-9);
+            assert!(out.color[i].max_component() <= 1.0 + 1e-9, "case {case}");
         }
-    }
+    });
+}
 
-    /// The two pipelines render identical images for arbitrary scenes.
-    #[test]
-    fn pipelines_agree(gaussians in prop::collection::vec(arb_gaussian(), 1..16)) {
-        let scene: GaussianScene = gaussians.into_iter().collect();
+/// The two pipelines render identical images for arbitrary scenes.
+#[test]
+fn pipelines_agree() {
+    for_each_case(0xA9EE_0001, |case, rng| {
+        let scene = arb_scene(rng, 1, 16);
         let cam = camera();
         let pixels = PixelSet::dense(48, 36);
         let cfg = RenderConfig::default();
         let a = render_forward(&scene, &cam, &pixels, Pipeline::TileBased, &cfg);
         let b = render_forward(&scene, &cam, &pixels, Pipeline::PixelBased, &cfg);
         for (ca, cb) in a.color.iter().zip(b.color.iter()) {
-            prop_assert!((*ca - *cb).abs().max_component() < 1e-9);
+            assert!(
+                (*ca - *cb).abs().max_component() < 1e-9,
+                "case {case}: pipelines diverge"
+            );
         }
-    }
+    });
+}
 
-    /// SE(3) exp/log round-trip over the tangent space.
-    #[test]
-    fn se3_exp_log_round_trip(
-        rx in -1.0f64..1.0, ry in -1.0f64..1.0, rz in -1.0f64..1.0,
-        px in -2.0f64..2.0, py in -2.0f64..2.0, pz in -2.0f64..2.0,
-    ) {
-        let xi = Se3::new(Vec3::new(px, py, pz), Vec3::new(rx, ry, rz));
+/// SE(3) exp/log round-trip over the tangent space.
+#[test]
+fn se3_exp_log_round_trip() {
+    for_each_case(0x5E30_0C0F, |case, rng| {
+        let rho = Vec3::new(
+            rng.gen_range(-2.0..2.0),
+            rng.gen_range(-2.0..2.0),
+            rng.gen_range(-2.0..2.0),
+        );
+        let phi = small_vec3(rng);
+        let xi = Se3::new(rho, phi);
         let back = xi.exp().log();
-        prop_assert!((back.rho - xi.rho).norm() < 1e-8);
-        prop_assert!((back.phi - xi.phi).norm() < 1e-8);
-    }
+        assert!((back.rho - xi.rho).norm() < 1e-8, "case {case}");
+        assert!((back.phi - xi.phi).norm() < 1e-8, "case {case}");
+    });
+}
 
-    /// ATE is invariant under a global rigid transform of the estimate.
-    #[test]
-    fn ate_rigid_invariance(
-        seedling in 0u64..1000,
-        tx in -1.0f64..1.0, ty in -1.0f64..1.0, tz in -1.0f64..1.0,
-        wx in -0.8f64..0.8, wy in -0.8f64..0.8, wz in -0.8f64..0.8,
-    ) {
+/// ATE is invariant under a global rigid transform of the estimate.
+#[test]
+fn ate_rigid_invariance() {
+    for_each_case(0xA7E0_0123, |case, rng| {
+        let jitter = rng.gen_range(0.0..1.0) * 1e-3;
         let gt: Vec<Pose> = (0..12)
             .map(|i| {
-                let t = i as f64 * 0.2 + seedling as f64 * 1e-3;
-                Se3::new(Vec3::new(t.cos(), 0.05 * t, t.sin()), Vec3::new(0.0, 0.1 * t, 0.0)).exp()
+                let t = i as f64 * 0.2 + jitter;
+                Se3::new(
+                    Vec3::new(t.cos(), 0.05 * t, t.sin()),
+                    Vec3::new(0.0, 0.1 * t, 0.0),
+                )
+                .exp()
             })
             .collect();
-        let rig = Se3::new(Vec3::new(tx, ty, tz), Vec3::new(wx, wy, wz)).exp();
+        let rig = Se3::new(
+            small_vec3(rng),
+            Vec3::new(
+                rng.gen_range(-0.8..0.8),
+                rng.gen_range(-0.8..0.8),
+                rng.gen_range(-0.8..0.8),
+            ),
+        )
+        .exp();
         let est: Vec<Pose> = gt.iter().map(|p| p.compose(&rig)).collect();
         let ate = splatonic::slam::metrics::ate_rmse_cm(&est, &gt);
-        prop_assert!(ate < 1e-3, "ATE {ate}");
-    }
+        assert!(ate < 1e-3, "case {case}: ATE {ate}");
+    });
+}
 
-    /// The exp LUT approximates exp(-x) within its documented error bound
-    /// and is monotone non-increasing.
-    #[test]
-    fn explut_contract(x in 0.0f64..8.0, y in 0.0f64..8.0) {
+/// The exp LUT approximates exp(-x) within its documented error bound and
+/// is monotone non-increasing.
+#[test]
+fn explut_contract() {
+    for_each_case(0xE4B_1007, |case, rng| {
         let lut = ExpLut::default();
-        prop_assert!((lut.eval(x) - (-x).exp()).abs() < 2.5e-3);
-        if x <= y {
-            prop_assert!(lut.eval(x) >= lut.eval(y) - 1e-12);
-        }
-    }
+        let x = rng.gen_range(0.0..8.0f64);
+        let y = rng.gen_range(0.0..8.0f64);
+        assert!(
+            (lut.eval(x) - (-x).exp()).abs() < 2.5e-3,
+            "case {case}: LUT error at {x}"
+        );
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        assert!(lut.eval(lo) >= lut.eval(hi) - 1e-12, "case {case}");
+    });
+}
 
-    /// Pixel sets built from a tile chooser keep one in-tile sample per
-    /// tile and report the exact sampling rate.
-    #[test]
-    fn pixelset_tile_structure(tile in 2usize..32, w in 16usize..120, h in 16usize..100) {
+/// Pixel sets built from a tile chooser keep one in-tile sample per tile
+/// and report the exact sampling rate.
+#[test]
+fn pixelset_tile_structure() {
+    for_each_case(0x7115_0CAF, |case, rng| {
+        let tile = rng.gen_range(2usize..32);
+        let w = rng.gen_range(16usize..120);
+        let h = rng.gen_range(16usize..100);
         let set = PixelSet::from_tile_chooser(w, h, tile, |_, _, x0, y0, tw, th| {
             Some(splatonic::render::pixelset::PixelCoord::new(
                 (x0 + (tw - 1) / 2) as u16,
@@ -133,31 +200,42 @@ proptest! {
             ))
         });
         let tiles = w.div_ceil(tile) * h.div_ceil(tile);
-        prop_assert_eq!(set.len(), tiles);
+        assert_eq!(set.len(), tiles, "case {case}");
         for p in set.samples() {
-            prop_assert!((p.x as usize) < w && (p.y as usize) < h);
+            assert!((p.x as usize) < w && (p.y as usize) < h, "case {case}");
         }
         // Every sample sits in a distinct tile.
         let mut seen = std::collections::HashSet::new();
         for p in set.samples() {
             let key = (p.x as usize / tile, p.y as usize / tile);
-            prop_assert!(seen.insert(key), "two samples in one tile");
+            assert!(seen.insert(key), "case {case}: two samples in one tile");
         }
-    }
+    });
+}
 
-    /// Covariances of arbitrary Gaussians are symmetric positive
-    /// semi-definite with the expected determinant.
-    #[test]
-    fn covariance_is_spd(g in arb_gaussian()) {
+/// Covariances of arbitrary Gaussians are symmetric positive semi-definite
+/// with the expected determinant.
+#[test]
+fn covariance_is_spd() {
+    for_each_case(0xC0F4_0D57, |case, rng| {
+        let g = arb_gaussian(rng);
         let c = g.covariance();
         for i in 0..3 {
             for j in 0..3 {
-                prop_assert!((c.at(i, j) - c.at(j, i)).abs() < 1e-10);
+                assert!(
+                    (c.at(i, j) - c.at(j, i)).abs() < 1e-10,
+                    "case {case}: asymmetric covariance"
+                );
             }
         }
         let s = g.scale();
         let expected_det = (s.x * s.y * s.z).powi(2);
-        prop_assert!(c.det() > 0.0);
-        prop_assert!((c.det() - expected_det).abs() / expected_det < 1e-6);
-    }
+        assert!(c.det() > 0.0, "case {case}");
+        assert!(
+            (c.det() - expected_det).abs() / expected_det < 1e-6,
+            "case {case}: det {} vs {}",
+            c.det(),
+            expected_det
+        );
+    });
 }
