@@ -8,7 +8,11 @@
 //! no external dependencies and builds offline.
 //!
 //! Usage:
-//!   kernels [--iters N] [--report out.json]
+//!   kernels [--iters N] [--threads N] [--report out.json]
+//!
+//! `--threads` sets the render worker-pool width (0 = auto: the
+//! `SPLATONIC_THREADS` environment variable, then host parallelism).
+//! Results are bit-identical for every value; only wall-clock changes.
 
 use splatonic::telemetry::{AccuracySummary, Telemetry};
 use splatonic_accel::{AggregationConfig, DramModel, FrameWorkload, SplatonicAccel};
@@ -69,11 +73,21 @@ fn main() {
         .position(|a| a == "--report")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let t = Telemetry::enabled();
+    let pool_stats_before = splatonic::pool::worker_stats_snapshot();
 
     // Forward kernels: schedule × density.
     let (scene, cam) = bench_scene();
-    let cfg = RenderConfig::default();
+    let cfg = RenderConfig {
+        threads,
+        ..RenderConfig::default()
+    };
     let dense = PixelSet::dense(W, H);
     let sparse = sparse_set();
     let forward_cases: [(&str, Pipeline, &PixelSet); 4] = [
@@ -202,6 +216,11 @@ fn main() {
         }
     }
 
+    t.gauge_set(
+        "pool/threads",
+        splatonic::pool::resolve_threads(threads) as f64,
+    );
+    t.record_pool_workers(&pool_stats_before);
     let report = t.finish("kernels", AccuracySummary::default());
     print!("{}", report.to_text());
     if let Some(path) = report_path {

@@ -48,6 +48,7 @@ pub mod targets;
 pub use splatonic_accel as accel;
 pub use splatonic_gpusim as gpusim;
 pub use splatonic_math as math;
+pub use splatonic_math::pool;
 pub use splatonic_render as render;
 pub use splatonic_scene as scene;
 pub use splatonic_slam as slam;

@@ -13,7 +13,10 @@
 //!   Harris corner response used by the sampling baselines,
 //! * the 64-entry exponential lookup table ([`explut::ExpLut`]) used by the
 //!   accelerator's α-filter units (paper Sec. V-C),
-//! * small statistics helpers ([`stats`]) used by the hardware models.
+//! * small statistics helpers ([`stats`]) used by the hardware models,
+//! * the deterministic scoped worker pool ([`pool`]) that parallelizes the
+//!   render and backward hot paths with bit-identical results on any
+//!   thread count.
 //!
 //! # Examples
 //!
@@ -30,6 +33,7 @@
 pub mod explut;
 pub mod image;
 pub mod mat;
+pub mod pool;
 pub mod quat;
 pub mod rng;
 pub mod se3;

@@ -148,6 +148,33 @@ impl CamGradAccumulator {
             CamGrad::default()
         }
     }
+
+    /// Adds another accumulator's entry for `id` into this one.
+    ///
+    /// Used by the parallel backward passes: each pool chunk accumulates
+    /// into a private accumulator, and the partials are merged in chunk
+    /// order so the final sums are identical for every worker count. The
+    /// destructuring is exhaustive (no `..`) so a new [`CamGrad`] field
+    /// cannot be silently dropped from the merge.
+    pub fn merge_entry(&mut self, id: u32, other: &CamGrad) {
+        let CamGrad {
+            mean2d,
+            cov2d,
+            depth,
+            color,
+            opacity,
+            count,
+        } = *other;
+        let e = self.entry(id);
+        e.mean2d += mean2d;
+        e.cov2d[0] += cov2d[0];
+        e.cov2d[1] += cov2d[1];
+        e.cov2d[2] += cov2d[2];
+        e.depth += depth;
+        e.color += color;
+        e.opacity += opacity;
+        e.count += count;
+    }
 }
 
 /// Statistics returned by [`pixel_backward`] for trace accounting.

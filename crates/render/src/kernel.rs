@@ -12,7 +12,7 @@
 //! `α_i = min(α_max, o_i · exp(-½ dᵀ Σ'⁻¹ d))` with `d = p − μ'` — exactly
 //! the quantity the paper's α-checking thresholds against `α*`.
 
-use splatonic_math::{Mat2, Mat3, Vec2, Vec3};
+use splatonic_math::{pool, Mat2, Mat3, Vec2, Vec3};
 use splatonic_scene::{Camera, Gaussian};
 
 /// Numeric configuration shared by both pipelines.
@@ -44,6 +44,11 @@ pub struct RenderConfig {
     pub near: f64,
     /// Background color composited where transmittance remains.
     pub background: Vec3,
+    /// Worker threads for the parallel render/backward paths. `0` resolves
+    /// via the `SPLATONIC_THREADS` environment variable, falling back to
+    /// `available_parallelism()`. Results are bit-identical for every
+    /// value (see `splatonic_math::pool`).
+    pub threads: usize,
 }
 
 impl Default for RenderConfig {
@@ -56,6 +61,7 @@ impl Default for RenderConfig {
             bbox_sigma: 3.5,
             near: 0.2,
             background: Vec3::ZERO,
+            threads: 0,
         }
     }
 }
@@ -163,20 +169,43 @@ pub fn project_gaussian(
     })
 }
 
-/// Projects the whole scene, returning visible Gaussians (unordered) and the
-/// number culled.
+/// Fixed fan-out granularity for projection (thread-count independent, so
+/// the concatenation order of per-chunk outputs never changes).
+const PROJECT_CHUNK: usize = 512;
+
+/// Projects the whole scene, returning visible Gaussians (ordered by scene
+/// index) and the number culled.
+///
+/// Each Gaussian projects independently, so this fans out over the worker
+/// pool; per-chunk outputs are concatenated in chunk order, making the
+/// result identical to a sequential pass for every thread count.
 pub fn project_scene(
     scene: &splatonic_scene::GaussianScene,
     camera: &Camera,
     config: &RenderConfig,
 ) -> (Vec<ProjectedGaussian>, u64) {
+    let threads = pool::resolve_threads(config.threads);
+    let chunks = pool::par_chunks_indexed(
+        threads,
+        scene.gaussians(),
+        PROJECT_CHUNK,
+        |_, offset, gs| {
+            let mut out = Vec::with_capacity(gs.len());
+            let mut culled = 0u64;
+            for (k, g) in gs.iter().enumerate() {
+                match project_gaussian(g, (offset + k) as u32, camera, config) {
+                    Some(pg) => out.push(pg),
+                    None => culled += 1,
+                }
+            }
+            (out, culled)
+        },
+    );
     let mut out = Vec::with_capacity(scene.len());
     let mut culled = 0u64;
-    for (i, g) in scene.iter().enumerate() {
-        match project_gaussian(g, i as u32, camera, config) {
-            Some(pg) => out.push(pg),
-            None => culled += 1,
-        }
+    for (chunk_out, chunk_culled) in chunks {
+        out.extend(chunk_out);
+        culled += chunk_culled;
     }
     (out, culled)
 }

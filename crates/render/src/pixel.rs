@@ -21,11 +21,18 @@ use crate::loss::LossGrad;
 use crate::pixelset::{PixelCoord, PixelSet};
 use crate::trace::{bytes, RenderTrace};
 use crate::{Contribution, ForwardResult};
-use splatonic_math::{Vec2, Vec3};
+use splatonic_math::{pool, Vec2, Vec3};
 use splatonic_scene::{Camera, GaussianScene};
+use std::sync::Mutex;
 
 /// GPU warp width in threads (Gaussian-parallel lanes).
 pub const WARP: usize = 32;
+
+/// Fixed fan-out granularities (thread-count independent; see
+/// `splatonic_math::pool` for why this matters for determinism).
+const PROJ_CHECK_CHUNK: usize = 256;
+const RASTER_CHUNK: usize = 128;
+const BACKWARD_CHUNK: usize = 128;
 
 /// Cell edge (pixels) of the transient grid bucketing the *extra* (unseen)
 /// pixels; paper Sec. V-C stores those indices separately.
@@ -108,89 +115,176 @@ pub fn forward(
     let n_out = pixels.len();
     let mut lists: Vec<Vec<PixelEntry>> = vec![Vec::new(); n_out];
     let extra_grid = ExtraGrid::build(pixels);
+    let threads = pool::resolve_threads(config.threads);
 
-    // Pixel-level projection + preemptive α-checking.
-    for (pi, pg) in projected.iter().enumerate() {
-        let (lo, hi) = pg.bbox();
-        let mut candidates = 0u32;
-        let mut check = |out_idx: usize, p: PixelCoord, f: &mut crate::trace::ForwardStats| {
-            candidates += 1;
-            f.proj_alpha_checks += 1;
-            f.exp_evals += 1;
-            let (alpha, _) = alpha_at(pg, p.center(), config);
-            if alpha >= config.alpha_threshold {
-                f.proj_pairs_kept += 1;
-                lists[out_idx].push(PixelEntry {
-                    proj: pi as u32,
-                    alpha,
-                    depth: pg.depth,
-                });
+    // Pixel-level projection + preemptive α-checking, fanned out over
+    // fixed chunks of projected Gaussians. Each chunk emits its passing
+    // (pixel, entry) pairs and counter partials; the merge below applies
+    // them in chunk order, which reproduces the sequential push order.
+    struct ProjCheckPartial {
+        entries: Vec<(usize, PixelEntry)>,
+        candidates: Vec<u32>,
+        alpha_checks: u64,
+        pairs_kept: u64,
+    }
+    let proj_partials = pool::par_chunks_indexed(
+        threads,
+        &projected,
+        PROJ_CHECK_CHUNK,
+        |_, offset, chunk| {
+            let mut part = ProjCheckPartial {
+                entries: Vec::new(),
+                candidates: Vec::with_capacity(chunk.len()),
+                alpha_checks: 0,
+                pairs_kept: 0,
+            };
+            for (k, pg) in chunk.iter().enumerate() {
+                let pi = offset + k;
+                let (lo, hi) = pg.bbox();
+                let mut candidates = 0u32;
+                let mut check = |out_idx: usize, p: PixelCoord| {
+                    candidates += 1;
+                    part.alpha_checks += 1;
+                    let (alpha, _) = alpha_at(pg, p.center(), config);
+                    if alpha >= config.alpha_threshold {
+                        part.pairs_kept += 1;
+                        part.entries.push((
+                            out_idx,
+                            PixelEntry {
+                                proj: pi as u32,
+                                alpha,
+                                depth: pg.depth,
+                            },
+                        ));
+                    }
+                };
+                pixels.samples_in_bbox(lo, hi, &mut check);
+                extra_grid.visit_bbox(lo, hi, &mut check);
+                part.candidates.push(candidates);
             }
-        };
-        pixels.samples_in_bbox(lo, hi, |out_idx, p| check(out_idx, p, f));
-        extra_grid.visit_bbox(lo, hi, |out_idx, p| check(out_idx, p, f));
-        trace.proj_candidates.push(candidates);
+            part
+        },
+    );
+    for part in proj_partials {
+        f.proj_alpha_checks += part.alpha_checks;
+        f.exp_evals += part.alpha_checks;
+        f.proj_pairs_kept += part.pairs_kept;
+        for (out_idx, e) in part.entries {
+            lists[out_idx].push(e);
+        }
+        trace.proj_candidates.extend(part.candidates);
     }
     f.bytes_written += f.proj_pairs_kept * bytes::PAIR_ENTRY;
     f.bytes_read += f.proj_pairs_kept * bytes::PAIR_ENTRY;
 
-    // Per-pixel depth sort.
-    for list in lists.iter_mut() {
-        if !list.is_empty() {
-            f.sort_lists += 1;
-            f.sort_elems += list.len() as u64;
-            // Tie-break equal depths by projection index (ascending scene
-            // id), matching the tile pipeline's global sort order.
-            list.sort_by(|a, b| {
-                a.depth
-                    .partial_cmp(&b.depth)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.proj.cmp(&b.proj))
-            });
-        }
+    // Per-pixel depth sort + Gaussian-parallel rasterization, fanned out
+    // over fixed chunks of pixels. A warp co-renders each pixel; all lanes
+    // do useful work (no α-checking left, no divergence). Each chunk sorts
+    // a scratch copy of its lists and shades its pixels; partial outputs
+    // are concatenated in chunk order (= pixel order).
+    struct RasterPartial {
+        color: Vec<Vec3>,
+        depth: Vec<f64>,
+        t_final: Vec<f64>,
+        contribs: Vec<Vec<Contribution>>,
+        sort_lists: u64,
+        sort_elems: u64,
+        pairs_integrated: u64,
+        warp_steps: u64,
+        warp_active: u64,
+        bytes_read: u64,
+        bytes_written: u64,
     }
-
-    // Gaussian-parallel rasterization: a warp co-renders each pixel; all
-    // lanes do useful work (no α-checking left, no divergence).
-    let mut color = vec![Vec3::ZERO; n_out];
-    let mut depth = vec![0.0; n_out];
-    let mut t_final = vec![1.0; n_out];
-    let mut contributions: Vec<Vec<Contribution>> = vec![Vec::new(); n_out];
-    for (out_idx, list) in lists.iter().enumerate() {
-        let mut t = 1.0;
-        let mut c = Vec3::ZERO;
-        let mut d = 0.0;
-        let mut used = 0usize;
-        for e in list {
-            if t < config.transmittance_min {
-                break;
+    let raster_partials = pool::par_chunks_indexed(threads, &lists, RASTER_CHUNK, |_, _, chunk| {
+        let mut part = RasterPartial {
+            color: Vec::with_capacity(chunk.len()),
+            depth: Vec::with_capacity(chunk.len()),
+            t_final: Vec::with_capacity(chunk.len()),
+            contribs: Vec::with_capacity(chunk.len()),
+            sort_lists: 0,
+            sort_elems: 0,
+            pairs_integrated: 0,
+            warp_steps: 0,
+            warp_active: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        };
+        let mut sorted: Vec<PixelEntry> = Vec::new();
+        for list in chunk {
+            sorted.clear();
+            sorted.extend_from_slice(list);
+            if !sorted.is_empty() {
+                part.sort_lists += 1;
+                part.sort_elems += sorted.len() as u64;
+                // Tie-break equal depths by projection index (ascending
+                // scene id), matching the tile pipeline's global sort order.
+                sorted.sort_by(|a, b| {
+                    a.depth
+                        .partial_cmp(&b.depth)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.proj.cmp(&b.proj))
+                });
             }
-            let pg = &projected[e.proj as usize];
-            let w = t * e.alpha;
-            c += pg.color * w;
-            d += pg.depth * w;
-            contributions[out_idx].push(Contribution {
-                gaussian: pg.id,
-                alpha: e.alpha,
-                transmittance: t,
-            });
-            t *= 1.0 - e.alpha;
-            used += 1;
+            let mut t = 1.0;
+            let mut c = Vec3::ZERO;
+            let mut d = 0.0;
+            let mut used = 0usize;
+            let mut contribs = Vec::new();
+            for e in &sorted {
+                if t < config.transmittance_min {
+                    break;
+                }
+                let pg = &projected[e.proj as usize];
+                let w = t * e.alpha;
+                c += pg.color * w;
+                d += pg.depth * w;
+                contribs.push(Contribution {
+                    gaussian: pg.id,
+                    alpha: e.alpha,
+                    transmittance: t,
+                });
+                t *= 1.0 - e.alpha;
+                used += 1;
+            }
+            part.color.push(c + config.background * t);
+            part.depth.push(d);
+            part.t_final.push(t);
+            part.pairs_integrated += used as u64;
+            // Warp accounting: ceil(used/32) integration steps with every
+            // resident lane doing useful work, plus one reduction step per
+            // warp of lanes (the color/depth tree reduction) — the same
+            // two-pass model the backward trace uses.
+            let steps = 2 * used.div_ceil(WARP);
+            part.warp_steps += steps as u64;
+            part.warp_active += 2 * used as u64;
+            part.bytes_read += used as u64 * bytes::PROJECTED;
+            part.bytes_written += bytes::PIXEL_OUT;
+            part.contribs.push(contribs);
         }
-        color[out_idx] = c + config.background * t;
-        depth[out_idx] = d;
-        t_final[out_idx] = t;
-        f.pairs_integrated += used as u64;
-        f.pixels_shaded += 1;
-        // Warp accounting: ceil(used/32) fully-active steps plus a partially
-        // active tail, plus one reduction step per warp of lanes.
-        let steps = used.div_ceil(WARP).max(if used > 0 { 1 } else { 0 });
-        f.warp_steps += steps as u64;
-        f.warp_active += used as u64;
-        f.bytes_read += used as u64 * bytes::PROJECTED;
-        f.bytes_written += bytes::PIXEL_OUT;
-        f.pixel_list_len.push(contributions[out_idx].len() as f64);
-        trace.pixel_lists.push(contributions[out_idx].len() as u32);
+        part
+    });
+
+    let mut color = Vec::with_capacity(n_out);
+    let mut depth = Vec::with_capacity(n_out);
+    let mut t_final = Vec::with_capacity(n_out);
+    let mut contributions: Vec<Vec<Contribution>> = Vec::with_capacity(n_out);
+    for part in raster_partials {
+        f.sort_lists += part.sort_lists;
+        f.sort_elems += part.sort_elems;
+        f.pairs_integrated += part.pairs_integrated;
+        f.pixels_shaded += part.color.len() as u64;
+        f.warp_steps += part.warp_steps;
+        f.warp_active += part.warp_active;
+        f.bytes_read += part.bytes_read;
+        f.bytes_written += part.bytes_written;
+        for contribs in &part.contribs {
+            f.pixel_list_len.push(contribs.len() as f64);
+            trace.pixel_lists.push(contribs.len() as u32);
+        }
+        color.extend(part.color);
+        depth.extend(part.depth);
+        t_final.extend(part.t_final);
+        contributions.extend(part.contribs);
     }
 
     ForwardResult {
@@ -229,43 +323,93 @@ pub fn backward(
     }
     let lookup = |id: u32| projected[proj_of_id[id as usize] as usize];
 
+    // Per-pair gradients, fanned out over fixed chunks of pixels. Each
+    // chunk accumulates into a private accumulator (recycled through a
+    // small pool) and extracts its per-Gaussian partials in first-touch
+    // order; the merge below folds them into the shared accumulator in
+    // chunk order, so the aggregation is identical for every worker count.
+    let threads = pool::resolve_threads(config.threads);
+    let all_pixels: Vec<PixelCoord> = pixels.iter_all().collect();
+    let acc_pool: Mutex<Vec<CamGradAccumulator>> = Mutex::new(Vec::new());
+    #[derive(Default)]
+    struct BackwardPartial {
+        entries: Vec<(u32, crate::grad::CamGrad)>,
+        exp_evals: u64,
+        reduction_ops: u64,
+        warp_steps: u64,
+        warp_active: u64,
+        pairs_grad: u64,
+        atomic_adds: u64,
+        bytes_read: u64,
+        bytes_written: u64,
+    }
+    let partials = pool::par_chunks_indexed(
+        threads,
+        &all_pixels,
+        BACKWARD_CHUNK,
+        |_, offset, chunk| {
+            let mut acc = acc_pool
+                .lock()
+                .unwrap()
+                .pop()
+                .unwrap_or_else(|| CamGradAccumulator::new(scene.len()));
+            acc.reset(scene.len());
+            let mut part = BackwardPartial::default();
+            for (k, p) in chunk.iter().enumerate() {
+                let out_idx = offset + k;
+                let contribs = &forward_result.contributions[out_idx];
+                if contribs.is_empty() {
+                    continue;
+                }
+                let n = contribs.len() as u64;
+                // Recompute α_i per lane (exp), then the Γ reduction (first
+                // cross-thread reduction introduced by pixel-based rendering).
+                part.exp_evals += n;
+                part.reduction_ops += n;
+                // Lane-parallel gradient computation: all lanes active.
+                let steps = (contribs.len().div_ceil(WARP)) as u64;
+                part.warp_steps += 2 * steps; // α/Γ pass + gradient pass
+                part.warp_active += 2 * n;
+                part.bytes_read += n * (bytes::PAIR_ENTRY + bytes::PROJECTED);
+                let counts = pixel_backward(
+                    p.center(),
+                    contribs,
+                    &lookup,
+                    loss_grads[out_idx].d_color,
+                    loss_grads[out_idx].d_depth,
+                    config,
+                    config.background,
+                    &mut acc,
+                );
+                part.pairs_grad += counts.pairs;
+                part.atomic_adds += counts.atomic_adds;
+                // Second reduction: aggregation of partial gradients.
+                part.reduction_ops += counts.pairs;
+                part.bytes_written += counts.pairs * bytes::GRADIENT;
+            }
+            part.entries = acc.touched().iter().map(|&id| (id, acc.get(id))).collect();
+            acc_pool.lock().unwrap().push(acc);
+            part
+        },
+    );
+
     let mut accum = CamGradAccumulator::new(scene.len());
     accum.reset(scene.len());
-
-    for (out_idx, p) in pixels.iter_all().enumerate() {
-        let contribs = &forward_result.contributions[out_idx];
-        if contribs.is_empty() {
-            continue;
-        }
-        {
-            let b = &mut trace.backward;
-            let n = contribs.len() as u64;
-            // Recompute α_i per lane (exp), then the Γ reduction (first
-            // cross-thread reduction introduced by pixel-based rendering).
-            b.exp_evals += n;
-            b.reduction_ops += n;
-            // Lane-parallel gradient computation: all lanes active.
-            let steps = (contribs.len().div_ceil(WARP)) as u64;
-            b.warp_steps += 2 * steps; // α/Γ pass + gradient pass
-            b.warp_active += 2 * n;
-            b.bytes_read += n * (bytes::PAIR_ENTRY + bytes::PROJECTED);
-        }
-        let counts = pixel_backward(
-            p.center(),
-            contribs,
-            &lookup,
-            loss_grads[out_idx].d_color,
-            loss_grads[out_idx].d_depth,
-            config,
-            config.background,
-            &mut accum,
-        );
+    {
         let b = &mut trace.backward;
-        b.pairs_grad += counts.pairs;
-        b.atomic_adds += counts.atomic_adds;
-        // Second reduction: aggregation of partial gradients.
-        b.reduction_ops += counts.pairs;
-        b.bytes_written += counts.pairs * bytes::GRADIENT;
+        for part in partials {
+            b.exp_evals += part.exp_evals;
+            b.reduction_ops += part.reduction_ops;
+            b.warp_steps += part.warp_steps;
+            b.warp_active += part.warp_active;
+            b.pairs_grad += part.pairs_grad;
+            b.atomic_adds += part.atomic_adds;
+            b.bytes_read += part.bytes_read;
+            b.bytes_written += part.bytes_written;
+            for (id, cg) in &part.entries {
+                accum.merge_entry(*id, cg);
+            }
+        }
     }
 
     {
@@ -393,6 +537,35 @@ mod tests {
             p.trace.forward.warp_utilization(),
             t.trace.forward.warp_utilization()
         );
+    }
+
+    #[test]
+    fn warp_accounting_charges_integration_and_reduction() {
+        // Each shaded pixel charges ceil(used/32) integration steps plus
+        // one reduction step per warp of lanes — both passes fully
+        // occupied. Cross-check totals against the tile pipeline on the
+        // dense set, where both schedules integrate the same pairs.
+        let (scene, cam) = test_world();
+        let cfg = RenderConfig::default();
+        let pixels = PixelSet::dense(96, 72);
+        let t = tile::forward(&scene, &cam, &pixels, &cfg);
+        let p = forward(&scene, &cam, &pixels, &cfg);
+        assert_eq!(
+            p.trace.forward.pairs_integrated,
+            t.trace.forward.pairs_integrated,
+            "dense renders must integrate identical pair counts"
+        );
+        assert_eq!(
+            p.trace.forward.warp_active,
+            2 * p.trace.forward.pairs_integrated,
+            "every integrated pair is active in both passes"
+        );
+        let expected_steps: u64 = p
+            .contributions
+            .iter()
+            .map(|c| 2 * c.len().div_ceil(WARP) as u64)
+            .sum();
+        assert_eq!(p.trace.forward.warp_steps, expected_steps);
     }
 
     #[test]

@@ -16,10 +16,21 @@
 //!   `P(p) = w_R(p)·r`, `w_R = √(Gx²+Gy²)` from Sobel filters (Eq. 3).
 
 use crate::pixelset::{PixelCoord, PixelSet};
-use splatonic_math::rng::Rng64;
+use splatonic_math::rng::{mix_seed, Rng64};
 use splatonic_math::image::{harris_response, sobel_magnitude};
 use splatonic_math::Image;
 use splatonic_scene::Frame;
+
+/// Per-tile RNG for the one-pixel-per-tile choosers.
+///
+/// Each tile draws from its own generator, seeded from the caller's seed and
+/// the tile coordinates, so a tile's pick depends only on `(seed, tx, ty)` —
+/// never on how many tiles were visited before it or in what order. That
+/// keeps sampling stable when the frame size changes and safe to evaluate
+/// tile-parallel.
+fn tile_rng(seed: u64, tx: usize, ty: usize) -> Rng64 {
+    Rng64::seed_from_u64(mix_seed(seed, ((ty as u64) << 32) | tx as u64))
+}
 
 /// Tracking-time sampling strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,12 +106,12 @@ pub fn tracking_plan(
         SamplingStrategy::Dense => SamplingPlan::Pixels(PixelSet::dense(w, h)),
         SamplingStrategy::LowRes { factor } => SamplingPlan::LowRes { factor },
         SamplingStrategy::RandomPerTile { tile } => {
-            let mut rng = Rng64::seed_from_u64(seed);
             SamplingPlan::Pixels(PixelSet::from_tile_chooser(
                 w,
                 h,
                 tile,
-                |_, _, x0, y0, tw, th| {
+                |tx, ty, x0, y0, tw, th| {
+                    let mut rng = tile_rng(seed, tx, ty);
                     Some(PixelCoord::new(
                         (x0 + rng.gen_range(0..tw)) as u16,
                         (y0 + rng.gen_range(0..th)) as u16,
@@ -111,12 +122,11 @@ pub fn tracking_plan(
         SamplingStrategy::HarrisPerTile { tile } => {
             let lum = reference.luminance();
             let harris = harris_response(&lum);
-            let mut rng = Rng64::seed_from_u64(seed);
             SamplingPlan::Pixels(PixelSet::from_tile_chooser(
                 w,
                 h,
                 tile,
-                |_, _, x0, y0, tw, th| {
+                |tx, ty, x0, y0, tw, th| {
                     let mut best = f64::NEG_INFINITY;
                     let mut pick = (x0, y0);
                     for dy in 0..th {
@@ -131,6 +141,7 @@ pub fn tracking_plan(
                     // Flat tiles (all-zero response) fall back to random so
                     // coverage never collapses onto tile corners.
                     if best <= 0.0 {
+                        let mut rng = tile_rng(seed, tx, ty);
                         pick = (x0 + rng.gen_range(0..tw), y0 + rng.gen_range(0..th));
                     }
                     Some(PixelCoord::new(pick.0 as u16, pick.1 as u16))
@@ -246,11 +257,11 @@ impl MappingSampler {
             (w, h),
             "transmittance map must match the frame"
         );
-        let mut rng = Rng64::seed_from_u64(seed);
         let mut set = match self.strategy {
             MappingStrategy::UnseenOnly => PixelSet::from_pixels(w, h, Vec::new()),
             MappingStrategy::RandomOnly => {
-                PixelSet::from_tile_chooser(w, h, self.tile, |_, _, x0, y0, tw, th| {
+                PixelSet::from_tile_chooser(w, h, self.tile, |tx, ty, x0, y0, tw, th| {
+                    let mut rng = tile_rng(seed, tx, ty);
                     Some(PixelCoord::new(
                         (x0 + rng.gen_range(0..tw)) as u16,
                         (y0 + rng.gen_range(0..th)) as u16,
@@ -260,7 +271,8 @@ impl MappingSampler {
             MappingStrategy::WeightedOnly | MappingStrategy::Combined => {
                 let lum = reference.luminance();
                 let weight = sobel_magnitude(&lum);
-                PixelSet::from_tile_chooser(w, h, self.tile, |_, _, x0, y0, tw, th| {
+                PixelSet::from_tile_chooser(w, h, self.tile, |tx, ty, x0, y0, tw, th| {
+                    let mut rng = tile_rng(seed, tx, ty);
                     // P(p) = w_R(p) · r: draw r per pixel, keep the argmax.
                     let mut best = -1.0;
                     let mut pick = (x0, y0);
@@ -346,6 +358,26 @@ mod tests {
         let c = tracking_plan(SamplingStrategy::RandomPerTile { tile: 8 }, &f, 8, None);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_tile_picks_are_traversal_order_independent() {
+        // A tile's pick depends only on (seed, tx, ty): growing the frame
+        // adds tiles without disturbing the picks of tiles that already
+        // existed, which a shared sequentially-drawn RNG cannot guarantee.
+        let small = frame(64, 64);
+        let large = frame(128, 64);
+        let strategy = SamplingStrategy::RandomPerTile { tile: 16 };
+        let SamplingPlan::Pixels(a) = tracking_plan(strategy, &small, 9, None) else {
+            panic!()
+        };
+        let SamplingPlan::Pixels(b) = tracking_plan(strategy, &large, 9, None) else {
+            panic!()
+        };
+        let a_set: std::collections::HashSet<_> = a.samples().iter().copied().collect();
+        for p in b.samples().iter().filter(|p| (p.x as usize) < 64) {
+            assert!(a_set.contains(p), "pick {p:?} changed when the frame grew");
+        }
     }
 
     #[test]

@@ -18,13 +18,18 @@ use crate::loss::LossGrad;
 use crate::pixelset::{PixelCoord, PixelSet};
 use crate::trace::{bytes, RenderTrace};
 use crate::{Contribution, ForwardResult};
-use splatonic_math::Vec3;
+use splatonic_math::{pool, Vec3};
 use splatonic_scene::{Camera, GaussianScene};
+use std::sync::Mutex;
 
 /// Tile edge length in pixels (the standard 16×16 of reference 3DGS).
 pub const TILE: usize = 16;
 /// GPU warp width in threads.
 pub const WARP: usize = 32;
+
+/// Tiles per pool chunk (fixed fan-out granularity; independent of the
+/// worker count, see `splatonic_math::pool`).
+const TILE_CHUNK: usize = 4;
 
 /// Builds the tile→Gaussian intersection lists (projection stage output).
 fn build_tile_lists(
@@ -105,95 +110,139 @@ pub fn forward(
     }
     f.bytes_read += tile_pairs * bytes::PAIR_ENTRY;
 
-    // Rasterization, warp by warp.
+    // Rasterization, warp by warp, fanned out over fixed chunks of tiles.
+    // Each chunk shades its tiles into scatter lists applied in chunk order
+    // below; every output index belongs to exactly one tile, so the merge
+    // is write-once and identical for every worker count.
     let n_out = pixels.len();
     let mut color = vec![Vec3::ZERO; n_out];
     let mut depth = vec![0.0; n_out];
     let mut t_final = vec![1.0; n_out];
     let mut contributions: Vec<Vec<Contribution>> = vec![Vec::new(); n_out];
     let groups = group_pixels_by_tile(pixels, tiles_x, tiles_y);
+    let threads = pool::resolve_threads(config.threads);
 
-    for (tile_idx, group) in groups.iter().enumerate() {
-        if group.is_empty() {
-            continue;
-        }
-        let list = &tile_lists[tile_idx];
-        if list.is_empty() {
-            for &(_, out_idx) in group {
-                f.pixels_shaded += 1;
-                color[out_idx] = config.background;
+    #[derive(Default)]
+    struct TilePartial {
+        outputs: Vec<(usize, Vec3, f64, f64)>,
+        contribs: Vec<(usize, Vec<Contribution>)>,
+        bytes_read: u64,
+        bytes_written: u64,
+        warp_steps: u64,
+        warp_active: u64,
+        raster_alpha_checks: u64,
+        exp_evals: u64,
+        pairs_integrated: u64,
+        pixels_shaded: u64,
+    }
+    let tile_partials = pool::par_chunks_indexed(threads, &groups, TILE_CHUNK, |_, offset, chunk| {
+        let mut part = TilePartial::default();
+        for (k, group) in chunk.iter().enumerate() {
+            let tile_idx = offset + k;
+            if group.is_empty() {
+                continue;
             }
-            continue;
-        }
-        f.bytes_read += list.len() as u64 * bytes::PROJECTED;
-        // Warp assignment: pixels of the tile in row-major order, 32 lanes
-        // per warp. Only warps containing a requested pixel execute; within
-        // them, every resident requested pixel occupies a lane.
-        let tx = tile_idx % tiles_x;
-        let ty = tile_idx / tiles_x;
-        let x0 = tx * TILE;
-        let y0 = ty * TILE;
-        let lane_of = |p: PixelCoord| -> usize {
-            let lx = p.x as usize - x0;
-            let ly = p.y as usize - y0;
-            ly * TILE + lx
-        };
-        // Bucket requested pixels into warps.
-        let warps_per_tile = (TILE * TILE).div_ceil(WARP);
-        let mut warp_members: Vec<Vec<(PixelCoord, usize)>> = vec![Vec::new(); warps_per_tile];
-        for &(p, out_idx) in group {
-            warp_members[lane_of(p) / WARP].push((p, out_idx));
-        }
-        for members in warp_members.iter().filter(|m| !m.is_empty()) {
-            // Per-member compositing state.
-            let mut state: Vec<(Vec3, f64, f64)> =
-                vec![(Vec3::ZERO, 0.0, 1.0); members.len()]; // (color, depth, T)
-            let mut live = members.len();
-            for &pi in list.iter() {
-                if live == 0 {
-                    break;
+            let list = &tile_lists[tile_idx];
+            if list.is_empty() {
+                for &(_, out_idx) in group {
+                    part.pixels_shaded += 1;
+                    part.outputs.push((out_idx, config.background, 0.0, 1.0));
                 }
-                f.warp_steps += 1;
-                let pg = &projected[pi as usize];
-                let mut active_this_step = 0u64;
-                for (mi, &(p, out_idx)) in members.iter().enumerate() {
+                continue;
+            }
+            part.bytes_read += list.len() as u64 * bytes::PROJECTED;
+            // Warp assignment: pixels of the tile in row-major order, 32
+            // lanes per warp. Only warps containing a requested pixel
+            // execute; within them, every resident requested pixel
+            // occupies a lane.
+            let tx = tile_idx % tiles_x;
+            let ty = tile_idx / tiles_x;
+            let x0 = tx * TILE;
+            let y0 = ty * TILE;
+            let lane_of = |p: PixelCoord| -> usize {
+                let lx = p.x as usize - x0;
+                let ly = p.y as usize - y0;
+                ly * TILE + lx
+            };
+            // Bucket requested pixels into warps.
+            let warps_per_tile = (TILE * TILE).div_ceil(WARP);
+            let mut warp_members: Vec<Vec<(PixelCoord, usize)>> = vec![Vec::new(); warps_per_tile];
+            for &(p, out_idx) in group {
+                warp_members[lane_of(p) / WARP].push((p, out_idx));
+            }
+            for members in warp_members.iter().filter(|m| !m.is_empty()) {
+                // Per-member compositing state.
+                let mut state: Vec<(Vec3, f64, f64)> =
+                    vec![(Vec3::ZERO, 0.0, 1.0); members.len()]; // (color, depth, T)
+                let mut member_contribs: Vec<Vec<Contribution>> =
+                    vec![Vec::new(); members.len()];
+                let mut live = members.len();
+                for &pi in list.iter() {
+                    if live == 0 {
+                        break;
+                    }
+                    part.warp_steps += 1;
+                    let pg = &projected[pi as usize];
+                    let mut active_this_step = 0u64;
+                    for (mi, &(p, _)) in members.iter().enumerate() {
+                        let (c, d, t) = state[mi];
+                        if t < config.transmittance_min {
+                            continue;
+                        }
+                        // α-checking for this pixel–Gaussian pair.
+                        part.raster_alpha_checks += 1;
+                        part.exp_evals += 1;
+                        let (alpha, _) = alpha_at(pg, p.center(), config);
+                        if alpha < config.alpha_threshold {
+                            continue;
+                        }
+                        active_this_step += 1;
+                        let w = t * alpha;
+                        let nc = c + pg.color * w;
+                        let nd = d + pg.depth * w;
+                        let nt = t * (1.0 - alpha);
+                        member_contribs[mi].push(Contribution {
+                            gaussian: pg.id,
+                            alpha,
+                            transmittance: t,
+                        });
+                        part.pairs_integrated += 1;
+                        state[mi] = (nc, nd, nt);
+                        if nt < config.transmittance_min {
+                            live -= 1;
+                        }
+                    }
+                    part.warp_active += active_this_step;
+                }
+                for (mi, &(_, out_idx)) in members.iter().enumerate() {
                     let (c, d, t) = state[mi];
-                    if t < config.transmittance_min {
-                        continue;
-                    }
-                    // α-checking for this pixel–Gaussian pair.
-                    f.raster_alpha_checks += 1;
-                    f.exp_evals += 1;
-                    let (alpha, _) = alpha_at(pg, p.center(), config);
-                    if alpha < config.alpha_threshold {
-                        continue;
-                    }
-                    active_this_step += 1;
-                    let w = t * alpha;
-                    let nc = c + pg.color * w;
-                    let nd = d + pg.depth * w;
-                    let nt = t * (1.0 - alpha);
-                    contributions[out_idx].push(Contribution {
-                        gaussian: pg.id,
-                        alpha,
-                        transmittance: t,
-                    });
-                    f.pairs_integrated += 1;
-                    state[mi] = (nc, nd, nt);
-                    if nt < config.transmittance_min {
-                        live -= 1;
-                    }
+                    part.outputs
+                        .push((out_idx, c + config.background * t, d, t));
+                    part.pixels_shaded += 1;
+                    part.bytes_written += bytes::PIXEL_OUT;
+                    part.contribs
+                        .push((out_idx, std::mem::take(&mut member_contribs[mi])));
                 }
-                f.warp_active += active_this_step;
             }
-            for (mi, &(_, out_idx)) in members.iter().enumerate() {
-                let (c, d, t) = state[mi];
-                color[out_idx] = c + config.background * t;
-                depth[out_idx] = d;
-                t_final[out_idx] = t;
-                f.pixels_shaded += 1;
-                f.bytes_written += bytes::PIXEL_OUT;
-            }
+        }
+        part
+    });
+    for part in tile_partials {
+        f.bytes_read += part.bytes_read;
+        f.bytes_written += part.bytes_written;
+        f.warp_steps += part.warp_steps;
+        f.warp_active += part.warp_active;
+        f.raster_alpha_checks += part.raster_alpha_checks;
+        f.exp_evals += part.exp_evals;
+        f.pairs_integrated += part.pairs_integrated;
+        f.pixels_shaded += part.pixels_shaded;
+        for (out_idx, c, d, t) in part.outputs {
+            color[out_idx] = c;
+            depth[out_idx] = d;
+            t_final[out_idx] = t;
+        }
+        for (out_idx, contribs) in part.contribs {
+            contributions[out_idx] = contribs;
         }
     }
 
@@ -250,72 +299,116 @@ pub fn backward(
     }
 
     // Reverse rasterization with the same warp shape as the forward pass:
-    // every pixel re-walks its tile list, α-checking each pair.
+    // every pixel re-walks its tile list, α-checking each pair. Fanned out
+    // over fixed chunks of tiles; each chunk aggregates into a private
+    // accumulator (recycled through a small pool) whose per-Gaussian
+    // partials are merged in chunk order below, so the aggregation is
+    // identical for every worker count.
     let groups = group_pixels_by_tile(pixels, tiles_x, tiles_y);
-    let mut accum = CamGradAccumulator::new(scene.len());
-    accum.reset(scene.len());
     let lookup = |id: u32| projected[proj_of_id[id as usize] as usize];
+    let threads = pool::resolve_threads(config.threads);
+    let acc_pool: Mutex<Vec<CamGradAccumulator>> = Mutex::new(Vec::new());
 
-    for (tile_idx, group) in groups.iter().enumerate() {
-        if group.is_empty() {
-            continue;
-        }
-        let list = &tile_lists[tile_idx];
-        if list.is_empty() {
-            continue;
-        }
-        let tx = tile_idx % tiles_x;
-        let ty = tile_idx / tiles_x;
-        let x0 = tx * TILE;
-        let y0 = ty * TILE;
-        let warps_per_tile = (TILE * TILE).div_ceil(WARP);
-        let mut warp_members: Vec<Vec<(PixelCoord, usize)>> = vec![Vec::new(); warps_per_tile];
-        for &(p, out_idx) in group {
-            let lane = (p.y as usize - y0) * TILE + (p.x as usize - x0);
-            warp_members[lane / WARP].push((p, out_idx));
-        }
-        for members in warp_members.iter().filter(|m| !m.is_empty()) {
-            // Each member keeps a cursor into its contribution list; the
-            // warp walks the tile list and a lane is active on the steps
-            // where its pixel's next contribution matches.
-            let mut cursors = vec![0usize; members.len()];
-            let b = &mut trace.backward;
-            for &pi in list.iter() {
-                let pg = &projected[pi as usize];
-                b.warp_steps += 1;
-                let mut active = 0u64;
-                for (mi, &(_, out_idx)) in members.iter().enumerate() {
-                    let contribs = &forward_result.contributions[out_idx];
-                    if cursors[mi] >= contribs.len() {
-                        continue;
+    #[derive(Default)]
+    struct TileBackwardPartial {
+        entries: Vec<(u32, crate::grad::CamGrad)>,
+        warp_steps: u64,
+        warp_active: u64,
+        alpha_checks: u64,
+        exp_evals: u64,
+        pairs_grad: u64,
+        atomic_adds: u64,
+        bytes_written: u64,
+    }
+    let partials = pool::par_chunks_indexed(threads, &groups, TILE_CHUNK, |_, offset, chunk| {
+        let mut acc = acc_pool
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| CamGradAccumulator::new(scene.len()));
+        acc.reset(scene.len());
+        let mut part = TileBackwardPartial::default();
+        for (k, group) in chunk.iter().enumerate() {
+            let tile_idx = offset + k;
+            if group.is_empty() {
+                continue;
+            }
+            let list = &tile_lists[tile_idx];
+            if list.is_empty() {
+                continue;
+            }
+            let tx = tile_idx % tiles_x;
+            let ty = tile_idx / tiles_x;
+            let x0 = tx * TILE;
+            let y0 = ty * TILE;
+            let warps_per_tile = (TILE * TILE).div_ceil(WARP);
+            let mut warp_members: Vec<Vec<(PixelCoord, usize)>> = vec![Vec::new(); warps_per_tile];
+            for &(p, out_idx) in group {
+                let lane = (p.y as usize - y0) * TILE + (p.x as usize - x0);
+                warp_members[lane / WARP].push((p, out_idx));
+            }
+            for members in warp_members.iter().filter(|m| !m.is_empty()) {
+                // Each member keeps a cursor into its contribution list; the
+                // warp walks the tile list and a lane is active on the steps
+                // where its pixel's next contribution matches.
+                let mut cursors = vec![0usize; members.len()];
+                for &pi in list.iter() {
+                    let pg = &projected[pi as usize];
+                    part.warp_steps += 1;
+                    let mut active = 0u64;
+                    for (mi, &(_, out_idx)) in members.iter().enumerate() {
+                        let contribs = &forward_result.contributions[out_idx];
+                        if cursors[mi] >= contribs.len() {
+                            continue;
+                        }
+                        // α re-check for this pair (exp on the SFU).
+                        part.alpha_checks += 1;
+                        part.exp_evals += 1;
+                        if contribs[cursors[mi]].gaussian == pg.id {
+                            active += 1;
+                            cursors[mi] += 1;
+                        }
                     }
-                    // α re-check for this pair (exp on the SFU).
-                    b.alpha_checks += 1;
-                    b.exp_evals += 1;
-                    if contribs[cursors[mi]].gaussian == pg.id {
-                        active += 1;
-                        cursors[mi] += 1;
-                    }
+                    part.warp_active += active;
                 }
-                b.warp_active += active;
+            }
+            // The gradient math itself (schedule-independent).
+            for &(p, out_idx) in group {
+                let counts = pixel_backward(
+                    p.center(),
+                    &forward_result.contributions[out_idx],
+                    &lookup,
+                    loss_grads[out_idx].d_color,
+                    loss_grads[out_idx].d_depth,
+                    config,
+                    config.background,
+                    &mut acc,
+                );
+                part.pairs_grad += counts.pairs;
+                part.atomic_adds += counts.atomic_adds;
+                part.bytes_written += counts.pairs * bytes::GRADIENT;
             }
         }
-        // The gradient math itself (schedule-independent).
-        for &(p, out_idx) in group {
-            let counts = pixel_backward(
-                p.center(),
-                &forward_result.contributions[out_idx],
-                &lookup,
-                loss_grads[out_idx].d_color,
-                loss_grads[out_idx].d_depth,
-                config,
-                config.background,
-                &mut accum,
-            );
-            let b = &mut trace.backward;
-            b.pairs_grad += counts.pairs;
-            b.atomic_adds += counts.atomic_adds;
-            b.bytes_written += counts.pairs * bytes::GRADIENT;
+        part.entries = acc.touched().iter().map(|&id| (id, acc.get(id))).collect();
+        acc_pool.lock().unwrap().push(acc);
+        part
+    });
+
+    let mut accum = CamGradAccumulator::new(scene.len());
+    accum.reset(scene.len());
+    {
+        let b = &mut trace.backward;
+        for part in partials {
+            b.warp_steps += part.warp_steps;
+            b.warp_active += part.warp_active;
+            b.alpha_checks += part.alpha_checks;
+            b.exp_evals += part.exp_evals;
+            b.pairs_grad += part.pairs_grad;
+            b.atomic_adds += part.atomic_adds;
+            b.bytes_written += part.bytes_written;
+            for (id, cg) in &part.entries {
+                accum.merge_entry(*id, cg);
+            }
         }
     }
 

@@ -1,0 +1,160 @@
+//! Cross-thread-count golden tests.
+//!
+//! The worker pool's contract (`splatonic_math::pool`) is that chunk
+//! boundaries and merge order never depend on the worker count, so forward
+//! images, backward gradients, and the full workload trace must be
+//! **bit-identical** for 1, 2, and 8 workers. These tests pin that contract
+//! on a seeded random scene for both pipelines.
+
+use splatonic_math::{Rng64, Vec3};
+use splatonic_render::loss::LossGrad;
+use splatonic_render::pixelset::{PixelCoord, PixelSet};
+use splatonic_render::{render_backward, render_forward, Pipeline, RenderConfig};
+use splatonic_scene::{Camera, Gaussian, GaussianScene, Intrinsics};
+
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+fn random_scene(seed: u64, n: usize) -> GaussianScene {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut scene = GaussianScene::new();
+    for _ in 0..n {
+        scene.push(Gaussian::new(
+            Vec3::new(
+                rng.gen_range(-1.5..1.5),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(1.0..4.0),
+            ),
+            Vec3::new(
+                rng.gen_range(0.05..0.3),
+                rng.gen_range(0.05..0.3),
+                rng.gen_range(0.05..0.3),
+            ),
+            splatonic_math::Quat::IDENTITY,
+            rng.gen_range(0.2..0.95),
+            Vec3::new(
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ),
+        ));
+    }
+    scene
+}
+
+fn camera() -> Camera {
+    Camera::look_at(
+        Intrinsics::with_fov(96, 72, 1.2),
+        Vec3::new(0.3, -0.2, -0.5),
+        Vec3::new(0.0, 0.0, 2.0),
+        Vec3::Y,
+    )
+}
+
+fn sparse_set() -> PixelSet {
+    let mut set = PixelSet::from_tile_chooser(96, 72, 8, |_, _, x0, y0, tw, th| {
+        Some(PixelCoord::new((x0 + tw / 2) as u16, (y0 + th / 2) as u16))
+    });
+    set.add_extra([PixelCoord::new(10, 11), PixelCoord::new(70, 45)]);
+    set
+}
+
+fn loss_grads(n: usize) -> Vec<LossGrad> {
+    (0..n)
+        .map(|i| LossGrad {
+            d_color: Vec3::new(0.2, -0.1, 0.15) * ((i % 7) as f64 - 3.0),
+            d_depth: 0.03 * ((i % 5) as f64 - 2.0),
+        })
+        .collect()
+}
+
+fn cfg(threads: usize) -> RenderConfig {
+    RenderConfig {
+        threads,
+        ..RenderConfig::default()
+    }
+}
+
+fn assert_forward_bit_identical(pipeline: Pipeline, pixels: &PixelSet) {
+    let scene = random_scene(31, 400);
+    let cam = camera();
+    let base = render_forward(&scene, &cam, pixels, pipeline, &cfg(1));
+    for threads in THREAD_COUNTS {
+        let out = render_forward(&scene, &cam, pixels, pipeline, &cfg(threads));
+        assert_eq!(base.color, out.color, "{pipeline:?} color, {threads} workers");
+        assert_eq!(base.depth, out.depth, "{pipeline:?} depth, {threads} workers");
+        assert_eq!(
+            base.final_transmittance, out.final_transmittance,
+            "{pipeline:?} Γ_final, {threads} workers"
+        );
+        assert_eq!(
+            base.contributions, out.contributions,
+            "{pipeline:?} contributions, {threads} workers"
+        );
+        assert_eq!(base.trace, out.trace, "{pipeline:?} trace, {threads} workers");
+    }
+}
+
+fn assert_backward_bit_identical(pipeline: Pipeline, pixels: &PixelSet) {
+    let scene = random_scene(57, 400);
+    let cam = camera();
+    let lg = loss_grads(pixels.len());
+    let fwd = render_forward(&scene, &cam, pixels, pipeline, &cfg(1));
+    let (g1, p1, t1) = render_backward(&scene, &cam, pixels, &fwd, &lg, pipeline, &cfg(1));
+    for threads in THREAD_COUNTS {
+        let (g, p, t) = render_backward(&scene, &cam, pixels, &fwd, &lg, pipeline, &cfg(threads));
+        assert_eq!(g1, g, "{pipeline:?} scene grads, {threads} workers");
+        assert_eq!(p1, p, "{pipeline:?} pose grad, {threads} workers");
+        assert_eq!(t1, t, "{pipeline:?} backward trace, {threads} workers");
+    }
+}
+
+#[test]
+fn pixel_forward_is_thread_count_invariant_sparse() {
+    assert_forward_bit_identical(Pipeline::PixelBased, &sparse_set());
+}
+
+#[test]
+fn pixel_forward_is_thread_count_invariant_dense() {
+    assert_forward_bit_identical(Pipeline::PixelBased, &PixelSet::dense(96, 72));
+}
+
+#[test]
+fn tile_forward_is_thread_count_invariant_sparse() {
+    assert_forward_bit_identical(Pipeline::TileBased, &sparse_set());
+}
+
+#[test]
+fn tile_forward_is_thread_count_invariant_dense() {
+    assert_forward_bit_identical(Pipeline::TileBased, &PixelSet::dense(96, 72));
+}
+
+#[test]
+fn pixel_backward_is_thread_count_invariant() {
+    assert_backward_bit_identical(Pipeline::PixelBased, &sparse_set());
+}
+
+#[test]
+fn tile_backward_is_thread_count_invariant() {
+    assert_backward_bit_identical(Pipeline::TileBased, &PixelSet::dense(96, 72));
+}
+
+#[test]
+fn merged_traces_are_thread_count_invariant() {
+    // Traces merged across several renders (the SLAM accumulation pattern)
+    // stay bit-identical too.
+    let scene = random_scene(101, 300);
+    let cam = camera();
+    let pixels = sparse_set();
+    let run = |threads: usize| {
+        let mut merged = splatonic_render::RenderTrace::new();
+        for pipeline in [Pipeline::PixelBased, Pipeline::TileBased] {
+            let out = render_forward(&scene, &cam, &pixels, pipeline, &cfg(threads));
+            merged.merge(&out.trace);
+        }
+        merged
+    };
+    let base = run(1);
+    for threads in THREAD_COUNTS {
+        assert_eq!(base, run(threads), "merged trace, {threads} workers");
+    }
+}

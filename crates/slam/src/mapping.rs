@@ -47,6 +47,9 @@ pub struct MappingOutput {
     pub iters: usize,
     /// Mean pixels rendered per optimization iteration.
     pub pixels_per_iter: f64,
+    /// Total pixels rendered across all optimization iterations (the
+    /// per-frame `map_sampled_pixels` of the run report).
+    pub sampled_pixels: usize,
 }
 
 /// Seeds an initial scene by back-projecting every `stride`-th valid-depth
@@ -295,6 +298,7 @@ pub fn map_scene_with_telemetry(
         pruned,
         iters: algo.mapping_iters,
         pixels_per_iter: pixels_total as f64 / algo.mapping_iters.max(1) as f64,
+        sampled_pixels: pixels_total,
     }
 }
 

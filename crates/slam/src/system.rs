@@ -166,6 +166,13 @@ impl SlamSystem {
     /// Panics if the dataset is empty.
     pub fn run_with_telemetry(&mut self, dataset: &Dataset, telemetry: &Telemetry) -> SlamResult {
         assert!(!dataset.is_empty(), "dataset must contain frames");
+        // Bracket the run so the render pool's per-worker busy time lands
+        // in the report as pool/worker<i> spans.
+        let pool_stats_before = if telemetry.is_enabled() {
+            splatonic_math::pool::worker_stats_snapshot()
+        } else {
+            Vec::new()
+        };
         let cfg = self.config;
         let algo = cfg.algorithm;
         let n = dataset.len();
@@ -215,7 +222,8 @@ impl SlamSystem {
                 frame_idx: 0,
                 track_iters: 0,
                 map_invoked: true,
-                sampled_pixels: 0,
+                sampled_pixels: 0, // tracking never runs on the anchor frame
+                map_sampled_pixels: m0.sampled_pixels,
                 gaussian_count: self.scene.len(),
                 psnr_db: self.frame_psnr(&dataset.frames[0], est_poses[0]),
                 ate_so_far_cm: 0.0, // the anchor pose is given
@@ -251,6 +259,7 @@ impl SlamSystem {
 
             let mut map_invoked = false;
             let mut map_ms = 0.0;
+            let mut map_sampled_pixels = 0usize;
             if t % algo.mapping_every == 0 {
                 keyframes.push(Keyframe {
                     frame: dataset.frames[t].clone(),
@@ -277,6 +286,7 @@ impl SlamSystem {
                 };
                 map_ms = map_start.elapsed().as_secs_f64() * 1e3;
                 map_invoked = true;
+                map_sampled_pixels = m.sampled_pixels;
                 mapping_trace.merge(&m.trace);
                 mapping_iters += m.iters;
                 mapping_invocations += 1;
@@ -288,6 +298,7 @@ impl SlamSystem {
                     track_iters: out.iters,
                     map_invoked,
                     sampled_pixels: (out.pixels_per_iter * out.iters as f64).round() as usize,
+                    map_sampled_pixels,
                     gaussian_count: self.scene.len(),
                     psnr_db: self.frame_psnr(&dataset.frames[t], out.pose),
                     ate_so_far_cm: ate_rmse_cm(&est_poses, &dataset.gt_poses[..=t]),
@@ -306,6 +317,7 @@ impl SlamSystem {
         telemetry.counter_add("slam/mapping_iters", mapping_iters as u64);
         telemetry.counter_add("slam/mapping_invocations", mapping_invocations as u64);
         telemetry.gauge_set("slam/scene_size", self.scene.len() as f64);
+        telemetry.record_pool_workers(&pool_stats_before);
 
         SlamResult {
             est_poses,
@@ -430,6 +442,19 @@ mod tests {
         assert_eq!(report.frames.len(), r.frames);
         assert!(report.frames[1..].iter().all(|f| f.track_iters > 0));
         assert!(report.frames.iter().any(|f| f.map_invoked));
+        // Every mapping invocation renders pixels, and that count must reach
+        // the frame record (anchor frame included).
+        for f in &report.frames {
+            if f.map_invoked {
+                assert!(
+                    f.map_sampled_pixels > 0,
+                    "frame {} mapped but reports zero sampled pixels",
+                    f.frame_idx
+                );
+            } else {
+                assert_eq!(f.map_sampled_pixels, 0, "frame {}", f.frame_idx);
+            }
+        }
         assert!(report.frames.last().unwrap().psnr_db.is_finite());
         assert!(report.frames.last().unwrap().ate_so_far_cm.is_finite());
         // Nested spans: render passes under tracking and mapping.
@@ -477,6 +502,29 @@ mod tests {
         assert_eq!(ra.est_poses, rb.est_poses);
         assert_eq!(ra.ate_cm, rb.ate_cm);
         assert_eq!(ra.tracking_trace, rb.tracking_trace);
+    }
+
+    #[test]
+    fn slam_results_identical_across_thread_counts() {
+        // End-to-end determinism: the whole SLAM loop — sampling, tracking,
+        // mapping, densify/prune — must be bit-identical for every worker
+        // count (the pool's golden contract, satellite of PR 3).
+        let d = tiny();
+        let run = |threads: usize| {
+            let mut cfg = SlamConfig::default();
+            cfg.render.threads = threads;
+            SlamSystem::new(cfg, d.intrinsics).run(&d)
+        };
+        let r1 = run(1);
+        for threads in [2, 8] {
+            let r = run(threads);
+            assert_eq!(r1.est_poses, r.est_poses, "{threads} workers");
+            assert_eq!(r1.ate_cm.to_bits(), r.ate_cm.to_bits(), "{threads} workers");
+            assert_eq!(r1.psnr_db.to_bits(), r.psnr_db.to_bits(), "{threads} workers");
+            assert_eq!(r1.tracking_trace, r.tracking_trace, "{threads} workers");
+            assert_eq!(r1.mapping_trace, r.mapping_trace, "{threads} workers");
+            assert_eq!(r1.scene_size, r.scene_size, "{threads} workers");
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct FrameRecord {
     pub map_invoked: bool,
     /// Pixels sampled by tracking across its iterations.
     pub sampled_pixels: usize,
+    /// Pixels sampled by mapping across its optimization iterations (0 when
+    /// mapping did not run).
+    pub map_sampled_pixels: usize,
     /// Scene size (Gaussians) after processing this frame.
     pub gaussian_count: usize,
     /// PSNR of the current map rendered at the estimated pose (dB); NaN
@@ -41,6 +44,7 @@ impl FrameRecord {
             .set("track_iters", self.track_iters)
             .set("map_invoked", self.map_invoked)
             .set("sampled_pixels", self.sampled_pixels)
+            .set("map_sampled_pixels", self.map_sampled_pixels)
             .set("gaussian_count", self.gaussian_count)
             .set("psnr_db", self.psnr_db)
             .set("ate_so_far_cm", self.ate_so_far_cm)
@@ -62,6 +66,7 @@ mod tests {
             track_iters: 10,
             map_invoked: true,
             sampled_pixels: 120,
+            map_sampled_pixels: 200,
             gaussian_count: 5000,
             psnr_db: 21.5,
             ate_so_far_cm: 0.8,
@@ -73,6 +78,7 @@ mod tests {
         assert_eq!(doc.get("map_invoked").unwrap(), &Json::Bool(true));
         assert_eq!(doc.get("psnr_db").unwrap().as_f64(), Some(21.5));
         assert_eq!(doc.get("ate_so_far_cm").unwrap().as_f64(), Some(0.8));
+        assert_eq!(doc.get("map_sampled_pixels").unwrap().as_f64(), Some(200.0));
     }
 
     #[test]
@@ -82,6 +88,7 @@ mod tests {
             track_iters: 0,
             map_invoked: false,
             sampled_pixels: 0,
+            map_sampled_pixels: 0,
             gaussian_count: 0,
             psnr_db: f64::NAN,
             ate_so_far_cm: 0.0,

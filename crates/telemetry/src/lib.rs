@@ -34,6 +34,7 @@ pub use json::Json;
 pub use report::{utc_date, AccuracySummary, RunReport};
 pub use span::SpanStats;
 
+use splatonic_math::pool;
 use splatonic_render::trace::{BackwardStats, ForwardStats, RenderTrace};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -126,6 +127,50 @@ impl Telemetry {
     pub fn record_frame(&self, record: FrameRecord) {
         if let Some(cell) = &self.inner {
             cell.borrow_mut().frames.push(record);
+        }
+    }
+
+    /// Records one externally-measured duration under `path`, without
+    /// touching the live span stack.
+    ///
+    /// Used to import measurements the RAII guards cannot take themselves —
+    /// e.g. per-worker busy time from the render worker pool, whose threads
+    /// never see this (`!Sync`) handle.
+    pub fn record_span_ms(&self, path: &str, ms: f64) {
+        if let Some(cell) = &self.inner {
+            cell.borrow_mut()
+                .spans
+                .entry(path.to_string())
+                .or_default()
+                .record(ms);
+        }
+    }
+
+    /// Imports the render worker pool's per-worker activity since `before`
+    /// (a [`pool::worker_stats_snapshot`] taken earlier) as `pool/worker<i>`
+    /// spans, plus a `pool/workers` gauge with the number of active workers.
+    ///
+    /// The pool registry is process-global and monotonic, so callers bracket
+    /// the phase of interest with a snapshot and this call.
+    pub fn record_pool_workers(&self, before: &[pool::WorkerStats]) {
+        if self.inner.is_none() {
+            return;
+        }
+        let after = pool::worker_stats_snapshot();
+        let mut active = 0u64;
+        for w in &after {
+            let prev_ms = before
+                .iter()
+                .find(|b| b.worker == w.worker)
+                .map_or(0.0, |b| b.busy_ms);
+            let delta = w.busy_ms - prev_ms;
+            if delta > 0.0 {
+                active += 1;
+                self.record_span_ms(&format!("pool/worker{}", w.worker), delta);
+            }
+        }
+        if active > 0 {
+            self.gauge_set("pool/workers", active as f64);
         }
     }
 
@@ -336,6 +381,43 @@ mod tests {
     }
 
     #[test]
+    fn record_span_ms_bypasses_the_stack() {
+        let t = Telemetry::enabled();
+        {
+            let _outer = t.span("tracking");
+            // Imported spans land at their own path, not under "tracking/".
+            t.record_span_ms("pool/worker0", 3.0);
+            t.record_span_ms("pool/worker0", 5.0);
+        }
+        let report = t.finish("r", AccuracySummary::default());
+        let (_, stats) = report
+            .spans
+            .iter()
+            .find(|(p, _)| p == "pool/worker0")
+            .expect("imported span present");
+        assert_eq!(stats.count(), 2);
+        assert!((stats.total_ms() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_worker_deltas_become_spans() {
+        let t = Telemetry::enabled();
+        let before = pool::worker_stats_snapshot();
+        // Drive the pool so at least worker 0 accrues busy time.
+        let items: Vec<u64> = (0..4096).collect();
+        let _ = pool::par_chunks_indexed(2, &items, 64, |_, _, c| {
+            c.iter().map(|&x| x.wrapping_mul(x)).sum::<u64>()
+        });
+        t.record_pool_workers(&before);
+        let report = t.finish("r", AccuracySummary::default());
+        assert!(
+            report.spans.iter().any(|(p, _)| p.starts_with("pool/worker")),
+            "expected pool worker spans, got {:?}",
+            report.spans.iter().map(|(p, _)| p).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn disabled_handle_records_nothing() {
         let t = Telemetry::disabled();
         assert!(!t.is_enabled());
@@ -348,6 +430,7 @@ mod tests {
                 track_iters: 0,
                 map_invoked: false,
                 sampled_pixels: 0,
+                map_sampled_pixels: 0,
                 gaussian_count: 0,
                 psnr_db: 0.0,
                 ate_so_far_cm: 0.0,

@@ -225,6 +225,7 @@ mod tests {
                 track_iters: 10,
                 map_invoked: false,
                 sampled_pixels: 48,
+                map_sampled_pixels: 0,
                 gaussian_count: 900,
                 psnr_db: 20.0,
                 ate_so_far_cm: 0.4,

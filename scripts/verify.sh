@@ -9,8 +9,13 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --workspace --release =="
 cargo build --workspace --release
 
-echo "== cargo test --workspace --release -q =="
+echo "== cargo test --workspace --release -q (default parallelism) =="
 cargo test --workspace --release -q
+
+echo "== cargo test --workspace --release -q (SPLATONIC_THREADS=1) =="
+# The worker pool must be bit-identical at every width; re-running the
+# whole suite pinned to one worker catches any schedule-dependent output.
+SPLATONIC_THREADS=1 cargo test --workspace --release -q
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
