@@ -94,8 +94,8 @@ impl GsArchModel {
     pub fn price(&self, w: &FrameWorkload) -> BaselineReport {
         let slots = w.tile_warp_steps as f64 * 32.0;
         let fwd_bytes = w.fwd_bytes as f64 * self.dram_traffic_factor;
-        let bwd_bytes = (w.bwd_bytes + w.total_grad_entries() * 48) as f64
-            * self.dram_traffic_factor;
+        let bwd_bytes =
+            (w.bwd_bytes + w.total_grad_entries() * 48) as f64 * self.dram_traffic_factor;
         let fwd_compute = w.gaussians as f64 / self.proj_per_cycle
             + w.tile_pairs as f64 / self.sort_per_cycle
             + slots * self.slot_cpi / self.pe_lanes;
@@ -103,8 +103,7 @@ impl GsArchModel {
         let forward = fwd_compute.max(fwd_dram) / self.clock_hz;
 
         let grads = w.total_grad_entries() as f64;
-        let bwd_compute =
-            slots * self.bwd_slot_cpi / self.pe_lanes + grads / self.accum_per_cycle;
+        let bwd_compute = slots * self.bwd_slot_cpi / self.pe_lanes + grads / self.accum_per_cycle;
         let bwd_dram = self.dram.transfer_cycles(bwd_bytes as u64, self.clock_hz);
         let backward = bwd_compute.max(bwd_dram) / self.clock_hz;
 
@@ -176,10 +175,10 @@ impl GauSpuModel {
         let slots = w.tile_warp_steps as f64 * 32.0;
         let fwd = slots * self.slot_cpi / self.pe_lanes / self.clock_hz;
         let grads = w.total_grad_entries() as f64;
-        let bwd = (slots * self.slot_cpi / self.pe_lanes + grads / self.accum_per_cycle)
-            / self.clock_hz;
-        let accel_energy = (slots * 2.0 + grads) * self.pj_per_slot * 1e-12
-            + self.static_watts * (fwd + bwd);
+        let bwd =
+            (slots * self.slot_cpi / self.pe_lanes + grads / self.accum_per_cycle) / self.clock_hz;
+        let accel_energy =
+            (slots * 2.0 + grads) * self.pj_per_slot * 1e-12 + self.static_watts * (fwd + bwd);
         // The GPU must stay powered across the whole pipelined iteration
         // (it feeds projection/sorting results to the accelerator), so its
         // static power is charged over the full latency — the reason the

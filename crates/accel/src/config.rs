@@ -120,16 +120,12 @@ impl SplatonicConfig {
 
     /// Total blend throughput per cycle.
     pub fn blend_rate(&self) -> f64 {
-        self.raster_engines as f64
-            * self.render_units_per_engine as f64
-            * self.blend_per_unit_cycle
+        self.raster_engines as f64 * self.render_units_per_engine as f64 * self.blend_per_unit_cycle
     }
 
     /// Total gradient throughput per cycle.
     pub fn grad_rate(&self) -> f64 {
-        self.raster_engines as f64
-            * self.reverse_units_per_engine as f64
-            * self.grad_per_unit_cycle
+        self.raster_engines as f64 * self.reverse_units_per_engine as f64 * self.grad_per_unit_cycle
     }
 }
 

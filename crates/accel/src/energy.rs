@@ -146,7 +146,9 @@ mod tests {
             proj_candidates: vec![4; 800],
             pairs_kept: 500,
             pixel_lists: vec![10; 50],
-            grad_stream: (0..50u32).map(|p| (0..10).map(|k| p * 10 + k).collect()).collect(),
+            grad_stream: (0..50u32)
+                .map(|p| (0..10).map(|k| p * 10 + k).collect())
+                .collect(),
             fwd_bytes: 100_000,
             bwd_bytes: 50_000,
             pixels: 50,

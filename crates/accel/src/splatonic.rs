@@ -165,8 +165,7 @@ impl SplatonicAccel {
                 }
             })
             .sum();
-        let sorting_cycles =
-            sort_work / (c.sorting_units as f64 * c.sort_elems_per_unit_cycle);
+        let sorting_cycles = sort_work / (c.sorting_units as f64 * c.sort_elems_per_unit_cycle);
 
         // Rasterization: render units blend pre-filtered pairs; one
         // reduction step per pixel.
@@ -206,8 +205,9 @@ impl SplatonicAccel {
         // (handled by the aggregation unit's cache) plus the final
         // re-projected parameter updates; pair lists stay on-chip.
         let hw_bwd_bytes = touched as u64 * 48;
-        let bwd_dram_cycles =
-            self.dram.transfer_cycles(hw_bwd_bytes + aggregation.dram_bytes, clock);
+        let bwd_dram_cycles = self
+            .dram
+            .transfer_cycles(hw_bwd_bytes + aggregation.dram_bytes, clock);
 
         AccelReport {
             projection_cycles,

@@ -97,9 +97,9 @@ impl FrameWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use splatonic_math::Vec3;
     use splatonic_render::trace::RenderTrace;
     use splatonic_render::Contribution;
-    use splatonic_math::Vec3;
 
     fn fake_forward() -> ForwardResult {
         let mut trace = RenderTrace::new();
@@ -137,7 +137,8 @@ mod tests {
 
     #[test]
     fn extracts_grad_stream_in_reverse_order() {
-        let w = FrameWorkload::from_render(&fake_forward(), &RenderTrace::new(), Pipeline::PixelBased);
+        let w =
+            FrameWorkload::from_render(&fake_forward(), &RenderTrace::new(), Pipeline::PixelBased);
         assert_eq!(w.grad_stream.len(), 2);
         // Reverse integration: farthest Gaussian first.
         assert_eq!(w.grad_stream[0], vec![7, 4]);

@@ -22,14 +22,17 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
-    let settings = if quick { Settings::quick() } else { Settings::full() };
-    let report_path = args
-        .iter()
-        .position(|a| a == "--report")
-        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| {
+    let settings = if quick {
+        Settings::quick()
+    } else {
+        Settings::full()
+    };
+    let report_path = args.iter().position(|a| a == "--report").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("--report requires a path argument");
             std::process::exit(2);
-        }));
+        })
+    });
     let mut ids: Vec<&str> = {
         let mut skip_next = false;
         args.iter()
@@ -56,7 +59,10 @@ fn main() {
         for table in run_experiment(id, &settings) {
             println!("{table}");
         }
-        eprintln!("[figures] {id} done in {:.1}s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "[figures] {id} done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
     }
     if let Some(path) = report_path {
         let start = std::time::Instant::now();

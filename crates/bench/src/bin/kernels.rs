@@ -9,10 +9,16 @@
 //!
 //! Usage:
 //!   kernels [--iters N] [--threads N] [--report out.json]
+//!           [--no-binning] [--no-cache]
 //!
 //! `--threads` sets the render worker-pool width (0 = auto: the
 //! `SPLATONIC_THREADS` environment variable, then host parallelism).
 //! Results are bit-identical for every value; only wall-clock changes.
+//!
+//! `--no-binning` / `--no-cache` disable the screen-space bin index and
+//! the cross-iteration projection cache for A/B comparison — rendered
+//! output is bit-identical either way, so only the timing spans and the
+//! `binning/` / `cache/` gauges move.
 
 use splatonic::telemetry::{AccuracySummary, Telemetry};
 use splatonic_accel::{AggregationConfig, DramModel, FrameWorkload, SplatonicAccel};
@@ -26,7 +32,10 @@ const W: usize = 96;
 const H: usize = 72;
 
 fn bench_scene() -> (splatonic_scene::GaussianScene, Camera) {
-    let world = WorldBuilder::new(5).gaussian_spacing(0.25).furniture(3).build();
+    let world = WorldBuilder::new(5)
+        .gaussian_spacing(0.25)
+        .furniture(3)
+        .build();
     let cam = Camera::look_at(
         Intrinsics::with_fov(W, H, 1.25),
         splatonic_math::Vec3::new(0.6, -0.1, -0.4),
@@ -79,6 +88,8 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let binning = !args.iter().any(|a| a == "--no-binning");
+    let cache = !args.iter().any(|a| a == "--no-cache");
     let t = Telemetry::enabled();
     let pool_stats_before = splatonic::pool::worker_stats_snapshot();
 
@@ -86,6 +97,8 @@ fn main() {
     let (scene, cam) = bench_scene();
     let cfg = RenderConfig {
         threads,
+        binning,
+        cache,
         ..RenderConfig::default()
     };
     let dense = PixelSet::dense(W, H);
@@ -102,6 +115,35 @@ fn main() {
             let _span = t.span(name);
             std::hint::black_box(render_forward(&scene, &cam, pixels, pipeline, &cfg));
         }
+    }
+
+    // A/B candidate-evaluation accounting on the sparse pixel schedule:
+    // with binning every sampled pixel walks only its bin's candidate list
+    // (`bin_candidates`), without it every pixel considers every projected
+    // Gaussian (`gaussians_input × pixels`). Output is bit-identical.
+    {
+        let out = render_forward(&scene, &cam, &sparse, Pipeline::PixelBased, &cfg);
+        let naive = out.trace.forward.gaussians_input * sparse.len() as u64;
+        let binned = out.trace.forward.bin_candidates;
+        t.gauge_set("binning/naive_candidates", naive as f64);
+        t.gauge_set("binning/bin_candidates", binned as f64);
+        if binned > 0 {
+            let reduction = naive as f64 / binned as f64;
+            t.gauge_set("binning/candidate_reduction", reduction);
+            eprintln!(
+                "[kernels] pixel_sparse16 candidate evaluations: \
+                 exhaustive {naive} vs binned {binned} ({reduction:.1}x reduction)"
+            );
+        } else {
+            eprintln!(
+                "[kernels] pixel_sparse16 candidate evaluations: \
+                 exhaustive {naive} (binning disabled)"
+            );
+        }
+        let cache_stats = splatonic_render::projcache::stats();
+        t.gauge_set("cache/hits", cache_stats.hits as f64);
+        t.gauge_set("cache/misses", cache_stats.misses as f64);
+        t.gauge_set("cache/invalidations", cache_stats.invalidations as f64);
     }
 
     // Backward kernel on the sparse pixel-based schedule.

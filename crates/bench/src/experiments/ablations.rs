@@ -78,8 +78,7 @@ pub fn preemptive_alpha(settings: &Settings) -> Vec<Table> {
     // Without preemption: every candidate flows into rasterization, where
     // it is α-checked (1 extra unit-cycle each) and mostly discarded.
     let candidates: f64 = w.proj_candidates.iter().map(|&c| c as f64).sum();
-    let without_raster =
-        candidates * 2.0 / accel.config.blend_rate() + w.pixels as f64;
+    let without_raster = candidates * 2.0 / accel.config.blend_rate() + w.pixels as f64;
     let mut t = Table::new(
         "Ablation — preemptive alpha-checking (forward rasterization cycles)",
         &["variant", "raster cycles", "note"],
@@ -117,7 +116,8 @@ pub fn gamma_cache(settings: &Settings) -> Vec<Table> {
     // parallelizable across lanes) before the gradient pass.
     let prefix: f64 = w.pixel_lists.iter().map(|&l| l as f64).sum();
     let alpha_recompute = prefix / accel.config.alpha_check_rate();
-    let without = with.reverse_cycles + prefix / accel.config.raster_engines as f64 + alpha_recompute;
+    let without =
+        with.reverse_cycles + prefix / accel.config.raster_engines as f64 + alpha_recompute;
     let mut t = Table::new(
         "Ablation — forward Gamma/C caching (reverse-render cycles)",
         &["variant", "reverse cycles", "note"],

@@ -35,7 +35,13 @@ pub fn fig10(settings: &Settings) -> Vec<Table> {
     // Dense reference line (the red line of the paper's figure).
     let dense: Vec<f64> = seqs
         .iter()
-        .map(|d| run(d, SlamConfig::dense_baseline(AlgorithmPreset::SplaTam.config())).ate_cm)
+        .map(|d| {
+            run(
+                d,
+                SlamConfig::dense_baseline(AlgorithmPreset::SplaTam.config()),
+            )
+            .ate_cm
+        })
         .collect();
     t.row(["Dense (reference)", "-", &fmt_f(mean(&dense), 2)]);
     for &tile in tiles {
@@ -149,7 +155,10 @@ pub fn fig24(settings: &Settings) -> Vec<Table> {
     let (base_ate, base_psnr): (Vec<f64>, Vec<f64>) = seqs
         .iter()
         .map(|d| {
-            let r = run(d, SlamConfig::dense_baseline(AlgorithmPreset::SplaTam.config()));
+            let r = run(
+                d,
+                SlamConfig::dense_baseline(AlgorithmPreset::SplaTam.config()),
+            );
             (r.ate_cm, r.psnr_db)
         })
         .unzip();
@@ -173,7 +182,11 @@ pub fn fig24(settings: &Settings) -> Vec<Table> {
                 (r.ate_cm, r.psnr_db)
             })
             .unzip();
-        t.row([name.to_string(), fmt_f(mean(&ate), 2), fmt_f(mean(&psnr), 2)]);
+        t.row([
+            name.to_string(),
+            fmt_f(mean(&ate), 2),
+            fmt_f(mean(&psnr), 2),
+        ]);
     }
     vec![t]
 }
@@ -184,7 +197,11 @@ pub fn fig24(settings: &Settings) -> Vec<Table> {
 pub fn fig26(settings: &Settings) -> Vec<Table> {
     let cfg = settings.dataset_config();
     let d = Dataset::replica_like("office2", 106, cfg);
-    let tiles: &[usize] = if settings.quick { &[2, 4, 8] } else { &[1, 2, 4, 8, 16] };
+    let tiles: &[usize] = if settings.quick {
+        &[2, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
     let mut t = Table::new(
         "Fig. 26 — accuracy vs mapping tile size (SplaTAM, office2)",
         &["w_m", "ATE (cm)", "PSNR (dB)"],
@@ -193,7 +210,11 @@ pub fn fig26(settings: &Settings) -> Vec<Table> {
         let mut sc = SlamConfig::splatonic(AlgorithmPreset::SplaTam.config());
         sc.mapping_tile = tile;
         let r = run(&d, sc);
-        t.row([format!("{tile}x{tile}"), fmt_f(r.ate_cm, 2), fmt_f(r.psnr_db, 2)]);
+        t.row([
+            format!("{tile}x{tile}"),
+            fmt_f(r.ate_cm, 2),
+            fmt_f(r.psnr_db, 2),
+        ]);
     }
     vec![t]
 }

@@ -25,7 +25,12 @@ pub fn fig04(settings: &Settings) -> Vec<Table> {
     let map_iter = track_iter; // dense mapping iteration has the same shape
     let mut t = Table::new(
         "Fig. 4 — amortized per-frame latency: tracking vs mapping (dense baseline, GPU model)",
-        &["algorithm", "tracking/frame", "mapping/frame (amortized)", "ratio"],
+        &[
+            "algorithm",
+            "tracking/frame",
+            "mapping/frame (amortized)",
+            "ratio",
+        ],
     );
     for preset in AlgorithmPreset::all() {
         let c = preset.config();
@@ -145,7 +150,10 @@ pub fn fig09(settings: &Settings) -> Vec<Table> {
     );
     t.row([
         "rasterization".to_string(),
-        format!("{:.1}%", 100.0 * fwd_sfu / r.forward.rasterization.max(1e-12)),
+        format!(
+            "{:.1}%",
+            100.0 * fwd_sfu / r.forward.rasterization.max(1e-12)
+        ),
         "43.4%".to_string(),
     ]);
     t.row([

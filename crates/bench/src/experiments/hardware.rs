@@ -3,7 +3,9 @@
 use crate::experiments::{canonical_scenario, measurements};
 use crate::tables::{fmt_f, fmt_x, Table};
 use crate::Settings;
-use splatonic::harness::{measure_mapping_iteration, measure_tracking_iteration, IterationMeasurement};
+use splatonic::harness::{
+    measure_mapping_iteration, measure_tracking_iteration, IterationMeasurement,
+};
 use splatonic::prelude::*;
 use splatonic_accel::{AreaBudget, DramModel, SplatonicAccel, SplatonicConfig};
 
@@ -26,12 +28,36 @@ fn variant_table(
     let (gpu_t, gpu_e) = cost(HardwareTarget::GpuTile, tile_dense);
     let rows: Vec<(&str, f64, f64)> = vec![
         ("GPU", gpu_t, gpu_e),
-        ("GauSPU", cost(HardwareTarget::GauSpu, tile_dense).0, cost(HardwareTarget::GauSpu, tile_dense).1),
-        ("GauSPU+S", cost(HardwareTarget::GauSpu, tile_sparse).0, cost(HardwareTarget::GauSpu, tile_sparse).1),
-        ("GSArch", cost(HardwareTarget::GsArch, tile_dense).0, cost(HardwareTarget::GsArch, tile_dense).1),
-        ("GSArch+S", cost(HardwareTarget::GsArch, tile_sparse).0, cost(HardwareTarget::GsArch, tile_sparse).1),
-        ("SPLATONIC-SW", cost(HardwareTarget::GpuPixel, pixel_sparse).0, cost(HardwareTarget::GpuPixel, pixel_sparse).1),
-        ("SPLATONIC-HW", cost(HardwareTarget::SplatonicHw, pixel_sparse).0, cost(HardwareTarget::SplatonicHw, pixel_sparse).1),
+        (
+            "GauSPU",
+            cost(HardwareTarget::GauSpu, tile_dense).0,
+            cost(HardwareTarget::GauSpu, tile_dense).1,
+        ),
+        (
+            "GauSPU+S",
+            cost(HardwareTarget::GauSpu, tile_sparse).0,
+            cost(HardwareTarget::GauSpu, tile_sparse).1,
+        ),
+        (
+            "GSArch",
+            cost(HardwareTarget::GsArch, tile_dense).0,
+            cost(HardwareTarget::GsArch, tile_dense).1,
+        ),
+        (
+            "GSArch+S",
+            cost(HardwareTarget::GsArch, tile_sparse).0,
+            cost(HardwareTarget::GsArch, tile_sparse).1,
+        ),
+        (
+            "SPLATONIC-SW",
+            cost(HardwareTarget::GpuPixel, pixel_sparse).0,
+            cost(HardwareTarget::GpuPixel, pixel_sparse).1,
+        ),
+        (
+            "SPLATONIC-HW",
+            cost(HardwareTarget::SplatonicHw, pixel_sparse).0,
+            cost(HardwareTarget::SplatonicHw, pixel_sparse).1,
+        ),
     ];
     let mut perf = Table::new(title_perf, &["variant", "speedup vs GPU"]);
     let mut energy = Table::new(title_energy, &["variant", "energy savings vs GPU"]);
@@ -78,7 +104,11 @@ pub fn fig25(settings: &Settings) -> Vec<Table> {
     let scenario = canonical_scenario(settings);
     let dense_tile = splatonic::harness::measure_dense_iteration(&scenario, Pipeline::TileBased);
     let (gpu_t, _) = cost(HardwareTarget::GpuTile, &dense_tile);
-    let tiles: &[usize] = if settings.quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16] };
+    let tiles: &[usize] = if settings.quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
     let mut t = Table::new(
         "Fig. 25 — tracking speedup vs GPU across sampling tile sizes",
         &["tile", "GSArch(+S)", "SPLATONIC-HW"],
@@ -128,8 +158,7 @@ pub fn fig27(settings: &Settings) -> Vec<Table> {
         let one = |m: &IterationMeasurement| accel.price(&m.workload).total_seconds();
         // Per-frame cost at the SplaTAM budgets.
         one(&track) * algo.tracking_iters as f64
-            + (one(&map_dense)
-                + one(&map_sparse) * (algo.mapping_iters - 1) as f64)
+            + (one(&map_dense) + one(&map_sparse) * (algo.mapping_iters - 1) as f64)
                 / algo.mapping_every as f64
     };
     let base = price(8, 4);
@@ -139,7 +168,10 @@ pub fn fig27(settings: &Settings) -> Vec<Table> {
     );
     for &proj in &[2usize, 4, 8, 16] {
         for &render in &[2usize, 4, 8] {
-            t.row([format!("{proj}p{render}r"), fmt_f(base / price(proj, render), 2)]);
+            t.row([
+                format!("{proj}p{render}r"),
+                fmt_f(base / price(proj, render), 2),
+            ]);
         }
     }
     vec![t]
@@ -169,7 +201,11 @@ pub fn area(_settings: &Settings) -> Vec<Table> {
         fmt_f(a.sram_mm2, 3),
         format!("{:.0}%", s * 100.0),
     ]);
-    t.row(["total".to_string(), fmt_f(a.total_mm2(), 2), "100%".to_string()]);
+    t.row([
+        "total".to_string(),
+        fmt_f(a.total_mm2(), 2),
+        "100%".to_string(),
+    ]);
     let mut cmp = Table::new("Area — comparison", &["accelerator", "mm^2"]);
     cmp.row(["SPLATONIC", &fmt_f(a.total_mm2(), 2)]);
     cmp.row(["GSCore", &fmt_f(AreaBudget::GSCORE_MM2, 2)]);

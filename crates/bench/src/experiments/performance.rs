@@ -64,7 +64,11 @@ pub fn fig14(settings: &Settings) -> Vec<Table> {
     let gpu = GpuConfig::orin_like();
     let mut t = Table::new(
         "Fig. 14 — bottleneck shift with pixel-based rendering (tracking)",
-        &["variant", "projection share (fwd)", "rev-raster share (bwd)"],
+        &[
+            "variant",
+            "projection share (fwd)",
+            "rev-raster share (bwd)",
+        ],
     );
     for (name, m) in [("Org.+S", &ms.sparse_tile), ("Ours", &ms.sparse_pixel)] {
         let r = gpu.price(&m.trace, m.pipeline);
@@ -103,7 +107,13 @@ pub fn fig19(settings: &Settings) -> Vec<Table> {
     let [(s_speed, s_save), (ours_speed, ours_save)] = tracking_speedups(&ms);
     let mut t = Table::new(
         "Fig. 19 — end-to-end GPU speedup & energy savings vs dense baseline",
-        &["algorithm", "ORG.+S speedup", "ORG.+S energy saved", "SPLATONIC speedup", "SPLATONIC energy saved"],
+        &[
+            "algorithm",
+            "ORG.+S speedup",
+            "ORG.+S energy saved",
+            "SPLATONIC speedup",
+            "SPLATONIC energy saved",
+        ],
     );
     for preset in AlgorithmPreset::all() {
         // The workload shape (and thus the per-iteration ratio) is shared;
@@ -137,11 +147,7 @@ pub fn fig20(settings: &Settings) -> Vec<Table> {
         fmt_x(org_t / ours_t),
         format!("{:.1}%", 100.0 * (1.0 - ours_e / org_e)),
     ]);
-    t.row([
-        "paper".to_string(),
-        "3.2x".to_string(),
-        "60.0%".to_string(),
-    ]);
+    t.row(["paper".to_string(), "3.2x".to_string(), "60.0%".to_string()]);
     vec![t]
 }
 
@@ -155,7 +161,13 @@ pub fn fig21(settings: &Settings) -> Vec<Table> {
     let (o_r, o_rr) = stage_latencies(&ms.sparse_pixel);
     let mut t = Table::new(
         "Fig. 21 — bottleneck-stage speedups during tracking",
-        &["algorithm", "Org.+S raster", "Org.+S rev-raster", "Ours raster", "Ours rev-raster"],
+        &[
+            "algorithm",
+            "Org.+S raster",
+            "Org.+S rev-raster",
+            "Ours raster",
+            "Ours rev-raster",
+        ],
     );
     for preset in AlgorithmPreset::all() {
         t.row([

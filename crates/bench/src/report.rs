@@ -84,7 +84,12 @@ mod tests {
 
         // Per-span timing for tracking and mapping.
         let spans = doc.get("spans").expect("spans section");
-        for path in ["tracking", "tracking/forward", "mapping", "mapping/backward"] {
+        for path in [
+            "tracking",
+            "tracking/forward",
+            "mapping",
+            "mapping/backward",
+        ] {
             assert!(spans.get(path).is_some(), "missing span {path}");
         }
         // Merged forward/backward workload counters.
@@ -109,6 +114,12 @@ mod tests {
             let key = format!("{}/seconds", target_slug(target));
             assert!(gauges.get(&key).is_some(), "missing gauge {key}");
         }
-        assert!(doc.get("accuracy").unwrap().get("ate_cm").unwrap().as_f64().is_some());
+        assert!(doc
+            .get("accuracy")
+            .unwrap()
+            .get("ate_cm")
+            .unwrap()
+            .as_f64()
+            .is_some());
     }
 }

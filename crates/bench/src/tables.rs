@@ -78,7 +78,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.columns))?;
-        writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1))))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1)))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

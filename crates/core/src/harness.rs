@@ -162,7 +162,12 @@ fn measure_iteration(
 ) -> IterationMeasurement {
     let cfg = RenderConfig::default();
     let out = render_forward(scene, cam, pixels, pipeline, &cfg);
-    let l = loss::evaluate_loss(&out, frame, pixels, &splatonic_render::LossConfig::default());
+    let l = loss::evaluate_loss(
+        &out,
+        frame,
+        pixels,
+        &splatonic_render::LossConfig::default(),
+    );
     let (_, _, bwd) = render_backward(scene, cam, pixels, &out, &l.grads, pipeline, &cfg);
     let workload = FrameWorkload::from_render(&out, &bwd, pipeline);
     let mut trace = out.trace.clone();
@@ -209,10 +214,7 @@ mod tests {
         assert!(pixel.trace.forward.proj_alpha_checks > 0);
         assert_eq!(tile.pixels, pixel.pixels);
         // Same sampling seed → same pixels → same integrated pairs.
-        assert_eq!(
-            tile.workload.total_pairs(),
-            pixel.workload.total_pairs()
-        );
+        assert_eq!(tile.workload.total_pairs(), pixel.workload.total_pairs());
     }
 
     #[test]

@@ -54,8 +54,10 @@ impl GpuEnergyModel {
             + (f.proj_alpha_checks + f.proj_pairs_kept + f.tile_pairs) as f64
                 * self.pj_per_sort_elem);
         let atomic = pj(b.atomic_adds as f64 * self.pj_per_atomic);
-        let dram = pj((f.bytes_read + f.bytes_written + b.bytes_read + b.bytes_written) as f64
-            * self.pj_per_dram_byte);
+        let dram = pj(
+            (f.bytes_read + f.bytes_written + b.bytes_read + b.bytes_written) as f64
+                * self.pj_per_dram_byte,
+        );
         let static_energy = self.static_watts * report.total_seconds();
         EnergyBreakdown {
             compute_j: compute,

@@ -156,9 +156,8 @@ impl GpuConfig {
         // Aggregation: atomic throughput degraded by measured collision
         // depth (paper Fig. 8: ≥63.5% of reverse-raster time).
         let contention = 1.0 + self.atomic_contention_weight * b.gaussian_touches.mean();
-        let aggregation = (b.atomic_adds as f64 * contention
-            / (self.atomic_throughput * clock_hz))
-            .max(floor);
+        let aggregation =
+            (b.atomic_adds as f64 * contention / (self.atomic_throughput * clock_hz)).max(floor);
 
         let reprojection =
             self.issue_seconds(b.reprojections as f64 / 32.0 * self.reprojection_cycles);

@@ -41,10 +41,10 @@ pub mod stats;
 pub mod vec;
 
 pub use explut::ExpLut;
-pub use rng::Rng64;
 pub use image::Image;
 pub use mat::{Mat2, Mat3, Mat4};
 pub use quat::Quat;
+pub use rng::Rng64;
 pub use se3::{Pose, Se3};
 pub use vec::{Vec2, Vec3, Vec4};
 

@@ -210,9 +210,7 @@ mod tests {
     fn chunk_boundaries_are_fixed() {
         let items: Vec<u32> = (0..25).collect();
         for threads in [1, 2, 3, 8] {
-            let out = par_chunks_indexed(threads, &items, 8, |ci, off, c| {
-                (ci, off, c.to_vec())
-            });
+            let out = par_chunks_indexed(threads, &items, 8, |ci, off, c| (ci, off, c.to_vec()));
             assert_eq!(out.len(), 4, "threads={threads}");
             assert_eq!(out[0], (0, 0, (0..8).collect::<Vec<u32>>()));
             assert_eq!(out[3], (3, 24, vec![24]));

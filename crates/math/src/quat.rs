@@ -139,7 +139,17 @@ impl Quat {
     pub fn rotation_jacobian(self) -> [Mat3; 4] {
         let q = self.normalized();
         let (w, x, y, z) = (q.w, q.x, q.y, q.z);
-        let dw = Mat3::new(0.0, -2.0 * z, 2.0 * y, 2.0 * z, 0.0, -2.0 * x, -2.0 * y, 2.0 * x, 0.0);
+        let dw = Mat3::new(
+            0.0,
+            -2.0 * z,
+            2.0 * y,
+            2.0 * z,
+            0.0,
+            -2.0 * x,
+            -2.0 * y,
+            2.0 * x,
+            0.0,
+        );
         let dx = Mat3::new(
             0.0,
             2.0 * y,
@@ -184,7 +194,8 @@ impl Quat {
             return [0.0; 4];
         }
         let q = [self.w / n, self.x / n, self.y / n, self.z / n];
-        let dot = q[0] * grad_unit[0] + q[1] * grad_unit[1] + q[2] * grad_unit[2] + q[3] * grad_unit[3];
+        let dot =
+            q[0] * grad_unit[0] + q[1] * grad_unit[1] + q[2] * grad_unit[2] + q[3] * grad_unit[3];
         let mut out = [0.0; 4];
         for i in 0..4 {
             out[i] = (grad_unit[i] - q[i] * dot) / n;

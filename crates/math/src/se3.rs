@@ -278,7 +278,11 @@ impl Pose {
 
 impl fmt::Display for Pose {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Pose(t = {}, R = {:?})", self.translation, self.rotation.m)
+        write!(
+            f,
+            "Pose(t = {}, R = {:?})",
+            self.translation, self.rotation.m
+        )
     }
 }
 

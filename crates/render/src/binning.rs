@@ -1,0 +1,239 @@
+//! Screen-space bin index for the sparse pixel-based hot path.
+//!
+//! The exhaustive pixel pipeline discovers pixel–Gaussian candidates
+//! Gaussian-major: every projected Gaussian enumerates the sampled-pixel
+//! tiles its 3σ bounding box overlaps. That cost scales with the number of
+//! *Gaussians* even when only a handful of pixels is sampled. The bin index
+//! inverts the loop: projected Gaussians are bucketed once per render into a
+//! coarse screen grid ([`RenderConfig::bin_size`] pixels per bin), and each
+//! sampled pixel then visits only the candidates of its own bin — the
+//! GS-TG / SeeLe-style coarse grouping that prunes non-overlapping Gaussians
+//! before any α math runs.
+//!
+//! # Exactness contract
+//!
+//! The binned path must be **bit-identical** to the exhaustive path, so bin
+//! membership is *conservative with respect to the exhaustive candidate
+//! predicate*, not merely with respect to geometry: a Gaussian is inserted
+//! into every bin that could contain a pixel the exhaustive path would have
+//! visited. Concretely the insertion span is the union of
+//!
+//! * the pixel span of the clamped tile range that
+//!   [`PixelSet::samples_in_bbox`] would enumerate (replicating its
+//!   truncation-toward-zero and edge-clamp semantics exactly), and
+//! * the bounding box itself, widened by one pixel, which covers the
+//!   center-containment predicate used for extra pixels and for pixel sets
+//!   without a tile structure.
+//!
+//! Per-pixel filtering then applies the *same* predicate the exhaustive
+//! path applies, so the surviving pairs — and therefore the per-pixel
+//! entry lists, in the same ascending projected-index order — are
+//! identical. Over-approximation only ever adds `bin_candidates` visits
+//! that the predicate rejects; it can never change the rendered output.
+
+use crate::kernel::ProjectedGaussian;
+use crate::pixelset::{PixelCoord, PixelSet};
+use splatonic_math::Vec2;
+
+/// Default bin edge length in pixels (matches the rasterizer tile size).
+pub const DEFAULT_BIN_SIZE: usize = 16;
+
+/// A screen-space bin grid holding per-bin candidate lists of projected
+/// Gaussian indices (ascending, since insertion scans the projected set in
+/// order).
+#[derive(Debug, Clone)]
+pub struct BinIndex {
+    bin: usize,
+    bins_x: usize,
+    bins_y: usize,
+    lists: Vec<Vec<u32>>,
+    /// Total list entries (Σ over bins), for trace accounting.
+    entries: u64,
+}
+
+/// Replicates the clamped tile range of [`PixelSet::samples_in_bbox`]:
+/// `floor(lo)` / `ceil(hi)` with isize division (truncation toward zero)
+/// and clamping into `[0, n-1]`.
+#[inline]
+pub(crate) fn clamped_range(lo: f64, hi: f64, cell: usize, n: usize) -> (usize, usize) {
+    let a = ((lo.floor() as isize) / cell as isize).clamp(0, n as isize - 1) as usize;
+    let b = ((hi.ceil() as isize) / cell as isize).clamp(0, n as isize - 1) as usize;
+    (a, b)
+}
+
+impl BinIndex {
+    /// Builds the index for `projected` over the screen of `pixels`,
+    /// with `bin_size`-pixel bins (0 falls back to [`DEFAULT_BIN_SIZE`]).
+    pub fn build(projected: &[ProjectedGaussian], pixels: &PixelSet, bin_size: usize) -> BinIndex {
+        let bin = if bin_size == 0 {
+            DEFAULT_BIN_SIZE
+        } else {
+            bin_size
+        };
+        let width = pixels.width().max(1);
+        let height = pixels.height().max(1);
+        let bins_x = width.div_ceil(bin);
+        let bins_y = height.div_ceil(bin);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); bins_x * bins_y];
+        let mut entries = 0u64;
+        let tile = pixels.tile_size();
+        let has_tiles = pixels.has_tile_index();
+        let (tiles_x, tiles_y) = pixels.tile_dims();
+        for (pi, pg) in projected.iter().enumerate() {
+            let (lo, hi) = pg.bbox();
+            // Pixel span of the center-containment predicate (extras and
+            // tile-less sets), widened by one pixel on each side.
+            let mut x_lo = (lo.x - 1.0).floor() as isize;
+            let mut x_hi = (hi.x + 1.0).ceil() as isize;
+            let mut y_lo = (lo.y - 1.0).floor() as isize;
+            let mut y_hi = (hi.y + 1.0).ceil() as isize;
+            if has_tiles {
+                // Union with the pixel span of the clamped tile range the
+                // exhaustive direct-indexing walk would visit.
+                let (tx0, tx1) = clamped_range(lo.x, hi.x, tile, tiles_x);
+                let (ty0, ty1) = clamped_range(lo.y, hi.y, tile, tiles_y);
+                x_lo = x_lo.min((tx0 * tile) as isize);
+                x_hi = x_hi.max(((tx1 + 1) * tile) as isize - 1);
+                y_lo = y_lo.min((ty0 * tile) as isize);
+                y_hi = y_hi.max(((ty1 + 1) * tile) as isize - 1);
+            }
+            let x_lo = x_lo.clamp(0, width as isize - 1) as usize;
+            let x_hi = x_hi.clamp(0, width as isize - 1) as usize;
+            let y_lo = y_lo.clamp(0, height as isize - 1) as usize;
+            let y_hi = y_hi.clamp(0, height as isize - 1) as usize;
+            if x_lo > x_hi || y_lo > y_hi {
+                continue;
+            }
+            for by in (y_lo / bin)..=(y_hi / bin) {
+                for bx in (x_lo / bin)..=(x_hi / bin) {
+                    lists[by * bins_x + bx].push(pi as u32);
+                    entries += 1;
+                }
+            }
+        }
+        BinIndex {
+            bin,
+            bins_x,
+            bins_y,
+            lists,
+            entries,
+        }
+    }
+
+    /// Candidate projected-Gaussian indices for the bin containing `p`
+    /// (ascending projected index).
+    #[inline]
+    pub fn candidates(&self, p: PixelCoord) -> &[u32] {
+        let bx = (p.x as usize / self.bin).min(self.bins_x - 1);
+        let by = (p.y as usize / self.bin).min(self.bins_y - 1);
+        &self.lists[by * self.bins_x + bx]
+    }
+
+    /// Bin edge length in pixels.
+    #[inline]
+    pub fn bin_size(&self) -> usize {
+        self.bin
+    }
+
+    /// Grid dimensions `(bins_x, bins_y)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.bins_x, self.bins_y)
+    }
+
+    /// Total candidate entries across all bins.
+    pub fn total_entries(&self) -> u64 {
+        self.entries
+    }
+}
+
+/// The exhaustive candidate predicate for a tile-structured sample: the
+/// sample's pixel-set tile lies inside the clamped tile range that
+/// [`PixelSet::samples_in_bbox`] enumerates for `(lo, hi)`.
+#[inline]
+pub(crate) fn sample_tile_overlaps(
+    p: PixelCoord,
+    lo: Vec2,
+    hi: Vec2,
+    tile: usize,
+    tiles_x: usize,
+    tiles_y: usize,
+) -> bool {
+    let (tx0, tx1) = clamped_range(lo.x, hi.x, tile, tiles_x);
+    let (ty0, ty1) = clamped_range(lo.y, hi.y, tile, tiles_y);
+    let tx = p.x as usize / tile;
+    let ty = p.y as usize / tile;
+    tx >= tx0 && tx <= tx1 && ty >= ty0 && ty <= ty1
+}
+
+/// The exhaustive candidate predicate for extra pixels and tile-less sets:
+/// the pixel center is inside the bounding box (inclusive).
+#[inline]
+pub(crate) fn center_in_bbox(p: PixelCoord, lo: Vec2, hi: Vec2) -> bool {
+    let c = p.center();
+    c.x >= lo.x && c.x <= hi.x && c.y >= lo.y && c.y <= hi.y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{project_scene, RenderConfig};
+    use splatonic_math::Vec3;
+    use splatonic_scene::{Camera, Intrinsics, WorldBuilder};
+
+    fn setup() -> (Vec<ProjectedGaussian>, PixelSet) {
+        let world = WorldBuilder::new(3)
+            .gaussian_spacing(0.4)
+            .furniture(2)
+            .build();
+        let cam = Camera::look_at(
+            Intrinsics::with_fov(96, 72, 1.2),
+            Vec3::new(0.3, -0.1, -0.5),
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::Y,
+        );
+        let (projected, _) = project_scene(&world.scene, &cam, &RenderConfig::default());
+        let pixels = PixelSet::from_tile_chooser(96, 72, 16, |_, _, x0, y0, tw, th| {
+            Some(PixelCoord::new((x0 + tw / 2) as u16, (y0 + th / 2) as u16))
+        });
+        (projected, pixels)
+    }
+
+    #[test]
+    fn bins_cover_every_exhaustive_candidate() {
+        let (projected, pixels) = setup();
+        let index = BinIndex::build(&projected, &pixels, 16);
+        // Re-run the exhaustive discovery and assert each visited pair's
+        // Gaussian appears in the pixel's bin list.
+        for (pi, pg) in projected.iter().enumerate() {
+            let (lo, hi) = pg.bbox();
+            pixels.samples_in_bbox(lo, hi, |_, p| {
+                assert!(
+                    index.candidates(p).contains(&(pi as u32)),
+                    "gaussian {pi} missing from bin of pixel {p:?}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn candidate_lists_are_ascending() {
+        let (projected, pixels) = setup();
+        let index = BinIndex::build(&projected, &pixels, 8);
+        for p in pixels.iter_all() {
+            let c = index.candidates(p);
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(index.total_entries() > 0);
+        assert_eq!(index.bin_size(), 8);
+    }
+
+    #[test]
+    fn zero_bin_size_uses_default() {
+        let (projected, pixels) = setup();
+        let index = BinIndex::build(&projected, &pixels, 0);
+        assert_eq!(index.bin_size(), DEFAULT_BIN_SIZE);
+        let (bx, by) = index.dims();
+        assert_eq!(bx, 96usize.div_ceil(DEFAULT_BIN_SIZE));
+        assert_eq!(by, 72usize.div_ceil(DEFAULT_BIN_SIZE));
+    }
+}

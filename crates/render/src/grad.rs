@@ -245,12 +245,8 @@ pub fn pixel_backward(
         let dl_dq = -0.5 * g_val * dl_dg;
         let d = pixel - pg.mean2d;
         let u = pg.conic * d; // Σ'⁻¹ d
-        // q = dᵀΣ'⁻¹d with d = p − μ' ⇒ ∂q/∂μ' = −2u, ∂q/∂Σ' = −u uᵀ.
-        let dl_dcov = [
-            -dl_dq * u.x * u.x,
-            -dl_dq * u.x * u.y,
-            -dl_dq * u.y * u.y,
-        ];
+                              // q = dᵀΣ'⁻¹d with d = p − μ' ⇒ ∂q/∂μ' = −2u, ∂q/∂Σ' = −u uᵀ.
+        let dl_dcov = [-dl_dq * u.x * u.x, -dl_dq * u.x * u.y, -dl_dq * u.y * u.y];
         let e = accum.entry(c.gaussian);
         e.mean2d += Vec2::new(-2.0 * dl_dq * u.x, -2.0 * dl_dq * u.y);
         e.cov2d[0] += dl_dcov[0];
@@ -305,7 +301,7 @@ pub fn reproject(
         let sigma_cam = w * g.covariance() * wt;
         let dl_dcov = Mat2::new(cg.cov2d[0], cg.cov2d[1], cg.cov2d[1], cg.cov2d[2]);
         let js = [sigma_cam * j[0], sigma_cam * j[1]]; // rows of (J Σc)ᵀ? see below
-        // (J Σc) row r = Σc jᵣ (Σc symmetric), a 3-vector.
+                                                       // (J Σc) row r = Σc jᵣ (Σc symmetric), a 3-vector.
         let dl_dj0 = (js[0] * (2.0 * dl_dcov.m[0]) + js[1] * (2.0 * dl_dcov.m[1])) * 1.0;
         let dl_dj1 = (js[0] * (2.0 * dl_dcov.m[2]) + js[1] * (2.0 * dl_dcov.m[3])) * 1.0;
         // Non-zero J entries: J00=fx/z, J02=−fx·x/z², J11=fy/z, J12=−fy·y/z².

@@ -44,6 +44,18 @@ pub struct RenderConfig {
     pub near: f64,
     /// Background color composited where transmittance remains.
     pub background: Vec3,
+    /// Screen-space bin index for the pixel-based pipeline: sampled pixels
+    /// visit only the Gaussians binned to their bin instead of being
+    /// discovered Gaussian-major. Output is bit-identical either way; the
+    /// `bin_candidates` trace counter records the pruning achieved.
+    pub binning: bool,
+    /// Bin edge length in pixels for the bin index (`0` = default 16).
+    pub bin_size: usize,
+    /// Cross-iteration projection cache: reuse per-Gaussian projection
+    /// results across renders that share the exact camera and unchanged
+    /// Gaussian parameters (invalidated by any pose delta, see
+    /// `projcache`). Output is bit-identical either way.
+    pub cache: bool,
     /// Worker threads for the parallel render/backward paths. `0` resolves
     /// via the `SPLATONIC_THREADS` environment variable, falling back to
     /// `available_parallelism()`. Results are bit-identical for every
@@ -61,6 +73,9 @@ impl Default for RenderConfig {
             bbox_sigma: 3.5,
             near: 0.2,
             background: Vec3::ZERO,
+            binning: true,
+            bin_size: crate::binning::DEFAULT_BIN_SIZE,
+            cache: true,
             threads: 0,
         }
     }
@@ -319,7 +334,10 @@ mod tests {
         let (a_off, _) = alpha_at(&pg, pg.mean2d + Vec2::new(5.0, 0.0), &cfg);
         assert!(q_center.abs() < 1e-12);
         assert!(a_center > a_off);
-        assert!((a_center - 0.9).abs() < 1e-9, "alpha at mean equals opacity");
+        assert!(
+            (a_center - 0.9).abs() < 1e-9,
+            "alpha at mean equals opacity"
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! Supporting modules:
 //!
 //! * [`kernel`] — EWA projection, α evaluation, and the analytic Jacobians,
+//! * [`binning`] — the screen-space bin index that prunes per-pixel
+//!   candidate discovery on sparse pixel sets (bit-identical output),
+//! * [`projcache`] — the cross-iteration projection cache reusing
+//!   per-Gaussian projection results across Adam iterations,
 //! * [`sampling`] — the adaptive sparse pixel samplers of Sec. IV-A plus the
 //!   baselines of Fig. 10 (Low-Res., Loss-guided, Harris),
 //! * [`loss`] — L1 color+depth losses and their gradients,
@@ -40,15 +44,18 @@
 //! assert_eq!(out.color.len(), pixels.len());
 //! ```
 
+pub mod binning;
 pub mod grad;
 pub mod kernel;
 pub mod loss;
 pub mod pixel;
 pub mod pixelset;
+pub mod projcache;
 pub mod sampling;
 pub mod tile;
 pub mod trace;
 
+pub use binning::BinIndex;
 pub use grad::{PoseGrad, SceneGrads};
 pub use kernel::{ProjectedGaussian, RenderConfig};
 pub use loss::{LossConfig, LossGrad};
@@ -138,9 +145,7 @@ pub fn render_backward(
 ) -> (SceneGrads, PoseGrad, RenderTrace) {
     match pipeline {
         Pipeline::TileBased => tile::backward(scene, camera, pixels, forward, loss_grads, config),
-        Pipeline::PixelBased => {
-            pixel::backward(scene, camera, pixels, forward, loss_grads, config)
-        }
+        Pipeline::PixelBased => pixel::backward(scene, camera, pixels, forward, loss_grads, config),
     }
 }
 

@@ -15,10 +15,12 @@
 //! reduction recovers `Γ_i`, per-pair gradients are computed in parallel,
 //! and a second reduction aggregates them per Gaussian.
 
+use crate::binning::{self, BinIndex};
 use crate::grad::{pixel_backward, reproject, CamGradAccumulator, PoseGrad, SceneGrads};
-use crate::kernel::{alpha_at, project_scene, RenderConfig};
+use crate::kernel::{alpha_at, ProjectedGaussian, RenderConfig};
 use crate::loss::LossGrad;
 use crate::pixelset::{PixelCoord, PixelSet};
+use crate::projcache::project_scene_cached;
 use crate::trace::{bytes, RenderTrace};
 use crate::{Contribution, ForwardResult};
 use splatonic_math::{pool, Vec2, Vec3};
@@ -31,6 +33,7 @@ pub const WARP: usize = 32;
 /// Fixed fan-out granularities (thread-count independent; see
 /// `splatonic_math::pool` for why this matters for determinism).
 const PROJ_CHECK_CHUNK: usize = 256;
+const BIN_CHUNK: usize = 128;
 const RASTER_CHUNK: usize = 128;
 const BACKWARD_CHUNK: usize = 128;
 
@@ -79,10 +82,10 @@ impl ExtraGrid {
             .clamp(0, self.cells_x as isize - 1) as usize;
         let cy0 = ((lo.y.floor() as isize) / EXTRA_CELL as isize)
             .clamp(0, self.cells_y as isize - 1) as usize;
-        let cx1 = ((hi.x.ceil() as isize) / EXTRA_CELL as isize)
-            .clamp(0, self.cells_x as isize - 1) as usize;
-        let cy1 = ((hi.y.ceil() as isize) / EXTRA_CELL as isize)
-            .clamp(0, self.cells_y as isize - 1) as usize;
+        let cx1 = ((hi.x.ceil() as isize) / EXTRA_CELL as isize).clamp(0, self.cells_x as isize - 1)
+            as usize;
+        let cy1 = ((hi.y.ceil() as isize) / EXTRA_CELL as isize).clamp(0, self.cells_y as isize - 1)
+            as usize;
         for cy in cy0..=cy1 {
             for cx in cx0..=cx1 {
                 for &(idx, p) in &self.cells[cy * self.cells_x + cx] {
@@ -94,6 +97,32 @@ impl ExtraGrid {
             }
         }
     }
+}
+
+/// Decides whether candidate discovery should walk the screen-space bin
+/// index pixel-major instead of the exhaustive Gaussian-major walk.
+///
+/// Tile-less pixel sets are discovered by a linear scan over every sample
+/// per Gaussian, which the bin walk strictly prunes. Tile-indexed sets
+/// already direct-index their bbox tiles, and the bin walk visits roughly
+/// `sampling_rate · bin²` candidates per exhaustive visit — so the loop is
+/// only inverted while that ratio stays near break-even (sparse sets such
+/// as the one-pixel-per-tile tracking plans), never for dense renders.
+/// The decision is a pure function of the pixel set and the config, so it
+/// is identical at every thread count.
+fn use_bin_walk(pixels: &PixelSet, config: &RenderConfig) -> bool {
+    if !config.binning {
+        return false;
+    }
+    if !pixels.has_tile_index() {
+        return true;
+    }
+    let bin = if config.bin_size == 0 {
+        binning::DEFAULT_BIN_SIZE
+    } else {
+        config.bin_size
+    };
+    pixels.len() * bin * bin <= pixels.width() * pixels.height() * 8
 }
 
 /// Forward pass of the pixel-based pipeline.
@@ -108,42 +137,61 @@ pub fn forward(
     f.gaussians_input = scene.len() as u64;
     f.bytes_read += scene.len() as u64 * bytes::GAUSSIAN;
 
-    let (projected, culled) = project_scene(scene, camera, config);
+    let (projected_shared, culled) = project_scene_cached(scene, camera, config);
+    let projected: &[ProjectedGaussian] = &projected_shared;
     f.gaussians_culled = culled;
     f.gaussians_projected = projected.len() as u64;
 
     let n_out = pixels.len();
     let mut lists: Vec<Vec<PixelEntry>> = vec![Vec::new(); n_out];
-    let extra_grid = ExtraGrid::build(pixels);
     let threads = pool::resolve_threads(config.threads);
 
-    // Pixel-level projection + preemptive α-checking, fanned out over
-    // fixed chunks of projected Gaussians. Each chunk emits its passing
-    // (pixel, entry) pairs and counter partials; the merge below applies
-    // them in chunk order, which reproduces the sequential push order.
-    struct ProjCheckPartial {
-        entries: Vec<(usize, PixelEntry)>,
-        candidates: Vec<u32>,
-        alpha_checks: u64,
-        pairs_kept: u64,
-    }
-    let proj_partials = pool::par_chunks_indexed(
-        threads,
-        &projected,
-        PROJ_CHECK_CHUNK,
-        |_, offset, chunk| {
-            let mut part = ProjCheckPartial {
+    if use_bin_walk(pixels, config) {
+        // Pixel-major discovery through the screen-space bin index: the
+        // index is built once per render, then each sampled pixel visits
+        // only its bin's candidates (fanned out over fixed pixel chunks).
+        // Candidates are filtered by the *exact* predicate the exhaustive
+        // walk uses (clamped tile range for tile-indexed samples, center
+        // containment for extras and tile-less sets) before any α math, so
+        // the surviving pairs — per-pixel, in the same ascending projected
+        // order — and every pre-existing counter are identical to the
+        // Gaussian-major walk. Only `bin_candidates` (visits the index
+        // allowed) is new.
+        let index = BinIndex::build(projected, pixels, config.bin_size);
+        let all_pixels: Vec<(usize, PixelCoord)> = pixels.iter_all().enumerate().collect();
+        let sample_count = pixels.sample_count();
+        let has_tiles = pixels.has_tile_index();
+        let tile = pixels.tile_size();
+        let (tiles_x, tiles_y) = pixels.tile_dims();
+        struct BinPartial {
+            entries: Vec<(usize, PixelEntry)>,
+            candidates: Vec<u32>,
+            bin_candidates: u64,
+            alpha_checks: u64,
+            pairs_kept: u64,
+        }
+        let partials = pool::par_chunks_indexed(threads, &all_pixels, BIN_CHUNK, |_, _, chunk| {
+            let mut part = BinPartial {
                 entries: Vec::new(),
-                candidates: Vec::with_capacity(chunk.len()),
+                candidates: vec![0u32; projected.len()],
+                bin_candidates: 0,
                 alpha_checks: 0,
                 pairs_kept: 0,
             };
-            for (k, pg) in chunk.iter().enumerate() {
-                let pi = offset + k;
-                let (lo, hi) = pg.bbox();
-                let mut candidates = 0u32;
-                let mut check = |out_idx: usize, p: PixelCoord| {
-                    candidates += 1;
+            for &(out_idx, p) in chunk {
+                for &pi in index.candidates(p) {
+                    part.bin_candidates += 1;
+                    let pg = &projected[pi as usize];
+                    let (lo, hi) = pg.bbox();
+                    let visited = if out_idx < sample_count && has_tiles {
+                        binning::sample_tile_overlaps(p, lo, hi, tile, tiles_x, tiles_y)
+                    } else {
+                        binning::center_in_bbox(p, lo, hi)
+                    };
+                    if !visited {
+                        continue;
+                    }
+                    part.candidates[pi as usize] += 1;
                     part.alpha_checks += 1;
                     let (alpha, _) = alpha_at(pg, p.center(), config);
                     if alpha >= config.alpha_threshold {
@@ -151,28 +199,90 @@ pub fn forward(
                         part.entries.push((
                             out_idx,
                             PixelEntry {
-                                proj: pi as u32,
+                                proj: pi,
                                 alpha,
                                 depth: pg.depth,
                             },
                         ));
                     }
-                };
-                pixels.samples_in_bbox(lo, hi, &mut check);
-                extra_grid.visit_bbox(lo, hi, &mut check);
-                part.candidates.push(candidates);
+                }
             }
             part
-        },
-    );
-    for part in proj_partials {
-        f.proj_alpha_checks += part.alpha_checks;
-        f.exp_evals += part.alpha_checks;
-        f.proj_pairs_kept += part.pairs_kept;
-        for (out_idx, e) in part.entries {
-            lists[out_idx].push(e);
+        });
+        // Merge in chunk order. Every pixel lives in exactly one chunk and
+        // walks its candidates ascending, so each per-pixel list arrives
+        // already in the exhaustive path's push order; the per-Gaussian
+        // candidate counts sum elementwise across chunks.
+        let mut candidates = vec![0u32; projected.len()];
+        for part in partials {
+            f.proj_alpha_checks += part.alpha_checks;
+            f.exp_evals += part.alpha_checks;
+            f.bin_candidates += part.bin_candidates;
+            f.proj_pairs_kept += part.pairs_kept;
+            for (out_idx, e) in part.entries {
+                lists[out_idx].push(e);
+            }
+            for (total, c) in candidates.iter_mut().zip(part.candidates) {
+                *total += c;
+            }
         }
-        trace.proj_candidates.extend(part.candidates);
+        trace.proj_candidates.extend(candidates);
+    } else {
+        // Exhaustive Gaussian-major discovery: pixel-level projection +
+        // preemptive α-checking, fanned out over fixed chunks of projected
+        // Gaussians. Each chunk emits its passing (pixel, entry) pairs and
+        // counter partials; the merge below applies them in chunk order,
+        // which reproduces the sequential push order.
+        let extra_grid = ExtraGrid::build(pixels);
+        struct ProjCheckPartial {
+            entries: Vec<(usize, PixelEntry)>,
+            candidates: Vec<u32>,
+            alpha_checks: u64,
+            pairs_kept: u64,
+        }
+        let proj_partials =
+            pool::par_chunks_indexed(threads, projected, PROJ_CHECK_CHUNK, |_, offset, chunk| {
+                let mut part = ProjCheckPartial {
+                    entries: Vec::new(),
+                    candidates: Vec::with_capacity(chunk.len()),
+                    alpha_checks: 0,
+                    pairs_kept: 0,
+                };
+                for (k, pg) in chunk.iter().enumerate() {
+                    let pi = offset + k;
+                    let (lo, hi) = pg.bbox();
+                    let mut candidates = 0u32;
+                    let mut check = |out_idx: usize, p: PixelCoord| {
+                        candidates += 1;
+                        part.alpha_checks += 1;
+                        let (alpha, _) = alpha_at(pg, p.center(), config);
+                        if alpha >= config.alpha_threshold {
+                            part.pairs_kept += 1;
+                            part.entries.push((
+                                out_idx,
+                                PixelEntry {
+                                    proj: pi as u32,
+                                    alpha,
+                                    depth: pg.depth,
+                                },
+                            ));
+                        }
+                    };
+                    pixels.samples_in_bbox(lo, hi, &mut check);
+                    extra_grid.visit_bbox(lo, hi, &mut check);
+                    part.candidates.push(candidates);
+                }
+                part
+            });
+        for part in proj_partials {
+            f.proj_alpha_checks += part.alpha_checks;
+            f.exp_evals += part.alpha_checks;
+            f.proj_pairs_kept += part.pairs_kept;
+            for (out_idx, e) in part.entries {
+                lists[out_idx].push(e);
+            }
+            trace.proj_candidates.extend(part.candidates);
+        }
     }
     f.bytes_written += f.proj_pairs_kept * bytes::PAIR_ENTRY;
     f.bytes_read += f.proj_pairs_kept * bytes::PAIR_ENTRY;
@@ -316,7 +426,8 @@ pub fn backward(
         "loss gradients must cover the pixel set"
     );
     let mut trace = RenderTrace::new();
-    let (projected, _) = project_scene(scene, camera, config);
+    let (projected_shared, _) = project_scene_cached(scene, camera, config);
+    let projected: &[ProjectedGaussian] = &projected_shared;
     let mut proj_of_id: Vec<u32> = vec![u32::MAX; scene.len()];
     for (pi, pg) in projected.iter().enumerate() {
         proj_of_id[pg.id as usize] = pi as u32;
@@ -343,11 +454,8 @@ pub fn backward(
         bytes_read: u64,
         bytes_written: u64,
     }
-    let partials = pool::par_chunks_indexed(
-        threads,
-        &all_pixels,
-        BACKWARD_CHUNK,
-        |_, offset, chunk| {
+    let partials =
+        pool::par_chunks_indexed(threads, &all_pixels, BACKWARD_CHUNK, |_, offset, chunk| {
             let mut acc = acc_pool
                 .lock()
                 .unwrap()
@@ -390,8 +498,7 @@ pub fn backward(
             part.entries = acc.touched().iter().map(|&id| (id, acc.get(id))).collect();
             acc_pool.lock().unwrap().push(acc);
             part
-        },
-    );
+        });
 
     let mut accum = CamGradAccumulator::new(scene.len());
     accum.reset(scene.len());
@@ -435,7 +542,10 @@ mod tests {
     use splatonic_scene::{Gaussian, Intrinsics, WorldBuilder};
 
     fn test_world() -> (GaussianScene, Camera) {
-        let world = WorldBuilder::new(11).gaussian_spacing(0.35).furniture(2).build();
+        let world = WorldBuilder::new(11)
+            .gaussian_spacing(0.35)
+            .furniture(2)
+            .build();
         let cam = Camera::look_at(
             Intrinsics::with_fov(96, 72, 1.2),
             Vec3::new(0.4, -0.1, -0.6),
@@ -551,8 +661,7 @@ mod tests {
         let t = tile::forward(&scene, &cam, &pixels, &cfg);
         let p = forward(&scene, &cam, &pixels, &cfg);
         assert_eq!(
-            p.trace.forward.pairs_integrated,
-            t.trace.forward.pairs_integrated,
+            p.trace.forward.pairs_integrated, t.trace.forward.pairs_integrated,
             "dense renders must integrate identical pair counts"
         );
         assert_eq!(
@@ -624,7 +733,10 @@ mod tests {
         ];
         let (_, _, trace) = backward(&scene, &cam, &pixels, &f, &lg, &cfg);
         assert!(trace.backward.reduction_ops > 0);
-        assert!(trace.backward.alpha_checks == 0, "no α-checks in reverse rasterization");
+        assert!(
+            trace.backward.alpha_checks == 0,
+            "no α-checks in reverse rasterization"
+        );
     }
 
     #[test]

@@ -212,12 +212,7 @@ impl PixelSet {
     /// Returns `(sample_index, coord)` pairs; extras are *not* included —
     /// iterate [`PixelSet::extra`] separately, offset by
     /// [`PixelSet::sample_count`].
-    pub fn samples_in_bbox(
-        &self,
-        min: Vec2,
-        max: Vec2,
-        mut visit: impl FnMut(usize, PixelCoord),
-    ) {
+    pub fn samples_in_bbox(&self, min: Vec2, max: Vec2, mut visit: impl FnMut(usize, PixelCoord)) {
         if self.tile_grid.is_empty() {
             // Degenerate structure: scan all samples.
             for (i, p) in self.samples.iter().enumerate() {
@@ -230,14 +225,14 @@ impl PixelSet {
         }
         let tiles_x = self.width.div_ceil(self.tile);
         let tiles_y = self.height.div_ceil(self.tile);
-        let tx0 = ((min.x.floor() as isize) / self.tile as isize).clamp(0, tiles_x as isize - 1)
-            as usize;
-        let ty0 = ((min.y.floor() as isize) / self.tile as isize).clamp(0, tiles_y as isize - 1)
-            as usize;
-        let tx1 = ((max.x.ceil() as isize) / self.tile as isize).clamp(0, tiles_x as isize - 1)
-            as usize;
-        let ty1 = ((max.y.ceil() as isize) / self.tile as isize).clamp(0, tiles_y as isize - 1)
-            as usize;
+        let tx0 =
+            ((min.x.floor() as isize) / self.tile as isize).clamp(0, tiles_x as isize - 1) as usize;
+        let ty0 =
+            ((min.y.floor() as isize) / self.tile as isize).clamp(0, tiles_y as isize - 1) as usize;
+        let tx1 =
+            ((max.x.ceil() as isize) / self.tile as isize).clamp(0, tiles_x as isize - 1) as usize;
+        let ty1 =
+            ((max.y.ceil() as isize) / self.tile as isize).clamp(0, tiles_y as isize - 1) as usize;
         for ty in ty0..=ty1 {
             for tx in tx0..=tx1 {
                 let slot = self.tile_grid[ty * tiles_x + tx];
@@ -247,6 +242,13 @@ impl PixelSet {
                 }
             }
         }
+    }
+
+    /// Whether the set carries a tile index ([`PixelSet::samples_in_bbox`]
+    /// uses direct indexing rather than a linear center-containment scan).
+    #[inline]
+    pub fn has_tile_index(&self) -> bool {
+        !self.tile_grid.is_empty()
     }
 
     /// Tile-space dimensions `(tiles_x, tiles_y)`.
@@ -341,9 +343,11 @@ mod tests {
             Some(PixelCoord::new(x0 as u16, y0 as u16))
         });
         let mut n = 0;
-        s.samples_in_bbox(Vec2::new(-100.0, -100.0), Vec2::new(-50.0, -50.0), |_, _| {
-            n += 1
-        });
+        s.samples_in_bbox(
+            Vec2::new(-100.0, -100.0),
+            Vec2::new(-50.0, -50.0),
+            |_, _| n += 1,
+        );
         // Clamped to the nearest tile; the candidate is then α-checked by
         // the caller, so over-approximation is safe.
         assert!(n <= 1);
@@ -351,13 +355,11 @@ mod tests {
 
     #[test]
     fn from_pixels_scans_linearly() {
-        let s = PixelSet::from_pixels(
-            16,
-            16,
-            vec![PixelCoord::new(1, 1), PixelCoord::new(10, 10)],
-        );
+        let s = PixelSet::from_pixels(16, 16, vec![PixelCoord::new(1, 1), PixelCoord::new(10, 10)]);
         let mut hits = Vec::new();
-        s.samples_in_bbox(Vec2::new(0.0, 0.0), Vec2::new(4.0, 4.0), |i, _| hits.push(i));
+        s.samples_in_bbox(Vec2::new(0.0, 0.0), Vec2::new(4.0, 4.0), |i, _| {
+            hits.push(i)
+        });
         assert_eq!(hits, vec![0]);
     }
 

@@ -16,8 +16,8 @@
 //!   `P(p) = w_R(p)·r`, `w_R = √(Gx²+Gy²)` from Sobel filters (Eq. 3).
 
 use crate::pixelset::{PixelCoord, PixelSet};
-use splatonic_math::rng::{mix_seed, Rng64};
 use splatonic_math::image::{harris_response, sobel_magnitude};
+use splatonic_math::rng::{mix_seed, Rng64};
 use splatonic_math::Image;
 use splatonic_scene::Frame;
 
@@ -105,20 +105,15 @@ pub fn tracking_plan(
     match strategy {
         SamplingStrategy::Dense => SamplingPlan::Pixels(PixelSet::dense(w, h)),
         SamplingStrategy::LowRes { factor } => SamplingPlan::LowRes { factor },
-        SamplingStrategy::RandomPerTile { tile } => {
-            SamplingPlan::Pixels(PixelSet::from_tile_chooser(
-                w,
-                h,
-                tile,
-                |tx, ty, x0, y0, tw, th| {
-                    let mut rng = tile_rng(seed, tx, ty);
-                    Some(PixelCoord::new(
-                        (x0 + rng.gen_range(0..tw)) as u16,
-                        (y0 + rng.gen_range(0..th)) as u16,
-                    ))
-                },
-            ))
-        }
+        SamplingStrategy::RandomPerTile { tile } => SamplingPlan::Pixels(
+            PixelSet::from_tile_chooser(w, h, tile, |tx, ty, x0, y0, tw, th| {
+                let mut rng = tile_rng(seed, tx, ty);
+                Some(PixelCoord::new(
+                    (x0 + rng.gen_range(0..tw)) as u16,
+                    (y0 + rng.gen_range(0..th)) as u16,
+                ))
+            }),
+        ),
         SamplingStrategy::HarrisPerTile { tile } => {
             let lum = reference.luminance();
             let harris = harris_response(&lum);

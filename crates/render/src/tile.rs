@@ -13,7 +13,7 @@
 //! `atomicAdd` stage) and re-projects them to world space.
 
 use crate::grad::{pixel_backward, reproject, CamGradAccumulator, PoseGrad, SceneGrads};
-use crate::kernel::{alpha_at, project_scene, ProjectedGaussian, RenderConfig};
+use crate::kernel::{alpha_at, ProjectedGaussian, RenderConfig};
 use crate::loss::LossGrad;
 use crate::pixelset::{PixelCoord, PixelSet};
 use crate::trace::{bytes, RenderTrace};
@@ -87,8 +87,12 @@ pub fn forward(
     f.bytes_read += scene.len() as u64 * bytes::GAUSSIAN;
 
     // Projection (tile granularity: one projection per Gaussian, shared by
-    // all pixels of every covered tile).
-    let (mut projected, culled) = project_scene(scene, camera, config);
+    // all pixels of every covered tile). The cache hands back a shared
+    // list ordered by scene index; the sort below needs to mutate, so the
+    // cached Vec is cloned — still far cheaper than reprojecting.
+    let (projected_shared, culled) = crate::projcache::project_scene_cached(scene, camera, config);
+    let mut projected = (*projected_shared).clone();
+    drop(projected_shared);
     f.gaussians_culled = culled;
     f.gaussians_projected = projected.len() as u64;
     f.bytes_written += projected.len() as u64 * bytes::PROJECTED;
@@ -135,98 +139,100 @@ pub fn forward(
         pairs_integrated: u64,
         pixels_shaded: u64,
     }
-    let tile_partials = pool::par_chunks_indexed(threads, &groups, TILE_CHUNK, |_, offset, chunk| {
-        let mut part = TilePartial::default();
-        for (k, group) in chunk.iter().enumerate() {
-            let tile_idx = offset + k;
-            if group.is_empty() {
-                continue;
-            }
-            let list = &tile_lists[tile_idx];
-            if list.is_empty() {
-                for &(_, out_idx) in group {
-                    part.pixels_shaded += 1;
-                    part.outputs.push((out_idx, config.background, 0.0, 1.0));
+    let tile_partials =
+        pool::par_chunks_indexed(threads, &groups, TILE_CHUNK, |_, offset, chunk| {
+            let mut part = TilePartial::default();
+            for (k, group) in chunk.iter().enumerate() {
+                let tile_idx = offset + k;
+                if group.is_empty() {
+                    continue;
                 }
-                continue;
-            }
-            part.bytes_read += list.len() as u64 * bytes::PROJECTED;
-            // Warp assignment: pixels of the tile in row-major order, 32
-            // lanes per warp. Only warps containing a requested pixel
-            // execute; within them, every resident requested pixel
-            // occupies a lane.
-            let tx = tile_idx % tiles_x;
-            let ty = tile_idx / tiles_x;
-            let x0 = tx * TILE;
-            let y0 = ty * TILE;
-            let lane_of = |p: PixelCoord| -> usize {
-                let lx = p.x as usize - x0;
-                let ly = p.y as usize - y0;
-                ly * TILE + lx
-            };
-            // Bucket requested pixels into warps.
-            let warps_per_tile = (TILE * TILE).div_ceil(WARP);
-            let mut warp_members: Vec<Vec<(PixelCoord, usize)>> = vec![Vec::new(); warps_per_tile];
-            for &(p, out_idx) in group {
-                warp_members[lane_of(p) / WARP].push((p, out_idx));
-            }
-            for members in warp_members.iter().filter(|m| !m.is_empty()) {
-                // Per-member compositing state.
-                let mut state: Vec<(Vec3, f64, f64)> =
-                    vec![(Vec3::ZERO, 0.0, 1.0); members.len()]; // (color, depth, T)
-                let mut member_contribs: Vec<Vec<Contribution>> =
-                    vec![Vec::new(); members.len()];
-                let mut live = members.len();
-                for &pi in list.iter() {
-                    if live == 0 {
-                        break;
+                let list = &tile_lists[tile_idx];
+                if list.is_empty() {
+                    for &(_, out_idx) in group {
+                        part.pixels_shaded += 1;
+                        part.outputs.push((out_idx, config.background, 0.0, 1.0));
                     }
-                    part.warp_steps += 1;
-                    let pg = &projected[pi as usize];
-                    let mut active_this_step = 0u64;
-                    for (mi, &(p, _)) in members.iter().enumerate() {
+                    continue;
+                }
+                part.bytes_read += list.len() as u64 * bytes::PROJECTED;
+                // Warp assignment: pixels of the tile in row-major order, 32
+                // lanes per warp. Only warps containing a requested pixel
+                // execute; within them, every resident requested pixel
+                // occupies a lane.
+                let tx = tile_idx % tiles_x;
+                let ty = tile_idx / tiles_x;
+                let x0 = tx * TILE;
+                let y0 = ty * TILE;
+                let lane_of = |p: PixelCoord| -> usize {
+                    let lx = p.x as usize - x0;
+                    let ly = p.y as usize - y0;
+                    ly * TILE + lx
+                };
+                // Bucket requested pixels into warps.
+                let warps_per_tile = (TILE * TILE).div_ceil(WARP);
+                let mut warp_members: Vec<Vec<(PixelCoord, usize)>> =
+                    vec![Vec::new(); warps_per_tile];
+                for &(p, out_idx) in group {
+                    warp_members[lane_of(p) / WARP].push((p, out_idx));
+                }
+                for members in warp_members.iter().filter(|m| !m.is_empty()) {
+                    // Per-member compositing state.
+                    let mut state: Vec<(Vec3, f64, f64)> =
+                        vec![(Vec3::ZERO, 0.0, 1.0); members.len()]; // (color, depth, T)
+                    let mut member_contribs: Vec<Vec<Contribution>> =
+                        vec![Vec::new(); members.len()];
+                    let mut live = members.len();
+                    for &pi in list.iter() {
+                        if live == 0 {
+                            break;
+                        }
+                        part.warp_steps += 1;
+                        let pg = &projected[pi as usize];
+                        let mut active_this_step = 0u64;
+                        for (mi, &(p, _)) in members.iter().enumerate() {
+                            let (c, d, t) = state[mi];
+                            if t < config.transmittance_min {
+                                continue;
+                            }
+                            // α-checking for this pixel–Gaussian pair.
+                            part.raster_alpha_checks += 1;
+                            part.exp_evals += 1;
+                            let (alpha, _) = alpha_at(pg, p.center(), config);
+                            if alpha < config.alpha_threshold {
+                                continue;
+                            }
+                            active_this_step += 1;
+                            let w = t * alpha;
+                            let nc = c + pg.color * w;
+                            let nd = d + pg.depth * w;
+                            let nt = t * (1.0 - alpha);
+                            member_contribs[mi].push(Contribution {
+                                gaussian: pg.id,
+                                alpha,
+                                transmittance: t,
+                            });
+                            part.pairs_integrated += 1;
+                            state[mi] = (nc, nd, nt);
+                            if nt < config.transmittance_min {
+                                live -= 1;
+                            }
+                        }
+                        part.warp_active += active_this_step;
+                    }
+                    for (mi, &(_, out_idx)) in members.iter().enumerate() {
                         let (c, d, t) = state[mi];
-                        if t < config.transmittance_min {
-                            continue;
-                        }
-                        // α-checking for this pixel–Gaussian pair.
-                        part.raster_alpha_checks += 1;
-                        part.exp_evals += 1;
-                        let (alpha, _) = alpha_at(pg, p.center(), config);
-                        if alpha < config.alpha_threshold {
-                            continue;
-                        }
-                        active_this_step += 1;
-                        let w = t * alpha;
-                        let nc = c + pg.color * w;
-                        let nd = d + pg.depth * w;
-                        let nt = t * (1.0 - alpha);
-                        member_contribs[mi].push(Contribution {
-                            gaussian: pg.id,
-                            alpha,
-                            transmittance: t,
-                        });
-                        part.pairs_integrated += 1;
-                        state[mi] = (nc, nd, nt);
-                        if nt < config.transmittance_min {
-                            live -= 1;
-                        }
+                        part.outputs
+                            .push((out_idx, c + config.background * t, d, t));
+                        part.pixels_shaded += 1;
+                        part.bytes_written += bytes::PIXEL_OUT;
+                        part.contribs
+                            .push((out_idx, std::mem::take(&mut member_contribs[mi])));
                     }
-                    part.warp_active += active_this_step;
-                }
-                for (mi, &(_, out_idx)) in members.iter().enumerate() {
-                    let (c, d, t) = state[mi];
-                    part.outputs
-                        .push((out_idx, c + config.background * t, d, t));
-                    part.pixels_shaded += 1;
-                    part.bytes_written += bytes::PIXEL_OUT;
-                    part.contribs
-                        .push((out_idx, std::mem::take(&mut member_contribs[mi])));
                 }
             }
-        }
-        part
-    });
+            part
+        });
     for part in tile_partials {
         f.bytes_read += part.bytes_read;
         f.bytes_written += part.bytes_written;
@@ -281,8 +287,12 @@ pub fn backward(
     let height = pixels.height();
     let mut trace = RenderTrace::new();
 
-    // The cached projected set (read back from the forward pass).
-    let (mut projected, _) = project_scene(scene, camera, config);
+    // The projected set, read back from the forward pass: the backward
+    // pass runs at the exact pose the forward just used, so this is a
+    // guaranteed cache hit whenever the cache is enabled.
+    let (projected_shared, _) = crate::projcache::project_scene_cached(scene, camera, config);
+    let mut projected = (*projected_shared).clone();
+    drop(projected_shared);
     crate::kernel::sort_by_depth(&mut projected);
     let mut proj_of_id: Vec<u32> = vec![u32::MAX; scene.len()];
     for (pi, pg) in projected.iter().enumerate() {
@@ -431,6 +441,7 @@ pub fn backward(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::project_scene;
     use splatonic_math::{Pose, Quat, Vec2};
     use splatonic_scene::{Gaussian, Intrinsics};
 

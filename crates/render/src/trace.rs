@@ -23,6 +23,12 @@ pub struct ForwardStats {
     /// Pixel-based: candidate pixel–Gaussian pairs α-checked at projection
     /// (preemptive α-checking, paper Sec. IV-B).
     pub proj_alpha_checks: u64,
+    /// Pixel-based: candidate visits made through the screen-space bin
+    /// index ([`crate::binning`]) before the exhaustive predicate filters
+    /// them. Zero when the exhaustive Gaussian-major discovery ran instead
+    /// (binning disabled, or the pixel set is dense enough that the bin
+    /// walk would visit more pairs than direct indexing).
+    pub bin_candidates: u64,
     /// Pixel-based: candidate pairs that passed preemptive α-checking.
     pub proj_pairs_kept: u64,
     /// Total elements passed through sorting (sum of list lengths).
@@ -150,6 +156,7 @@ impl RenderTrace {
             gaussians_projected,
             tile_pairs,
             proj_alpha_checks,
+            bin_candidates,
             proj_pairs_kept,
             sort_elems,
             sort_lists,
@@ -168,6 +175,7 @@ impl RenderTrace {
         f.gaussians_projected += gaussians_projected;
         f.tile_pairs += tile_pairs;
         f.proj_alpha_checks += proj_alpha_checks;
+        f.bin_candidates += bin_candidates;
         f.proj_pairs_kept += proj_pairs_kept;
         f.sort_elems += sort_elems;
         f.sort_lists += sort_lists;

@@ -80,8 +80,14 @@ fn assert_forward_bit_identical(pipeline: Pipeline, pixels: &PixelSet) {
     let base = render_forward(&scene, &cam, pixels, pipeline, &cfg(1));
     for threads in THREAD_COUNTS {
         let out = render_forward(&scene, &cam, pixels, pipeline, &cfg(threads));
-        assert_eq!(base.color, out.color, "{pipeline:?} color, {threads} workers");
-        assert_eq!(base.depth, out.depth, "{pipeline:?} depth, {threads} workers");
+        assert_eq!(
+            base.color, out.color,
+            "{pipeline:?} color, {threads} workers"
+        );
+        assert_eq!(
+            base.depth, out.depth,
+            "{pipeline:?} depth, {threads} workers"
+        );
         assert_eq!(
             base.final_transmittance, out.final_transmittance,
             "{pipeline:?} Γ_final, {threads} workers"
@@ -90,7 +96,10 @@ fn assert_forward_bit_identical(pipeline: Pipeline, pixels: &PixelSet) {
             base.contributions, out.contributions,
             "{pipeline:?} contributions, {threads} workers"
         );
-        assert_eq!(base.trace, out.trace, "{pipeline:?} trace, {threads} workers");
+        assert_eq!(
+            base.trace, out.trace,
+            "{pipeline:?} trace, {threads} workers"
+        );
     }
 }
 
@@ -136,6 +145,167 @@ fn pixel_backward_is_thread_count_invariant() {
 #[test]
 fn tile_backward_is_thread_count_invariant() {
     assert_backward_bit_identical(Pipeline::TileBased, &PixelSet::dense(96, 72));
+}
+
+/// Widths for the binned/cached equality tests: 1, a fixed multi-worker
+/// width, and the session default (0 = `SPLATONIC_THREADS` / host).
+const EQUALITY_WIDTHS: [usize; 3] = [1, 4, 0];
+
+/// Asserts a binning+cache-enabled render is bit-identical to the
+/// exhaustive uncached path on `pixels`, at every equality width.
+///
+/// The traces must match too, except for `bin_candidates` (the one counter
+/// the bin walk adds), which is zeroed before comparison.
+fn assert_binned_matches_exhaustive(pixels: &PixelSet, expect_bin_walk: bool) {
+    let scene = random_scene(77, 400);
+    let cam = camera();
+    for threads in EQUALITY_WIDTHS {
+        let on = cfg(threads);
+        let off = RenderConfig {
+            binning: false,
+            cache: false,
+            ..cfg(threads)
+        };
+        let a = render_forward(&scene, &cam, pixels, Pipeline::PixelBased, &on);
+        let b = render_forward(&scene, &cam, pixels, Pipeline::PixelBased, &off);
+        assert_eq!(a.color, b.color, "color, {threads} workers");
+        assert_eq!(a.depth, b.depth, "depth, {threads} workers");
+        assert_eq!(
+            a.final_transmittance, b.final_transmittance,
+            "Γ_final, {threads} workers"
+        );
+        assert_eq!(
+            a.contributions, b.contributions,
+            "contribs, {threads} workers"
+        );
+        if expect_bin_walk {
+            assert!(
+                a.trace.forward.bin_candidates > 0,
+                "bin walk must actually run on this set"
+            );
+        } else {
+            assert_eq!(
+                a.trace.forward.bin_candidates, 0,
+                "dense sets stay exhaustive"
+            );
+        }
+        assert_eq!(b.trace.forward.bin_candidates, 0);
+        let mut ta = a.trace.clone();
+        ta.forward.bin_candidates = 0;
+        assert_eq!(
+            ta, b.trace,
+            "trace (bin_candidates zeroed), {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn binned_forward_matches_exhaustive_sparse() {
+    assert_binned_matches_exhaustive(&sparse_set(), true);
+}
+
+#[test]
+fn binned_forward_matches_exhaustive_pixel_list() {
+    // A tile-less set (`from_pixels`): the exhaustive path scans every
+    // sample per Gaussian, the binned path prunes by bin — same output.
+    let mut rng = Rng64::seed_from_u64(9);
+    let pts: Vec<PixelCoord> = (0..150)
+        .map(|_| {
+            PixelCoord::new(
+                rng.gen_range(0.0..96.0) as u16,
+                rng.gen_range(0.0..72.0) as u16,
+            )
+        })
+        .collect();
+    assert_binned_matches_exhaustive(&PixelSet::from_pixels(96, 72, pts), true);
+}
+
+#[test]
+fn binned_forward_matches_exhaustive_dense() {
+    // Dense sets route to the exhaustive walk even with binning enabled
+    // (the bin walk would visit strictly more candidates), so the traces
+    // match with bin_candidates = 0 on both sides.
+    assert_binned_matches_exhaustive(&PixelSet::dense(96, 72), false);
+}
+
+#[test]
+fn bin_size_does_not_change_output() {
+    let scene = random_scene(83, 400);
+    let cam = camera();
+    let pixels = sparse_set();
+    let base = render_forward(&scene, &cam, &pixels, Pipeline::PixelBased, &cfg(1));
+    for bin_size in [4usize, 8, 32] {
+        let c = RenderConfig { bin_size, ..cfg(1) };
+        let out = render_forward(&scene, &cam, &pixels, Pipeline::PixelBased, &c);
+        assert_eq!(base.color, out.color, "bin_size {bin_size}");
+        assert_eq!(base.contributions, out.contributions, "bin_size {bin_size}");
+        let mut t = out.trace.clone();
+        t.forward.bin_candidates = base.trace.forward.bin_candidates;
+        assert_eq!(base.trace, t, "bin_size {bin_size} trace");
+    }
+}
+
+#[test]
+fn cached_render_sequence_matches_uncached() {
+    // A tracking-shaped sequence — forward and backward at pose A (the
+    // backward is a guaranteed cache hit), then forward at pose B (pose
+    // delta, invalidation) — must be bit-identical to the same sequence
+    // with the cache disabled, at every equality width and both pipelines.
+    let scene = random_scene(91, 400);
+    let cam_a = camera();
+    let cam_b = Camera::look_at(
+        Intrinsics::with_fov(96, 72, 1.2),
+        Vec3::new(0.35, -0.2, -0.5),
+        Vec3::new(0.0, 0.0, 2.0),
+        Vec3::Y,
+    );
+    let pixels = sparse_set();
+    let lg = loss_grads(pixels.len());
+    for pipeline in [Pipeline::PixelBased, Pipeline::TileBased] {
+        for threads in EQUALITY_WIDTHS {
+            splatonic_render::projcache::clear();
+            let on = cfg(threads);
+            let off = RenderConfig {
+                cache: false,
+                ..cfg(threads)
+            };
+            let run = |c: &RenderConfig| {
+                let f = render_forward(&scene, &cam_a, &pixels, pipeline, c);
+                let bwd = render_backward(&scene, &cam_a, &pixels, &f, &lg, pipeline, c);
+                let f2 = render_forward(&scene, &cam_b, &pixels, pipeline, c);
+                (f, bwd, f2)
+            };
+            let (fa, ba, fa2) = run(&on);
+            let stats = splatonic_render::projcache::stats();
+            assert!(stats.hits >= 1, "{pipeline:?}: backward must hit the cache");
+            assert!(
+                stats.invalidations >= 1,
+                "{pipeline:?}: the pose step must invalidate"
+            );
+            splatonic_render::projcache::clear();
+            let (fb, bb, fb2) = run(&off);
+            assert_eq!(
+                fa.color, fb.color,
+                "{pipeline:?} fwd color, {threads} workers"
+            );
+            assert_eq!(
+                fa.trace, fb.trace,
+                "{pipeline:?} fwd trace, {threads} workers"
+            );
+            assert_eq!(ba.0, bb.0, "{pipeline:?} scene grads, {threads} workers");
+            assert_eq!(ba.1, bb.1, "{pipeline:?} pose grad, {threads} workers");
+            assert_eq!(ba.2, bb.2, "{pipeline:?} bwd trace, {threads} workers");
+            assert_eq!(
+                fa2.color, fb2.color,
+                "{pipeline:?} moved fwd, {threads} workers"
+            );
+            assert_eq!(
+                fa2.trace, fb2.trace,
+                "{pipeline:?} moved trace, {threads} workers"
+            );
+        }
+    }
+    splatonic_render::projcache::clear();
 }
 
 #[test]

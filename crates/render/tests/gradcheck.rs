@@ -81,7 +81,13 @@ fn loss_cfg() -> LossConfig {
 
 fn scalar_loss(scene: &GaussianScene, cam: &Camera, reference: &Frame) -> f64 {
     let pixels = PixelSet::dense(W, H);
-    let out = render_forward(scene, cam, &pixels, Pipeline::TileBased, &RenderConfig::default());
+    let out = render_forward(
+        scene,
+        cam,
+        &pixels,
+        Pipeline::TileBased,
+        &RenderConfig::default(),
+    );
     loss::evaluate_loss(&out, reference, &pixels, &loss_cfg()).value
 }
 
@@ -180,7 +186,11 @@ fn opacity_gradients_match_fd() {
         let mut minus = scene.clone();
         minus.gaussians_mut()[gid].opacity_logit -= eps;
         let fd = (scalar_loss(&plus, &cam, &r) - scalar_loss(&minus, &cam, &r)) / (2.0 * eps);
-        check(fd, g.opacity_logit, &format!("gaussian {gid} opacity_logit"));
+        check(
+            fd,
+            g.opacity_logit,
+            &format!("gaussian {gid} opacity_logit"),
+        );
     }
 }
 
@@ -199,7 +209,11 @@ fn scale_gradients_match_fd() {
             let mut minus = scene.clone();
             minus.gaussians_mut()[gid].log_scale[k] -= eps;
             let fd = (scalar_loss(&plus, &cam, &r) - scalar_loss(&minus, &cam, &r)) / (2.0 * eps);
-            check(fd, g.log_scale[k], &format!("gaussian {gid} log_scale[{k}]"));
+            check(
+                fd,
+                g.log_scale[k],
+                &format!("gaussian {gid} log_scale[{k}]"),
+            );
         }
     }
 }
@@ -259,8 +273,10 @@ fn pose_rotation_gradients_point_downhill() {
     // Perturb the camera so the pose gradient is substantial.
     let cam = Camera::new(
         cam.intrinsics,
-        cam.pose
-            .retract(Se3::new(Vec3::new(0.01, -0.01, 0.005), Vec3::new(0.004, 0.006, -0.003))),
+        cam.pose.retract(Se3::new(
+            Vec3::new(0.01, -0.01, 0.005),
+            Vec3::new(0.004, 0.006, -0.003),
+        )),
     );
     let (_, pg) = analytic_grads(&scene, &cam, &r, Pipeline::TileBased);
     let g = pg.xi;

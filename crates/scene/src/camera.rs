@@ -285,12 +285,7 @@ mod tests {
     #[test]
     fn look_at_up_parallel_fallback() {
         // Forward along +y and up along +y would degenerate; must not panic.
-        let cam = Camera::look_at(
-            intr(),
-            Vec3::ZERO,
-            Vec3::new(0.0, 1.0, 0.0),
-            Vec3::Y,
-        );
+        let cam = Camera::look_at(intr(), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
         assert!((cam.pose.rotation.det() - 1.0).abs() < 1e-9);
     }
 

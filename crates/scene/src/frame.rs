@@ -70,8 +70,7 @@ impl Frame {
 
     /// Per-pixel luminance (Rec. 601 weights), used by the samplers.
     pub fn luminance(&self) -> Image<f64> {
-        self.color
-            .map(|c| 0.299 * c.x + 0.587 * c.y + 0.114 * c.z)
+        self.color.map(|c| 0.299 * c.x + 0.587 * c.y + 0.114 * c.z)
     }
 
     /// Fraction of pixels with valid (positive) depth.

@@ -7,6 +7,17 @@
 //! 3DGS implementation.
 
 use splatonic_math::{Mat3, Quat, Vec3};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global source of scene revision numbers. Every value handed out
+/// is unique for the lifetime of the process, so two scenes (or two states
+/// of one scene separated by a mutation) never share a revision.
+static NEXT_REVISION: AtomicU64 = AtomicU64::new(1);
+
+#[inline]
+fn fresh_revision() -> u64 {
+    NEXT_REVISION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Numerically safe sigmoid.
 #[inline]
@@ -125,9 +136,25 @@ impl Gaussian {
 /// scene.push(Gaussian::new(Vec3::ZERO, Vec3::splat(0.1), Quat::IDENTITY, 0.8, Vec3::splat(0.5)));
 /// assert_eq!(scene.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct GaussianScene {
     gaussians: Vec<Gaussian>,
+    /// Monotonic content-change token; see [`GaussianScene::revision`].
+    revision: u64,
+}
+
+/// Scene equality is content equality; the revision token is an identity
+/// aid for caches, not part of the value.
+impl PartialEq for GaussianScene {
+    fn eq(&self, other: &Self) -> bool {
+        self.gaussians == other.gaussians
+    }
+}
+
+impl Default for GaussianScene {
+    fn default() -> Self {
+        GaussianScene::new()
+    }
 }
 
 impl GaussianScene {
@@ -135,6 +162,7 @@ impl GaussianScene {
     pub fn new() -> Self {
         GaussianScene {
             gaussians: Vec::new(),
+            revision: fresh_revision(),
         }
     }
 
@@ -142,7 +170,21 @@ impl GaussianScene {
     pub fn with_capacity(n: usize) -> Self {
         GaussianScene {
             gaussians: Vec::with_capacity(n),
+            revision: fresh_revision(),
         }
+    }
+
+    /// Process-unique token identifying the current contents of this scene.
+    ///
+    /// Every constructor draws a fresh value and every mutating accessor
+    /// (`push`, `gaussians_mut`, `retain`, `extend`) replaces it with a new
+    /// one, so *equal revisions imply bitwise-equal Gaussians*. Cloning
+    /// keeps the revision (contents are identical at clone time); the first
+    /// mutation of either copy separates them. The render-side projection
+    /// cache keys on this to detect scene changes in O(1).
+    #[inline]
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Number of Gaussians.
@@ -159,6 +201,7 @@ impl GaussianScene {
 
     /// Appends a Gaussian, returning its index.
     pub fn push(&mut self, g: Gaussian) -> usize {
+        self.revision = fresh_revision();
         self.gaussians.push(g);
         self.gaussians.len() - 1
     }
@@ -170,8 +213,13 @@ impl GaussianScene {
     }
 
     /// Mutable view of the Gaussians (used by the mapping optimizer).
+    ///
+    /// Conservatively advances the revision: handing out mutable access
+    /// *may* change contents, and the cache contract only requires that
+    /// equal revisions imply equal contents.
     #[inline]
     pub fn gaussians_mut(&mut self) -> &mut [Gaussian] {
+        self.revision = fresh_revision();
         &mut self.gaussians
     }
 
@@ -182,6 +230,7 @@ impl GaussianScene {
 
     /// Retains only Gaussians satisfying the predicate (pruning).
     pub fn retain(&mut self, f: impl FnMut(&Gaussian) -> bool) {
+        self.revision = fresh_revision();
         self.gaussians.retain(f);
     }
 
@@ -207,12 +256,14 @@ impl FromIterator<Gaussian> for GaussianScene {
     fn from_iter<I: IntoIterator<Item = Gaussian>>(iter: I) -> Self {
         GaussianScene {
             gaussians: iter.into_iter().collect(),
+            revision: fresh_revision(),
         }
     }
 }
 
 impl Extend<Gaussian> for GaussianScene {
     fn extend<I: IntoIterator<Item = Gaussian>>(&mut self, iter: I) {
+        self.revision = fresh_revision();
         self.gaussians.extend(iter);
     }
 }
@@ -251,9 +302,21 @@ mod tests {
 
     #[test]
     fn opacity_clamped_to_open_interval() {
-        let g = Gaussian::new(Vec3::ZERO, Vec3::splat(0.1), Quat::IDENTITY, 1.5, Vec3::ZERO);
+        let g = Gaussian::new(
+            Vec3::ZERO,
+            Vec3::splat(0.1),
+            Quat::IDENTITY,
+            1.5,
+            Vec3::ZERO,
+        );
         assert!(g.opacity() < 1.0);
-        let g = Gaussian::new(Vec3::ZERO, Vec3::splat(0.1), Quat::IDENTITY, -0.5, Vec3::ZERO);
+        let g = Gaussian::new(
+            Vec3::ZERO,
+            Vec3::splat(0.1),
+            Quat::IDENTITY,
+            -0.5,
+            Vec3::ZERO,
+        );
         assert!(g.opacity() > 0.0);
     }
 
@@ -372,6 +435,32 @@ mod tests {
         scene.extend(std::iter::once(sample()));
         assert_eq!(scene.len(), 4);
         assert_eq!(scene.iter().count(), 4);
+    }
+
+    #[test]
+    fn revision_changes_on_mutation_only() {
+        let mut scene = GaussianScene::new();
+        let r0 = scene.revision();
+        scene.push(sample());
+        let r1 = scene.revision();
+        assert_ne!(r0, r1);
+        // Read-only access keeps the revision.
+        let _ = scene.gaussians();
+        let _ = scene.len();
+        assert_eq!(scene.revision(), r1);
+        scene.gaussians_mut()[0].opacity_logit += 0.1;
+        let r2 = scene.revision();
+        assert_ne!(r1, r2);
+        scene.retain(|_| true);
+        assert_ne!(scene.revision(), r2);
+        // Two scenes never share a revision, even when equal in content.
+        let a = GaussianScene::new();
+        let b = GaussianScene::new();
+        assert_eq!(a, b);
+        assert_ne!(a.revision(), b.revision());
+        // Clones share the revision until one of them is mutated.
+        let c = scene.clone();
+        assert_eq!(c.revision(), scene.revision());
     }
 
     #[test]

@@ -194,12 +194,48 @@ impl WorldBuilder {
         // regions matter for the sampling experiments).
         let surfaces: [(Vec3, Vec3, Vec3, f64, f64); 6] = [
             // (origin corner, u axis, v axis, u extent, v extent)
-            (Vec3::new(-e.x, -e.y, -e.z), Vec3::X, Vec3::Z, self.extent.x, self.extent.z), // floor
-            (Vec3::new(-e.x, e.y, -e.z), Vec3::X, Vec3::Z, self.extent.x, self.extent.z),  // ceiling
-            (Vec3::new(-e.x, -e.y, -e.z), Vec3::X, Vec3::Y, self.extent.x, self.extent.y), // back wall
-            (Vec3::new(-e.x, -e.y, e.z), Vec3::X, Vec3::Y, self.extent.x, self.extent.y),  // front wall
-            (Vec3::new(-e.x, -e.y, -e.z), Vec3::Z, Vec3::Y, self.extent.z, self.extent.y), // left wall
-            (Vec3::new(e.x, -e.y, -e.z), Vec3::Z, Vec3::Y, self.extent.z, self.extent.y),  // right wall
+            (
+                Vec3::new(-e.x, -e.y, -e.z),
+                Vec3::X,
+                Vec3::Z,
+                self.extent.x,
+                self.extent.z,
+            ), // floor
+            (
+                Vec3::new(-e.x, e.y, -e.z),
+                Vec3::X,
+                Vec3::Z,
+                self.extent.x,
+                self.extent.z,
+            ), // ceiling
+            (
+                Vec3::new(-e.x, -e.y, -e.z),
+                Vec3::X,
+                Vec3::Y,
+                self.extent.x,
+                self.extent.y,
+            ), // back wall
+            (
+                Vec3::new(-e.x, -e.y, e.z),
+                Vec3::X,
+                Vec3::Y,
+                self.extent.x,
+                self.extent.y,
+            ), // front wall
+            (
+                Vec3::new(-e.x, -e.y, -e.z),
+                Vec3::Z,
+                Vec3::Y,
+                self.extent.z,
+                self.extent.y,
+            ), // left wall
+            (
+                Vec3::new(e.x, -e.y, -e.z),
+                Vec3::Z,
+                Vec3::Y,
+                self.extent.z,
+                self.extent.y,
+            ), // right wall
         ];
         for (i, (origin, u_axis, v_axis, u_len, v_len)) in surfaces.iter().enumerate() {
             let rich = i % 2 == 0 || rng.gen_bool(0.4);
@@ -405,7 +441,10 @@ mod tests {
 
     #[test]
     fn tum_style_changes_defaults() {
-        let w = WorldBuilder::new(4).style(WorldStyle::TumLike).gaussian_spacing(0.4).build();
+        let w = WorldBuilder::new(4)
+            .style(WorldStyle::TumLike)
+            .gaussian_spacing(0.4)
+            .build();
         assert_eq!(w.style, WorldStyle::TumLike);
         assert!(w.extent.x < 6.0);
         assert_eq!(w.style.trajectory_kind(), TrajectoryKind::FastMotion);
@@ -433,7 +472,12 @@ mod tests {
 
     #[test]
     fn rotation_aligning_z_cases() {
-        for n in [Vec3::Z, -Vec3::Z, Vec3::X, Vec3::new(1.0, 2.0, -0.5).normalized()] {
+        for n in [
+            Vec3::Z,
+            -Vec3::Z,
+            Vec3::X,
+            Vec3::new(1.0, 2.0, -0.5).normalized(),
+        ] {
             let q = rotation_aligning_z(n);
             let rotated = q.rotate(Vec3::Z);
             assert!((rotated - n).norm() < 1e-9, "normal {n:?}");

@@ -93,7 +93,12 @@ impl AdamVector {
     /// # Panics
     ///
     /// Panics if `grads.len()` exceeds the tracked parameter count.
-    pub fn step(&mut self, grads: &[(usize, f64)], p: &AdamParams, mut apply: impl FnMut(usize, f64)) {
+    pub fn step(
+        &mut self,
+        grads: &[(usize, f64)],
+        p: &AdamParams,
+        mut apply: impl FnMut(usize, f64),
+    ) {
         self.t += 1;
         for &(idx, g) in grads {
             assert!(idx < self.state.len(), "parameter index out of range");

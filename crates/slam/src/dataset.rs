@@ -95,12 +95,8 @@ impl Dataset {
             .gaussian_spacing(config.spacing)
             .furniture(config.furniture)
             .build();
-        let trajectory = Trajectory::generate(
-            style.trajectory_kind(),
-            world.extent,
-            config.frames,
-            seed,
-        );
+        let trajectory =
+            Trajectory::generate(style.trajectory_kind(), world.extent, config.frames, seed);
         let intrinsics = Intrinsics::with_fov(config.width, config.height, config.fov);
         let frames = render_sequence(&world.scene, trajectory.poses(), intrinsics);
         Dataset {
@@ -124,7 +120,11 @@ impl Dataset {
 }
 
 /// Renders reference RGB-D frames from a Gaussian scene along poses.
-pub fn render_sequence(scene: &GaussianScene, poses: &[Pose], intrinsics: Intrinsics) -> Vec<Frame> {
+pub fn render_sequence(
+    scene: &GaussianScene,
+    poses: &[Pose],
+    intrinsics: Intrinsics,
+) -> Vec<Frame> {
     let cfg = RenderConfig::default();
     let pixels = PixelSet::dense(intrinsics.width, intrinsics.height);
     poses

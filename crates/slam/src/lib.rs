@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod system;
 pub mod tracking;
 
-pub use algorithm::{AlgorithmPreset, AlgorithmConfig};
+pub use algorithm::{AlgorithmConfig, AlgorithmPreset};
 pub use dataset::{Dataset, DatasetConfig};
 pub use metrics::{ate_rmse_cm, psnr_db};
 pub use system::{SlamConfig, SlamResult, SlamSystem};

@@ -10,6 +10,14 @@
 //!    Eq. 2) into new Gaussians.
 //! 3. `S_m` iterations of render → loss → backward → Adam over the window's
 //!    keyframes, with pixels chosen by the [`MappingSampler`].
+//!
+//! The projection cache (`splatonic_render::projcache`) helps only within a
+//! single mapping iteration here: the backward pass reuses the forward's
+//! projection (same scene revision, same keyframe pose), but every Adam step
+//! mutates the scene and bumps its revision, so the next iteration's forward
+//! is a plain cache miss (not an invalidation — the scene changed, not the
+//! pose) and reprojects. Keyframe poses inside one iteration's window loop
+//! differ pairwise, which also shows up as pose-only invalidations.
 
 use crate::adam::{AdamParams, AdamVector};
 use crate::algorithm::AlgorithmConfig;
@@ -234,7 +242,8 @@ pub fn map_scene_with_telemetry(
         trace.merge(&bwd_trace);
         // Adam update over the touched Gaussians.
         adam.grow(scene.len() * PARAMS_PER_GAUSSIAN);
-        let mut sparse: Vec<(usize, f64)> = Vec::with_capacity(scene_grads.len() * PARAMS_PER_GAUSSIAN);
+        let mut sparse: Vec<(usize, f64)> =
+            Vec::with_capacity(scene_grads.len() * PARAMS_PER_GAUSSIAN);
         for (id, g) in &scene_grads.entries {
             let base = *id as usize * PARAMS_PER_GAUSSIAN;
             sparse.push((base, g.mean.x));
@@ -332,7 +341,13 @@ mod tests {
     ) -> splatonic_math::Image<Vec3> {
         let pixels = PixelSet::dense(intrinsics.width, intrinsics.height);
         let cam = Camera::new(intrinsics, pose);
-        let out = render_forward(scene, &cam, &pixels, Pipeline::TileBased, &RenderConfig::default());
+        let out = render_forward(
+            scene,
+            &cam,
+            &pixels,
+            Pipeline::TileBased,
+            &RenderConfig::default(),
+        );
         let mut img = Image::filled(intrinsics.width, intrinsics.height, Vec3::ZERO);
         for (i, p) in pixels.iter_all().enumerate() {
             img[(p.x as usize, p.y as usize)] = out.color[i];

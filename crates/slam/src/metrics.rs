@@ -170,7 +170,9 @@ mod tests {
 
     #[test]
     fn polar_rotation_of_rotation_is_identity_map() {
-        let r = Se3::new(Vec3::ZERO, Vec3::new(0.4, -0.2, 0.8)).exp().rotation;
+        let r = Se3::new(Vec3::ZERO, Vec3::new(0.4, -0.2, 0.8))
+            .exp()
+            .rotation;
         let q = polar_rotation(&r);
         for i in 0..9 {
             assert!((q.m[i] - r.m[i]).abs() < 1e-9);

@@ -12,10 +12,10 @@ use crate::metrics::{ate_rmse_cm, psnr_db};
 use crate::tracking::{constant_velocity_init, track_frame_with_telemetry};
 use crate::Dataset;
 use splatonic_math::{Image, Pose, Vec3};
+use splatonic_render::projcache;
 use splatonic_render::sampling::MappingStrategy;
 use splatonic_render::{
-    render_forward, MappingSampler, Pipeline, PixelSet, RenderConfig, RenderTrace,
-    SamplingStrategy,
+    render_forward, MappingSampler, Pipeline, PixelSet, RenderConfig, RenderTrace, SamplingStrategy,
 };
 use splatonic_scene::{Camera, Frame, GaussianScene, Intrinsics};
 use splatonic_telemetry::{FrameRecord, Telemetry};
@@ -173,6 +173,10 @@ impl SlamSystem {
         } else {
             Vec::new()
         };
+        // Projection-cache statistics are thread-local side-band state (not
+        // part of the render trace — see `projcache`); bracket the run and
+        // each frame with snapshots to report deltas.
+        let cache_run_start = projcache::stats();
         let cfg = self.config;
         let algo = cfg.algorithm;
         let n = dataset.len();
@@ -199,6 +203,7 @@ impl SlamSystem {
         let sampler = MappingSampler::new(cfg.mapping_tile, cfg.mapping_strategy);
 
         // Initial mapping refines the seeded scene.
+        let cache_frame_start = projcache::stats();
         let map0_start = Instant::now();
         let m0 = {
             let _span = telemetry.span("mapping");
@@ -218,6 +223,7 @@ impl SlamSystem {
         mapping_iters += m0.iters;
         mapping_invocations += 1;
         if telemetry.is_enabled() {
+            let cache_frame = projcache::stats().since(&cache_frame_start);
             telemetry.record_frame(FrameRecord {
                 frame_idx: 0,
                 track_iters: 0,
@@ -225,6 +231,8 @@ impl SlamSystem {
                 sampled_pixels: 0, // tracking never runs on the anchor frame
                 map_sampled_pixels: m0.sampled_pixels,
                 gaussian_count: self.scene.len(),
+                cache_hits: cache_frame.hits,
+                cache_invalidations: cache_frame.invalidations,
                 psnr_db: self.frame_psnr(&dataset.frames[0], est_poses[0]),
                 ate_so_far_cm: 0.0, // the anchor pose is given
                 track_ms: 0.0,
@@ -236,6 +244,7 @@ impl SlamSystem {
             let prev = est_poses[t - 1];
             let prev_prev = if t >= 2 { Some(est_poses[t - 2]) } else { None };
             let init = constant_velocity_init(prev, prev_prev);
+            let cache_frame_start = projcache::stats();
             let track_start = Instant::now();
             let out = {
                 let _span = telemetry.span("tracking");
@@ -293,6 +302,7 @@ impl SlamSystem {
             }
 
             if telemetry.is_enabled() {
+                let cache_frame = projcache::stats().since(&cache_frame_start);
                 telemetry.record_frame(FrameRecord {
                     frame_idx: t,
                     track_iters: out.iters,
@@ -300,6 +310,8 @@ impl SlamSystem {
                     sampled_pixels: (out.pixels_per_iter * out.iters as f64).round() as usize,
                     map_sampled_pixels,
                     gaussian_count: self.scene.len(),
+                    cache_hits: cache_frame.hits,
+                    cache_invalidations: cache_frame.invalidations,
                     psnr_db: self.frame_psnr(&dataset.frames[t], out.pose),
                     ate_so_far_cm: ate_rmse_cm(&est_poses, &dataset.gt_poses[..=t]),
                     track_ms,
@@ -313,6 +325,10 @@ impl SlamSystem {
 
         telemetry.record_trace("tracking", &tracking_trace);
         telemetry.record_trace("mapping", &mapping_trace);
+        let cache_run = projcache::stats().since(&cache_run_start);
+        telemetry.counter_add("render/cache_hits", cache_run.hits);
+        telemetry.counter_add("render/cache_misses", cache_run.misses);
+        telemetry.counter_add("render/cache_invalidations", cache_run.invalidations);
         telemetry.counter_add("slam/tracking_iters", tracking_iters as u64);
         telemetry.counter_add("slam/mapping_iters", mapping_iters as u64);
         telemetry.counter_add("slam/mapping_invocations", mapping_invocations as u64);
@@ -520,7 +536,11 @@ mod tests {
             let r = run(threads);
             assert_eq!(r1.est_poses, r.est_poses, "{threads} workers");
             assert_eq!(r1.ate_cm.to_bits(), r.ate_cm.to_bits(), "{threads} workers");
-            assert_eq!(r1.psnr_db.to_bits(), r.psnr_db.to_bits(), "{threads} workers");
+            assert_eq!(
+                r1.psnr_db.to_bits(),
+                r.psnr_db.to_bits(),
+                "{threads} workers"
+            );
             assert_eq!(r1.tracking_trace, r.tracking_trace, "{threads} workers");
             assert_eq!(r1.mapping_trace, r.mapping_trace, "{threads} workers");
             assert_eq!(r1.scene_size, r.scene_size, "{threads} workers");

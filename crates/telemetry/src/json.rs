@@ -349,8 +349,8 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                         let hex = b
                             .get(*pos + 1..*pos + 5)
                             .ok_or_else(|| err("truncated \\u escape", *pos))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| err("bad \\u escape", *pos))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| err("bad \\u escape", *pos))?;
                         let code = u32::from_str_radix(hex, 16)
                             .map_err(|_| err("bad \\u escape", *pos))?;
                         // Surrogates are not produced by our writer; map
@@ -364,8 +364,8 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
             }
             Some(_) => {
                 // Advance one UTF-8 scalar.
-                let rest = std::str::from_utf8(&b[*pos..])
-                    .map_err(|_| err("invalid UTF-8", *pos))?;
+                let rest =
+                    std::str::from_utf8(&b[*pos..]).map_err(|_| err("invalid UTF-8", *pos))?;
                 let c = rest.chars().next().expect("non-empty");
                 out.push(c);
                 *pos += c.len_utf8();
@@ -430,10 +430,7 @@ mod tests {
             .set("ninf", f64::NEG_INFINITY)
             .set("ok", 1.5);
         let s = o.to_string_compact();
-        assert_eq!(
-            s,
-            r#"{"nan":null,"inf":null,"ninf":null,"ok":1.5}"#
-        );
+        assert_eq!(s, r#"{"nan":null,"inf":null,"ninf":null,"ok":1.5}"#);
     }
 
     #[test]

@@ -198,6 +198,7 @@ impl Telemetry {
             gaussians_projected,
             tile_pairs,
             proj_alpha_checks,
+            bin_candidates,
             proj_pairs_kept,
             sort_elems,
             sort_lists,
@@ -217,6 +218,7 @@ impl Telemetry {
             ("gaussians_projected", *gaussians_projected),
             ("tile_pairs", *tile_pairs),
             ("proj_alpha_checks", *proj_alpha_checks),
+            ("bin_candidates", *bin_candidates),
             ("proj_pairs_kept", *proj_pairs_kept),
             ("sort_elems", *sort_elems),
             ("sort_lists", *sort_lists),
@@ -308,7 +310,11 @@ impl Telemetry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect();
-            report.counters = inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            report.counters = inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
             report.gauges = inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect();
         }
         report
@@ -318,7 +324,11 @@ impl Telemetry {
         if let Some(cell) = &self.inner {
             let mut inner = cell.borrow_mut();
             inner.stack.pop();
-            inner.spans.entry(path.to_string()).or_default().record(elapsed_ms);
+            inner
+                .spans
+                .entry(path.to_string())
+                .or_default()
+                .record(elapsed_ms);
         }
     }
 }
@@ -360,7 +370,10 @@ mod tests {
         }
         let report = t.finish("r", AccuracySummary::default());
         let paths: Vec<&str> = report.spans.iter().map(|(p, _)| p.as_str()).collect();
-        assert_eq!(paths, vec!["tracking", "tracking/backward", "tracking/forward"]);
+        assert_eq!(
+            paths,
+            vec!["tracking", "tracking/backward", "tracking/forward"]
+        );
         for (_, stats) in &report.spans {
             assert_eq!(stats.count(), 3);
         }
@@ -411,7 +424,10 @@ mod tests {
         t.record_pool_workers(&before);
         let report = t.finish("r", AccuracySummary::default());
         assert!(
-            report.spans.iter().any(|(p, _)| p.starts_with("pool/worker")),
+            report
+                .spans
+                .iter()
+                .any(|(p, _)| p.starts_with("pool/worker")),
             "expected pool worker spans, got {:?}",
             report.spans.iter().map(|(p, _)| p).collect::<Vec<_>>()
         );
@@ -432,6 +448,8 @@ mod tests {
                 sampled_pixels: 0,
                 map_sampled_pixels: 0,
                 gaussian_count: 0,
+                cache_hits: 0,
+                cache_invalidations: 0,
                 psnr_db: 0.0,
                 ate_so_far_cm: 0.0,
                 track_ms: 0.0,

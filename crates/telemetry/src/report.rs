@@ -103,7 +103,10 @@ impl RunReport {
     /// under its parent.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("== run report: {} ({}) ==\n", self.name, self.date));
+        out.push_str(&format!(
+            "== run report: {} ({}) ==\n",
+            self.name, self.date
+        ));
 
         if !self.spans.is_empty() {
             let rows: Vec<[String; 7]> = self
@@ -227,6 +230,8 @@ mod tests {
                 sampled_pixels: 48,
                 map_sampled_pixels: 0,
                 gaussian_count: 900,
+                cache_hits: 0,
+                cache_invalidations: 0,
                 psnr_db: 20.0,
                 ate_so_far_cm: 0.4,
                 track_ms: 5.0,

@@ -128,7 +128,9 @@ mod tests {
         let mut s = SpanStats::default();
         s.record(2.0);
         let j = s.to_json();
-        for key in ["count", "total_ms", "mean_ms", "min_ms", "max_ms", "p50_ms", "p95_ms"] {
+        for key in [
+            "count", "total_ms", "mean_ms", "min_ms", "max_ms", "p50_ms", "p95_ms",
+        ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
     }

@@ -49,6 +49,12 @@ fn main() {
             .iter()
             .map(|&r| format!("{:.2}", base / price(proj, r)))
             .collect();
-        println!("{:<8} {:>6} {:>6} {:>6}", format!("{proj}p"), row[0], row[1], row[2]);
+        println!(
+            "{:<8} {:>6} {:>6} {:>6}",
+            format!("{proj}p"),
+            row[0],
+            row[1],
+            row[2]
+        );
     }
 }

@@ -30,8 +30,14 @@ fn main() {
     let algo = AlgorithmConfig::default();
     let variants: [(&str, SlamConfig); 3] = [
         ("dense baseline", SlamConfig::dense_baseline(algo)),
-        ("ORG.+S (sparse, tile pipeline)", SlamConfig::original_plus_sampling(algo)),
-        ("SPLATONIC (sparse, pixel pipeline)", SlamConfig::splatonic(algo)),
+        (
+            "ORG.+S (sparse, tile pipeline)",
+            SlamConfig::original_plus_sampling(algo),
+        ),
+        (
+            "SPLATONIC (sparse, pixel pipeline)",
+            SlamConfig::splatonic(algo),
+        ),
     ];
     println!(
         "{:<36} {:>9} {:>10} {:>14} {:>9}",

@@ -28,10 +28,16 @@ fn main() {
 
     let algo = AlgorithmConfig::default();
     let strategies: [(&str, SamplingStrategy); 4] = [
-        ("Random 16x16 (paper)", SamplingStrategy::RandomPerTile { tile: 16 }),
+        (
+            "Random 16x16 (paper)",
+            SamplingStrategy::RandomPerTile { tile: 16 },
+        ),
         ("Harris 16x16", SamplingStrategy::HarrisPerTile { tile: 16 }),
         ("Low-Res. 16x", SamplingStrategy::LowRes { factor: 16 }),
-        ("Loss-guided (GauSPU)", SamplingStrategy::LossGuidedTiles { tile: 16 }),
+        (
+            "Loss-guided (GauSPU)",
+            SamplingStrategy::LossGuidedTiles { tile: 16 },
+        ),
     ];
     println!("{:<24} {:>9} {:>10}", "strategy", "ATE (cm)", "PSNR (dB)");
     for (name, strategy) in strategies {

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh run report against the committed
+baseline (scripts/bench_baseline.json).
+
+Usage: check_bench.py REPORT BASELINE
+
+The renderer is deterministic at every thread width, so the comparison can
+be strict where determinism holds and loose only where the machine shows
+through:
+
+* workload counters: exact (same keys, same values);
+* per-frame integer/bool fields (track_iters, sampled pixels, gaussian
+  count, cache hits/invalidations, ...): exact;
+* accuracy (psnr_db, ate_cm) and per-frame floats: tight tolerance;
+* span timings: count exact, total time within a generous multiplier of
+  the baseline (CI runners are slow and noisy);
+* anything under pool/ (worker count, per-worker busy time): skipped,
+  machine-dependent by nature.
+
+Only the Python standard library is used. Exit code 0 = pass, 1 = fail
+(all violations are listed, not just the first).
+"""
+
+import json
+import sys
+
+# Tolerances. Accuracy metrics are deterministic in principle, but keep a
+# small absolute window so a libm or codegen difference between toolchain
+# patch levels does not hard-fail CI on an invisible change.
+FLOAT_ABS_TOL = 0.05  # dB for PSNR, cm for ATE, per-frame floats
+GAUGE_REL_TOL = 1e-6  # deterministic hardware-model outputs
+TIMING_MULT = 25.0  # report span total_ms may be up to 25x baseline
+TIMING_FLOOR_MS = 5.0  # ...with a floor so micro-spans cannot flake
+
+FRAME_EXACT_FIELDS = [
+    "frame_idx",
+    "track_iters",
+    "map_invoked",
+    "sampled_pixels",
+    "map_sampled_pixels",
+    "gaussian_count",
+    "cache_hits",
+    "cache_invalidations",
+]
+FRAME_FLOAT_FIELDS = ["psnr_db", "ate_so_far_cm"]
+SKIP_PREFIXES = ("pool/",)
+
+
+def machine_dependent(name):
+    return any(name.startswith(p) for p in SKIP_PREFIXES)
+
+
+def check(report, baseline):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    # Accuracy: structure exact, metrics within tolerance.
+    acc_r, acc_b = report.get("accuracy", {}), baseline.get("accuracy", {})
+    for field in ("frames", "scene_size"):
+        if acc_r.get(field) != acc_b.get(field):
+            err(
+                f"accuracy.{field}: report {acc_r.get(field)} "
+                f"!= baseline {acc_b.get(field)}"
+            )
+    for field in ("psnr_db", "ate_cm"):
+        r, b = acc_r.get(field), acc_b.get(field)
+        if r is None or b is None:
+            err(f"accuracy.{field}: missing (report {r}, baseline {b})")
+        elif abs(r - b) > FLOAT_ABS_TOL:
+            err(
+                f"accuracy.{field}: report {r} vs baseline {b} "
+                f"(|delta| {abs(r - b):.4f} > {FLOAT_ABS_TOL})"
+            )
+
+    # Per-frame trajectory: counters exact, floats within tolerance.
+    frames_r, frames_b = report.get("frames", []), baseline.get("frames", [])
+    if len(frames_r) != len(frames_b):
+        err(f"frames: report has {len(frames_r)}, baseline has {len(frames_b)}")
+    for i, (fr, fb) in enumerate(zip(frames_r, frames_b)):
+        for field in FRAME_EXACT_FIELDS:
+            if fr.get(field) != fb.get(field):
+                err(
+                    f"frames[{i}].{field}: report {fr.get(field)} "
+                    f"!= baseline {fb.get(field)}"
+                )
+        for field in FRAME_FLOAT_FIELDS:
+            r, b = fr.get(field, 0.0), fb.get(field, 0.0)
+            if abs(r - b) > FLOAT_ABS_TOL:
+                err(
+                    f"frames[{i}].{field}: report {r} vs baseline {b} "
+                    f"(|delta| {abs(r - b):.4f} > {FLOAT_ABS_TOL})"
+                )
+
+    # Workload counters: deterministic, so exact — and no key may appear or
+    # vanish silently (that is how a perf regression or a dropped
+    # instrumentation point shows up).
+    counters_r = {
+        k: v for k, v in report.get("counters", {}).items() if not machine_dependent(k)
+    }
+    counters_b = {
+        k: v
+        for k, v in baseline.get("counters", {}).items()
+        if not machine_dependent(k)
+    }
+    for name in sorted(set(counters_b) - set(counters_r)):
+        err(f"counters.{name}: missing from report (baseline {counters_b[name]})")
+    for name in sorted(set(counters_r) - set(counters_b)):
+        err(f"counters.{name}: not in baseline (report {counters_r[name]}); "
+            "regenerate scripts/bench_baseline.json")
+    for name in sorted(set(counters_r) & set(counters_b)):
+        if counters_r[name] != counters_b[name]:
+            err(
+                f"counters.{name}: report {counters_r[name]} "
+                f"!= baseline {counters_b[name]}"
+            )
+
+    # Spans: invocation counts are deterministic; wall time is not, so only
+    # an upper bound (generous multiplier, floored) is enforced.
+    spans_r = {
+        k: v for k, v in report.get("spans", {}).items() if not machine_dependent(k)
+    }
+    spans_b = {
+        k: v for k, v in baseline.get("spans", {}).items() if not machine_dependent(k)
+    }
+    for name in sorted(set(spans_b) - set(spans_r)):
+        err(f"spans.{name}: missing from report")
+    for name in sorted(set(spans_r) & set(spans_b)):
+        r, b = spans_r[name], spans_b[name]
+        if r.get("count") != b.get("count"):
+            err(
+                f"spans.{name}.count: report {r.get('count')} "
+                f"!= baseline {b.get('count')}"
+            )
+        limit = max(b.get("total_ms", 0.0) * TIMING_MULT, TIMING_FLOOR_MS)
+        if r.get("total_ms", 0.0) > limit:
+            err(
+                f"spans.{name}.total_ms: report {r.get('total_ms'):.2f} ms "
+                f"exceeds {TIMING_MULT}x baseline "
+                f"({b.get('total_ms'):.2f} ms, limit {limit:.2f} ms)"
+            )
+
+    # Gauges: hardware-model outputs are deterministic functions of the
+    # (deterministic) traces; compare with a relative tolerance.
+    gauges_r = {
+        k: v for k, v in report.get("gauges", {}).items() if not machine_dependent(k)
+    }
+    gauges_b = {
+        k: v for k, v in baseline.get("gauges", {}).items() if not machine_dependent(k)
+    }
+    for name in sorted(set(gauges_b) - set(gauges_r)):
+        err(f"gauges.{name}: missing from report (baseline {gauges_b[name]})")
+    for name in sorted(set(gauges_r) & set(gauges_b)):
+        r, b = gauges_r[name], gauges_b[name]
+        tol = GAUGE_REL_TOL * max(abs(r), abs(b), 1.0)
+        if abs(r - b) > tol:
+            err(f"gauges.{name}: report {r} vs baseline {b} (tol {tol:.3g})")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[3], file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        report = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+    errors = check(report, baseline)
+    if errors:
+        print(f"check_bench: FAIL ({len(errors)} violation(s))", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    n_counters = len(report.get("counters", {}))
+    n_frames = len(report.get("frames", {}))
+    print(
+        f"check_bench: OK ({n_frames} frames, {n_counters} counters "
+        f"match {argv[2]})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

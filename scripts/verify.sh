@@ -6,6 +6,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --all --check =="
+cargo fmt --all --check
+
 echo "== cargo build --workspace --release =="
 cargo build --workspace --release
 
@@ -16,6 +19,11 @@ echo "== cargo test --workspace --release -q (SPLATONIC_THREADS=1) =="
 # The worker pool must be bit-identical at every width; re-running the
 # whole suite pinned to one worker catches any schedule-dependent output.
 SPLATONIC_THREADS=1 cargo test --workspace --release -q
+
+echo "== cargo test --workspace --release -q (SPLATONIC_THREADS=4) =="
+# A mid-width pass exercises real chunked fan-out (width 1 degenerates to
+# the sequential path), catching merge-order bugs 1-vs-default can miss.
+SPLATONIC_THREADS=4 cargo test --workspace --release -q
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -21,7 +21,10 @@ fn dataset() -> Dataset {
 #[test]
 fn sparse_slam_tracks_and_reconstructs() {
     let d = dataset();
-    let mut sys = SlamSystem::new(SlamConfig::splatonic(AlgorithmConfig::default()), d.intrinsics);
+    let mut sys = SlamSystem::new(
+        SlamConfig::splatonic(AlgorithmConfig::default()),
+        d.intrinsics,
+    );
     let r = sys.run(&d);
     assert!(r.ate_cm < 12.0, "ATE {} cm", r.ate_cm);
     assert!(r.psnr_db > 20.0, "PSNR {} dB", r.psnr_db);
@@ -147,7 +150,10 @@ fn tum_like_fast_motion_still_tracks() {
             furniture: 3,
         },
     );
-    let mut sys = SlamSystem::new(SlamConfig::splatonic(AlgorithmConfig::default()), d.intrinsics);
+    let mut sys = SlamSystem::new(
+        SlamConfig::splatonic(AlgorithmConfig::default()),
+        d.intrinsics,
+    );
     let r = sys.run(&d);
     // Fast motion is harder (paper Fig. 18 shows larger ATEs on TUM).
     assert!(r.ate_cm < 25.0, "TUM-like ATE {} cm", r.ate_cm);

@@ -89,7 +89,10 @@ fn forward_render_invariants() {
                     "case {case}: alpha {} out of range",
                     c.alpha
                 );
-                assert!(c.transmittance <= prev_t + 1e-12, "case {case}: Γ increased");
+                assert!(
+                    c.transmittance <= prev_t + 1e-12,
+                    "case {case}: Γ increased"
+                );
                 assert!(c.transmittance >= 0.0, "case {case}");
                 prev_t = c.transmittance;
             }
@@ -237,5 +240,94 @@ fn covariance_is_spd() {
             c.det(),
             expected_det
         );
+    });
+}
+
+/// The screen-space bin index is conservative with respect to rendering:
+/// every Gaussian that contributes non-zero α to a pixel in the exhaustive
+/// (binning-off) path appears in that pixel's bin candidate list, for
+/// arbitrary sparse pixel sets (tile-structured or not) and bin sizes.
+#[test]
+fn bin_index_is_conservative() {
+    use splatonic::render::kernel::project_scene;
+    use splatonic::render::pixelset::PixelCoord;
+    use splatonic::render::BinIndex;
+    for_each_case(0xB1A5_ED00, |case, rng| {
+        let scene = arb_scene(rng, 4, 40);
+        let cam = camera();
+        let cfg = RenderConfig {
+            binning: false,
+            cache: false,
+            ..RenderConfig::default()
+        };
+        // A mixed sparse set: either a one-per-tile structure or scattered
+        // pixels, plus one extra pixel.
+        let mut pixels = if rng.gen_range(0.0..1.0) < 0.5 {
+            let tile = [4usize, 6, 8][rng.gen_range(0usize..3)];
+            PixelSet::from_tile_chooser(48, 36, tile, |tx, ty, x0, y0, tw, th| {
+                Some(PixelCoord::new(
+                    (x0 + (tx * 7 + ty) % tw) as u16,
+                    (y0 + (ty * 5 + tx) % th) as u16,
+                ))
+            })
+        } else {
+            let pts: Vec<PixelCoord> = (0..rng.gen_range(4usize..40))
+                .map(|_| {
+                    PixelCoord::new(
+                        rng.gen_range(0usize..48) as u16,
+                        rng.gen_range(0usize..36) as u16,
+                    )
+                })
+                .collect();
+            PixelSet::from_pixels(48, 36, pts)
+        };
+        pixels.add_extra([PixelCoord::new(
+            rng.gen_range(0usize..48) as u16,
+            rng.gen_range(0usize..36) as u16,
+        )]);
+        let out = render_forward(&scene, &cam, &pixels, Pipeline::PixelBased, &cfg);
+        let (projected, _) = project_scene(&scene, &cam, &cfg);
+        let bin_size = [4usize, 8, 16, 32][rng.gen_range(0usize..4)];
+        let index = BinIndex::build(&projected, &pixels, bin_size);
+        for (i, p) in pixels.iter_all().enumerate() {
+            for c in &out.contributions[i] {
+                assert!(c.alpha > 0.0);
+                let pi = projected
+                    .iter()
+                    .position(|pg| pg.id == c.gaussian)
+                    .expect("contributing gaussian must be projected")
+                    as u32;
+                assert!(
+                    index.candidates(p).contains(&pi),
+                    "case {case}: gaussian {} contributes to pixel {p:?} but is \
+                     missing from its bin (bin_size {bin_size})",
+                    c.gaussian
+                );
+            }
+        }
+    });
+}
+
+/// The cross-iteration projection cache never changes rendered output:
+/// repeated renders (cache hits) and pose-stepped renders (invalidations)
+/// are bit-identical to cache-off renders of the same inputs.
+#[test]
+fn projection_cache_is_transparent() {
+    for_each_case(0xCAC4_E5EED, |case, rng| {
+        let scene = arb_scene(rng, 4, 32);
+        let cam = camera();
+        let on = RenderConfig::default();
+        let off = RenderConfig {
+            cache: false,
+            ..RenderConfig::default()
+        };
+        let pixels = PixelSet::dense(48, 36);
+        let a1 = render_forward(&scene, &cam, &pixels, Pipeline::PixelBased, &on);
+        let a2 = render_forward(&scene, &cam, &pixels, Pipeline::PixelBased, &on);
+        let b = render_forward(&scene, &cam, &pixels, Pipeline::PixelBased, &off);
+        assert_eq!(a1.color, b.color, "case {case}: first render");
+        assert_eq!(a2.color, b.color, "case {case}: repeat (cached) render");
+        assert_eq!(a1.trace, b.trace, "case {case}: trace");
+        assert_eq!(a2.trace, b.trace, "case {case}: cached trace");
     });
 }
