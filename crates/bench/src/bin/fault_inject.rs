@@ -1,0 +1,258 @@
+//! Fault-injection harness for the checkpoint/resume subsystem
+//! (DESIGN.md §12; driven by `scripts/fault_inject.sh`).
+//!
+//! Usage:
+//!   fault_inject run     --dir D --kill-at K [--checkpoint-every C]
+//!   fault_inject resume  --dir D
+//!   fault_inject corrupt --dir D
+//!
+//! `run` executes SLAM frame by frame, writing a snapshot to `--dir` on the
+//! checkpoint cadence, then simulates a crash by exiting with code 21
+//! immediately after frame `K` — no finalize, no cleanup. `resume` loads the
+//! newest snapshot from `--dir`, continues to completion, replays an
+//! uninterrupted run in-process, and fails (exit 1) unless the estimated
+//! poses, ATE, PSNR, and both workload traces are **bitwise** identical.
+//! `corrupt` mutates the newest snapshot four ways (payload flip, truncation,
+//! magic, version) and checks each is rejected with the right typed error.
+//!
+//! All modes build the same fixed quick-settings dataset, so the comparison
+//! in `resume` is self-contained; thread width comes from the standard
+//! `SPLATONIC_THREADS` resolution and must not affect any compared value.
+
+use splatonic_bench::Settings;
+use splatonic_math::Pose;
+use splatonic_slam::prelude::*;
+use splatonic_slam::snapshot::HEADER_LEN;
+use splatonic_telemetry::Telemetry;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+/// Exit code the `run` mode uses for the simulated crash; the shell harness
+/// asserts it to distinguish the planned kill from a real failure.
+const KILL_EXIT_CODE: u8 = 21;
+
+fn dataset() -> Dataset {
+    Dataset::replica_like("fault-room", 7, Settings::quick().dataset_config())
+}
+
+fn config(checkpoint_every: usize) -> SlamConfig {
+    let mut cfg = SlamConfig::splatonic(AlgorithmConfig::default());
+    cfg.checkpoint_every = checkpoint_every;
+    cfg
+}
+
+fn snapshot_path(dir: &Path, next_frame: usize) -> PathBuf {
+    dir.join(format!("ckpt_{next_frame:04}.snap"))
+}
+
+/// Newest snapshot in `dir` (highest frame number in the file name).
+fn latest_snapshot(dir: &Path) -> Option<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+        .collect();
+    paths.sort();
+    paths.pop()
+}
+
+fn pose_bits(p: &Pose) -> Vec<u64> {
+    let mut v: Vec<u64> = p.rotation.m.iter().map(|x| x.to_bits()).collect();
+    v.extend([
+        p.translation.x.to_bits(),
+        p.translation.y.to_bits(),
+        p.translation.z.to_bits(),
+    ]);
+    v
+}
+
+fn run_mode(dir: &Path, kill_at: usize, checkpoint_every: usize) {
+    std::fs::create_dir_all(dir).expect("create snapshot dir");
+    let d = dataset();
+    assert!(
+        kill_at < d.len(),
+        "--kill-at {kill_at} out of range (dataset has {} frames)",
+        d.len()
+    );
+    let mut sys = SlamSystem::new(config(checkpoint_every), d.intrinsics);
+    let telemetry = Telemetry::disabled();
+    while let Some(t) = sys.step_frame(&d, &telemetry) {
+        if t.is_multiple_of(checkpoint_every) {
+            let snap = sys.checkpoint();
+            let path = snapshot_path(dir, snap.next_frame);
+            snap.write_file(&path).expect("write snapshot");
+            eprintln!(
+                "[fault_inject] checkpoint after frame {t} -> {}",
+                path.display()
+            );
+        }
+        if t == kill_at {
+            eprintln!("[fault_inject] simulated crash after frame {t} (exit {KILL_EXIT_CODE})");
+            // A real crash runs no destructors either.
+            exit(KILL_EXIT_CODE as i32);
+        }
+    }
+    unreachable!("kill-at frame must be reached before the dataset ends");
+}
+
+fn resume_mode(dir: &Path) {
+    let path = latest_snapshot(dir).unwrap_or_else(|| {
+        eprintln!("[fault_inject] no snapshot found in {}", dir.display());
+        exit(1);
+    });
+    let snap = Snapshot::read_file(&path).expect("snapshot must decode");
+    let d = dataset();
+    eprintln!(
+        "[fault_inject] resuming from {} (next frame {})",
+        path.display(),
+        snap.next_frame
+    );
+    let mut resumed = SlamSystem::resume(config(0), d.intrinsics, &d, &snap)
+        .expect("snapshot must resume under the original config");
+    let r = resumed.run(&d);
+
+    let mut uninterrupted = SlamSystem::new(config(0), d.intrinsics);
+    let full = uninterrupted.run(&d);
+
+    let mut failures = 0u32;
+    let mut check = |what: &str, ok: bool| {
+        if ok {
+            eprintln!("[fault_inject] OK  {what}");
+        } else {
+            eprintln!("[fault_inject] FAIL {what}");
+            failures += 1;
+        }
+    };
+    let poses_match = full.est_poses.len() == r.est_poses.len()
+        && full
+            .est_poses
+            .iter()
+            .zip(r.est_poses.iter())
+            .all(|(a, b)| pose_bits(a) == pose_bits(b));
+    check("est_poses bitwise", poses_match);
+    check(
+        "ate_cm bitwise",
+        full.ate_cm.to_bits() == r.ate_cm.to_bits(),
+    );
+    check(
+        "psnr_db bitwise",
+        full.psnr_db.to_bits() == r.psnr_db.to_bits(),
+    );
+    check("tracking_trace", full.tracking_trace == r.tracking_trace);
+    check("mapping_trace", full.mapping_trace == r.mapping_trace);
+    check("scene_size", full.scene_size == r.scene_size);
+    check(
+        "iteration counts",
+        full.tracking_iters == r.tracking_iters && full.mapping_iters == r.mapping_iters,
+    );
+    if failures > 0 {
+        eprintln!("[fault_inject] resumed run diverged ({failures} mismatches)");
+        exit(1);
+    }
+    println!(
+        "fault_inject resume: bitwise identical (ate {:.4} cm, psnr {:.2} dB, {} frames)",
+        r.ate_cm, r.psnr_db, r.frames
+    );
+}
+
+fn corrupt_mode(dir: &Path) {
+    let path = latest_snapshot(dir).unwrap_or_else(|| {
+        eprintln!("[fault_inject] no snapshot found in {}", dir.display());
+        exit(1);
+    });
+    let bytes = std::fs::read(&path).expect("read snapshot");
+    Snapshot::from_bytes(&bytes).expect("pristine snapshot must decode");
+
+    let mut failures = 0u32;
+    let mut expect = |what: &str, mutated: Vec<u8>, matches: &dyn Fn(&SnapshotError) -> bool| {
+        match Snapshot::from_bytes(&mutated) {
+            Err(ref e) if matches(e) => eprintln!("[fault_inject] OK  {what}: {e}"),
+            Err(e) => {
+                eprintln!("[fault_inject] FAIL {what}: wrong error {e}");
+                failures += 1;
+            }
+            Ok(_) => {
+                eprintln!("[fault_inject] FAIL {what}: corrupted snapshot accepted");
+                failures += 1;
+            }
+        }
+    };
+
+    // Flip one byte in the middle of the payload: checksum must catch it.
+    let mut flipped = bytes.clone();
+    let mid = HEADER_LEN + (flipped.len() - HEADER_LEN) / 2;
+    flipped[mid] ^= 0xFF;
+    expect("payload byte flip", flipped, &|e| {
+        matches!(e, SnapshotError::ChecksumMismatch { .. })
+    });
+
+    // Drop the tail: truncation must be reported before any decode.
+    expect(
+        "truncated payload",
+        bytes[..bytes.len() - 7].to_vec(),
+        &|e| matches!(e, SnapshotError::Truncated { .. }),
+    );
+
+    // Clobber the magic.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0x55;
+    expect("bad magic", bad_magic, &|e| {
+        matches!(e, SnapshotError::BadMagic)
+    });
+
+    // Bump the format version (little-endian u32 right after the magic).
+    let mut future = bytes.clone();
+    future[8] = future[8].wrapping_add(1);
+    expect("unsupported version", future, &|e| {
+        matches!(e, SnapshotError::UnsupportedVersion(_))
+    });
+
+    if failures > 0 {
+        exit(1);
+    }
+    println!("fault_inject corrupt: all 4 corruptions rejected with typed errors");
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires an argument");
+            exit(2);
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("");
+    let dir = arg_value(&args, "--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            eprintln!("--dir is required");
+            exit(2);
+        });
+    match mode {
+        "run" => {
+            let kill_at: usize = arg_value(&args, "--kill-at")
+                .unwrap_or_else(|| {
+                    eprintln!("run mode requires --kill-at");
+                    exit(2);
+                })
+                .parse()
+                .expect("--kill-at must be an integer");
+            let every: usize = arg_value(&args, "--checkpoint-every")
+                .unwrap_or_else(|| "2".to_string())
+                .parse()
+                .expect("--checkpoint-every must be an integer");
+            assert!(every > 0, "--checkpoint-every must be positive");
+            run_mode(&dir, kill_at, every);
+        }
+        "resume" => resume_mode(&dir),
+        "corrupt" => corrupt_mode(&dir),
+        other => {
+            eprintln!("unknown mode {other:?}; expected run | resume | corrupt");
+            exit(2);
+        }
+    }
+}

@@ -5,11 +5,16 @@
 //!   figures fig10 fig22 [--quick]
 //!   figures --list
 //!   figures --report BENCH_smoke.json [--quick]
+//!   figures --report out.json --checkpoint-every 4 --checkpoint-dir snaps/
 //!
 //! `--report <path>` runs a fully-instrumented SLAM pass plus hardware
 //! pricing and writes a machine-readable run report (spans, workload
 //! counters, per-frame accuracy trajectory) to `<path>`. Experiment ids may
 //! be combined with it; with `--report` alone, only the report is produced.
+//!
+//! `--checkpoint-every N` overrides the report run's checkpoint cadence and
+//! `--checkpoint-dir D` additionally writes each snapshot to `D` (one
+//! `ckpt_<frame>.snap` per cut) instead of keeping them in memory.
 
 use splatonic_bench::{report, run_experiment, Settings, EXPERIMENTS};
 
@@ -27,12 +32,24 @@ fn main() {
     } else {
         Settings::full()
     };
-    let report_path = args.iter().position(|a| a == "--report").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--report requires a path argument");
-            std::process::exit(2);
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires an argument");
+                std::process::exit(2);
+            })
         })
-    });
+    };
+    let report_path = flag_value("--report");
+    let checkpoint_every: usize = flag_value("--checkpoint-every")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--checkpoint-every requires an integer");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(4);
+    let checkpoint_dir = flag_value("--checkpoint-dir").map(std::path::PathBuf::from);
     let mut ids: Vec<&str> = {
         let mut skip_next = false;
         args.iter()
@@ -41,7 +58,7 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--report" {
+                if ["--report", "--checkpoint-every", "--checkpoint-dir"].contains(&a.as_str()) {
                     skip_next = true;
                     return false;
                 }
@@ -72,7 +89,12 @@ fn main() {
             .and_then(|s| s.to_str())
             .unwrap_or("bench")
             .to_string();
-        let run = report::instrumented_run(&name, &settings);
+        let run = report::instrumented_run_with_checkpoints(
+            &name,
+            &settings,
+            checkpoint_every,
+            checkpoint_dir.as_deref(),
+        );
         print!("{}", run.to_text());
         if let Err(e) = run.write_json_file(std::path::Path::new(&path)) {
             eprintln!("[figures] failed to write {path}: {e}");

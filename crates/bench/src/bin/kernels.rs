@@ -220,6 +220,36 @@ fn main() {
         }
     }
 
+    // Snapshot wire format: encode + decode of a mid-run checkpoint
+    // (DESIGN.md §12). The scene dominates the payload, so this measures
+    // the serializer against a realistically sized run state.
+    {
+        let d = bench_dataset("bench-snap", 4);
+        let mut sys =
+            splatonic_slam::SlamSystem::new(splatonic_slam::SlamConfig::default(), d.intrinsics);
+        let quiet = Telemetry::disabled();
+        for _ in 0..3 {
+            sys.step_frame(&d, &quiet);
+        }
+        let snapshot = sys.checkpoint();
+        let bytes = snapshot.to_bytes();
+        t.gauge_set("snapshot/bytes", bytes.len() as f64);
+        t.gauge_set("snapshot/gaussians", snapshot.gaussians.len() as f64);
+        let _outer = t.span("snapshot");
+        for _ in 0..iters {
+            {
+                let _span = t.span("encode");
+                std::hint::black_box(snapshot.to_bytes());
+            }
+            {
+                let _span = t.span("decode");
+                std::hint::black_box(
+                    splatonic_slam::Snapshot::from_bytes(&bytes).expect("snapshot decodes"),
+                );
+            }
+        }
+    }
+
     // Aggregation-unit simulation and full accelerator pricing.
     {
         let stream: Vec<Vec<u32>> = (0..2000u32)

@@ -29,14 +29,43 @@ fn target_slug(target: HardwareTarget) -> String {
 
 /// Runs one fully-instrumented SLAM pass plus hardware pricing and returns
 /// the run report.
+///
+/// Checkpointing runs on a fixed default cadence (in-memory sink) so the
+/// report carries the checkpoint span, `slam/checkpoints_written`, and
+/// `slam/snapshot_bytes` — `scripts/check_bench.py` gates on them.
 pub fn instrumented_run(name: &str, settings: &Settings) -> RunReport {
+    instrumented_run_with_checkpoints(name, settings, 4, None)
+}
+
+/// [`instrumented_run`] with an explicit checkpoint cadence; when `dir` is
+/// given every snapshot is also written there as `ckpt_<frame>.snap`
+/// (`figures --checkpoint-every N --checkpoint-dir D`).
+pub fn instrumented_run_with_checkpoints(
+    name: &str,
+    settings: &Settings,
+    checkpoint_every: usize,
+    dir: Option<&std::path::Path>,
+) -> RunReport {
     let dataset = Dataset::replica_like("report-room", 7, settings.dataset_config());
     let telemetry = Telemetry::enabled();
 
     // End-to-end SLAM with spans and per-frame records.
-    let slam_cfg = SlamConfig::splatonic(AlgorithmConfig::default());
+    let mut slam_cfg = SlamConfig::splatonic(AlgorithmConfig::default());
+    slam_cfg.checkpoint_every = checkpoint_every;
     let mut system = SlamSystem::new(slam_cfg, dataset.intrinsics);
-    let result = system.run_with_telemetry(&dataset, &telemetry);
+    if let Some(d) = dir {
+        std::fs::create_dir_all(d).expect("create checkpoint dir");
+    }
+    let result = system
+        .run_with_checkpoints(&dataset, &telemetry, &mut |snap, bytes| {
+            if let Some(d) = dir {
+                let path = d.join(format!("ckpt_{:04}.snap", snap.next_frame));
+                std::fs::write(&path, bytes)
+                    .map_err(|e| splatonic_slam::SnapshotError::Io(e.to_string()))?;
+            }
+            Ok(())
+        })
+        .expect("checkpoint sink failed");
 
     // Price one representative tracking iteration on every target and
     // export the stage/energy breakdowns.
@@ -98,9 +127,19 @@ mod tests {
             "tracking/forward/pairs_integrated",
             "tracking/backward/atomic_adds",
             "mapping/forward/pixels_shaded",
+            "slam/checkpoints_written",
         ] {
             assert!(counters.get(name).is_some(), "missing counter {name}");
         }
+        assert!(spans.get("checkpoint").is_some(), "missing checkpoint span");
+        assert!(
+            doc.get("gauges")
+                .unwrap()
+                .get("slam/snapshot_bytes")
+                .and_then(|v| v.as_f64())
+                .is_some_and(|v| v > 0.0),
+            "missing slam/snapshot_bytes gauge"
+        );
         // Per-frame array with accuracy trajectory.
         let frames = doc.get("frames").expect("frames section").as_arr().unwrap();
         assert!(!frames.is_empty());

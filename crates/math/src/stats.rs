@@ -43,6 +43,22 @@ impl Summary {
         }
     }
 
+    /// Rebuilds a summary from its raw accumulator fields, the inverse of
+    /// the (`count`, `sum`, `sum_sq`, raw `min`/`max`) accessors. Intended
+    /// for serialization round-trips: the fields are stored verbatim (an
+    /// empty summary keeps `min = +∞`, `max = −∞`), so
+    /// `Summary::from_parts(s.count(), s.sum(), s.sum_sq(), s.raw_min(),
+    /// s.raw_max()) == s` bitwise.
+    pub fn from_parts(count: usize, sum: f64, sum_sq: f64, min: f64, max: f64) -> Self {
+        Summary {
+            count,
+            sum,
+            sum_sq,
+            min,
+            max,
+        }
+    }
+
     /// Builds a summary from an iterator of samples (also available via
     /// the [`FromIterator`] impl / `collect()`).
     #[allow(clippy::should_implement_trait)] // FromIterator is implemented below
@@ -67,6 +83,25 @@ impl Summary {
     /// Sum of samples (0 for an empty summary).
     pub fn sum(&self) -> f64 {
         self.sum
+    }
+
+    /// Sum of squared samples (0 for an empty summary). Exposed, together
+    /// with [`Summary::raw_min`] / [`Summary::raw_max`], so a summary can be
+    /// serialized and rebuilt bitwise via [`Summary::from_parts`].
+    pub fn sum_sq(&self) -> f64 {
+        self.sum_sq
+    }
+
+    /// The raw minimum accumulator: `+∞` for an empty summary (unlike
+    /// [`Summary::min`], which reports 0 there).
+    pub fn raw_min(&self) -> f64 {
+        self.min
+    }
+
+    /// The raw maximum accumulator: `−∞` for an empty summary (unlike
+    /// [`Summary::max`], which reports 0 there).
+    pub fn raw_max(&self) -> f64 {
+        self.max
     }
 
     /// Mean (0 for an empty summary).
@@ -259,6 +294,25 @@ mod tests {
         assert_eq!(a.count(), c.count());
         assert!((a.mean() - c.mean()).abs() < 1e-12);
         assert!((a.variance() - c.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_from_parts_round_trips_bitwise() {
+        for s in [
+            Summary::new(),
+            Summary::from_iter([1.5, -2.25, 7.0]),
+            Summary::from_iter([0.0]),
+        ] {
+            let r = Summary::from_parts(s.count(), s.sum(), s.sum_sq(), s.raw_min(), s.raw_max());
+            assert_eq!(r.count(), s.count());
+            assert_eq!(r.sum().to_bits(), s.sum().to_bits());
+            assert_eq!(r.sum_sq().to_bits(), s.sum_sq().to_bits());
+            assert_eq!(r.raw_min().to_bits(), s.raw_min().to_bits());
+            assert_eq!(r.raw_max().to_bits(), s.raw_max().to_bits());
+        }
+        // Empty summaries keep the infinite sentinels through the trip.
+        let e = Summary::new();
+        assert!(e.raw_min().is_infinite() && e.raw_max().is_infinite());
     }
 
     #[test]

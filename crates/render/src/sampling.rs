@@ -61,16 +61,47 @@ pub enum SamplingStrategy {
 }
 
 impl SamplingStrategy {
-    /// Fraction of pixels this strategy processes (1.0 for dense).
-    pub fn sampling_rate(&self) -> f64 {
+    /// Fraction of pixels this strategy processes on a `width × height`
+    /// frame, from the *realized* plan budget — not the nominal
+    /// `1/(tile·tile)`.
+    ///
+    /// The distinction matters for every variant once frames stop dividing
+    /// evenly: per-tile choosers pick one pixel per (possibly clipped) tile
+    /// of a `⌈w/tile⌉ × ⌈h/tile⌉` grid, low-res renders
+    /// `max(1, w/f) × max(1, h/f)` pixels, and loss-guided sampling rounds
+    /// its budget up to whole 16×16 GPU tiles — on a 64×48 frame with
+    /// `tile = 16` that is 256 pixels, more than 20× the 12 the nominal
+    /// rate suggests. Exact realized counts for a concrete plan come from
+    /// [`SamplingPlan::pixel_count`].
+    pub fn sampling_rate(&self, width: usize, height: usize) -> f64 {
+        let total = width * height;
+        if total == 0 {
+            return 0.0;
+        }
         match *self {
             SamplingStrategy::Dense => 1.0,
-            SamplingStrategy::RandomPerTile { tile }
-            | SamplingStrategy::HarrisPerTile { tile }
-            | SamplingStrategy::LossGuidedTiles { tile } => 1.0 / (tile * tile) as f64,
-            SamplingStrategy::LowRes { factor } => 1.0 / (factor * factor) as f64,
+            SamplingStrategy::RandomPerTile { tile } | SamplingStrategy::HarrisPerTile { tile } => {
+                (width.div_ceil(tile) * height.div_ceil(tile)) as f64 / total as f64
+            }
+            SamplingStrategy::LowRes { factor } => {
+                let f = factor.max(1);
+                ((width / f).max(1) * (height / f).max(1)) as f64 / total as f64
+            }
+            SamplingStrategy::LossGuidedTiles { tile } => {
+                loss_guided_budget(width, height, tile) as f64 / total as f64
+            }
         }
     }
+}
+
+/// Pixel budget the loss-guided (GauSPU-style) baseline realizes on a
+/// `width × height` frame: the nominal one-per-`tile×tile` budget rounded up
+/// to whole 16×16 GPU tiles, capped at the frame (tiles are distinct, and
+/// edge tiles are clipped to the frame).
+fn loss_guided_budget(width: usize, height: usize, tile: usize) -> usize {
+    let budget_pixels = (width * height).div_ceil(tile * tile);
+    let n_tiles = budget_pixels.div_ceil(LOSS_TILE * LOSS_TILE).max(1);
+    (n_tiles * LOSS_TILE * LOSS_TILE).min(width * height)
 }
 
 /// A realized sampling decision for one tracking iteration.
@@ -83,6 +114,30 @@ pub enum SamplingPlan {
         /// Downscale factor per axis.
         factor: usize,
     },
+}
+
+impl SamplingPlan {
+    /// Exact number of pixels this plan renders on a `width × height`
+    /// frame. This is the count that feeds traces and run reports — unlike
+    /// a nominal per-strategy rate it reflects budget rounding (loss-guided
+    /// whole-tile selection) and edge clipping.
+    pub fn pixel_count(&self, width: usize, height: usize) -> usize {
+        match self {
+            SamplingPlan::Pixels(set) => set.len(),
+            SamplingPlan::LowRes { factor } => {
+                let f = (*factor).max(1);
+                (width / f).max(1) * (height / f).max(1)
+            }
+        }
+    }
+
+    /// Realized sampling rate: [`Self::pixel_count`] over the frame area.
+    pub fn realized_rate(&self, width: usize, height: usize) -> f64 {
+        if width * height == 0 {
+            return 0.0;
+        }
+        self.pixel_count(width, height) as f64 / (width * height) as f64
+    }
 }
 
 /// GPU tile edge used by the loss-guided (GauSPU-style) baseline.
@@ -436,14 +491,61 @@ mod tests {
 
     #[test]
     fn sampling_rates() {
-        assert_eq!(SamplingStrategy::Dense.sampling_rate(), 1.0);
+        assert_eq!(SamplingStrategy::Dense.sampling_rate(64, 64), 1.0);
         assert!(
-            (SamplingStrategy::RandomPerTile { tile: 16 }.sampling_rate() - 1.0 / 256.0).abs()
+            (SamplingStrategy::RandomPerTile { tile: 16 }.sampling_rate(64, 64) - 1.0 / 256.0)
+                .abs()
                 < 1e-12
         );
         assert!(
-            (SamplingStrategy::LowRes { factor: 16 }.sampling_rate() - 1.0 / 256.0).abs() < 1e-12
+            (SamplingStrategy::LowRes { factor: 16 }.sampling_rate(64, 64) - 1.0 / 256.0).abs()
+                < 1e-12
         );
+        // Non-divisible frames: one pick per clipped tile, so the rate is
+        // tiles/area, not 1/tile².
+        let r = SamplingStrategy::RandomPerTile { tile: 16 }.sampling_rate(70, 50);
+        assert!((r - (5.0 * 4.0) / 3500.0).abs() < 1e-12);
+        assert_eq!(SamplingStrategy::Dense.sampling_rate(0, 0), 0.0);
+    }
+
+    #[test]
+    fn loss_guided_rate_reflects_whole_tile_rounding() {
+        // satellite of PR 5: the realized plan rounds its budget up to whole
+        // 16×16 tiles. 64×48 @ tile=16: nominal budget 12 px, realized 256.
+        let strategy = SamplingStrategy::LossGuidedTiles { tile: 16 };
+        let rate = strategy.sampling_rate(64, 48);
+        assert!((rate - 256.0 / 3072.0).abs() < 1e-12, "rate {rate}");
+        // And it matches the plan actually built for that frame.
+        let f = frame(64, 48);
+        let plan = tracking_plan(strategy, &f, 1, None);
+        assert_eq!(plan.pixel_count(64, 48), 256);
+        assert!((plan.realized_rate(64, 48) - rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_pixel_counts_match_realized_sets() {
+        let f = frame(64, 48);
+        for strategy in [
+            SamplingStrategy::Dense,
+            SamplingStrategy::RandomPerTile { tile: 16 },
+            SamplingStrategy::HarrisPerTile { tile: 16 },
+            SamplingStrategy::LossGuidedTiles { tile: 16 },
+        ] {
+            let plan = tracking_plan(strategy, &f, 3, None);
+            let SamplingPlan::Pixels(ref p) = plan else {
+                panic!()
+            };
+            assert_eq!(plan.pixel_count(64, 48), p.len(), "{strategy:?}");
+            // The strategy-level rate agrees with the realized plan for
+            // frames where clipping cannot bite (all dims divisible).
+            assert!(
+                (strategy.sampling_rate(64, 48) - plan.realized_rate(64, 48)).abs() < 1e-12,
+                "{strategy:?}"
+            );
+        }
+        // Low-res plans report the downscaled render's pixel count.
+        let plan = tracking_plan(SamplingStrategy::LowRes { factor: 4 }, &f, 0, None);
+        assert_eq!(plan.pixel_count(64, 48), 16 * 12);
     }
 
     #[test]

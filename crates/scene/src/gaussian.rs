@@ -174,6 +174,20 @@ impl GaussianScene {
         }
     }
 
+    /// Builds a scene directly from a vector of Gaussians without copying.
+    ///
+    /// Used by snapshot restore. The scene gets a *fresh* revision, never a
+    /// restored one: revisions are process-unique identity tokens (see
+    /// [`GaussianScene::revision`]), and replaying a serialized value could
+    /// collide with a revision already handed out in this process, breaking
+    /// the "equal revisions imply bitwise-equal Gaussians" cache contract.
+    pub fn from_vec(gaussians: Vec<Gaussian>) -> Self {
+        GaussianScene {
+            gaussians,
+            revision: fresh_revision(),
+        }
+    }
+
     /// Process-unique token identifying the current contents of this scene.
     ///
     /// Every constructor draws a fresh value and every mutating accessor

@@ -10,6 +10,18 @@ pub struct AdamScalar {
     v: f64,
 }
 
+impl AdamScalar {
+    /// Rebuilds scalar state from raw moments (snapshot deserialization).
+    pub fn from_moments(m: f64, v: f64) -> Self {
+        AdamScalar { m, v }
+    }
+
+    /// The raw `(m, v)` moment pair (snapshot serialization).
+    pub fn moments(&self) -> (f64, f64) {
+        (self.m, self.v)
+    }
+}
+
 /// Adam hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdamParams {
@@ -114,6 +126,33 @@ impl AdamVector {
         }
         self.t = 0;
     }
+
+    /// Resets to exactly the state of `AdamVector::new(n)`: `n` cold
+    /// scalars, step count zero. Lets a long-lived vector be recycled
+    /// across optimizer invocations without reallocating growth headroom.
+    pub fn reset_to(&mut self, n: usize) {
+        self.state.clear();
+        self.state.resize(n, AdamScalar::default());
+        self.t = 0;
+    }
+
+    /// The 1-based step count (number of [`AdamVector::step`] calls).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Per-parameter scalar states, in parameter order (snapshot
+    /// serialization).
+    pub fn scalars(&self) -> &[AdamScalar] {
+        &self.state
+    }
+
+    /// Rebuilds a vector from a step count and per-parameter states, the
+    /// inverse of [`AdamVector::step_count`] + [`AdamVector::scalars`]
+    /// (snapshot deserialization).
+    pub fn from_parts(t: u64, state: Vec<AdamScalar>) -> Self {
+        AdamVector { state, t }
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +208,35 @@ mod tests {
     fn out_of_range_index_panics() {
         let mut v = AdamVector::new(1);
         v.step(&[(5, 1.0)], &AdamParams::default(), |_, _| {});
+    }
+
+    #[test]
+    fn from_parts_round_trips_bitwise() {
+        let mut v = AdamVector::new(3);
+        let p = AdamParams::default();
+        v.step(&[(0, 1.0), (2, -0.5)], &p, |_, _| {});
+        v.step(&[(1, 0.25)], &p, |_, _| {});
+        let rebuilt = AdamVector::from_parts(
+            v.step_count(),
+            v.scalars()
+                .iter()
+                .map(|s| {
+                    let (m, mo) = s.moments();
+                    AdamScalar::from_moments(m, mo)
+                })
+                .collect(),
+        );
+        assert_eq!(rebuilt, v);
+        assert_eq!(rebuilt.step_count(), 2);
+    }
+
+    #[test]
+    fn reset_to_matches_new() {
+        let mut v = AdamVector::new(2);
+        v.step(&[(0, 1.0)], &AdamParams::default(), |_, _| {});
+        v.grow(10);
+        v.reset_to(5);
+        assert_eq!(v, AdamVector::new(5));
+        assert_eq!(v.step_count(), 0);
     }
 }

@@ -12,7 +12,9 @@
 //! * [`system`] — the end-to-end [`system::SlamSystem`] loop,
 //! * [`dataset`] — renders synthetic worlds into RGB-D sequences,
 //! * [`metrics`] — ATE (Umeyama-aligned RMSE) and PSNR,
-//! * [`adam`] — the Adam optimizer used by both processes.
+//! * [`adam`] — the Adam optimizer used by both processes,
+//! * [`snapshot`] — versioned, bit-exact checkpoint/resume wire format
+//!   (DESIGN.md §12).
 //!
 //! # Examples
 //!
@@ -30,12 +32,14 @@ pub mod algorithm;
 pub mod dataset;
 pub mod mapping;
 pub mod metrics;
+pub mod snapshot;
 pub mod system;
 pub mod tracking;
 
 pub use algorithm::{AlgorithmConfig, AlgorithmPreset};
 pub use dataset::{Dataset, DatasetConfig};
 pub use metrics::{ate_rmse_cm, psnr_db};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use system::{SlamConfig, SlamResult, SlamSystem};
 
 /// Convenience prelude re-exporting the common entry points.
@@ -43,6 +47,7 @@ pub mod prelude {
     pub use crate::algorithm::{AlgorithmConfig, AlgorithmPreset};
     pub use crate::dataset::{Dataset, DatasetConfig};
     pub use crate::metrics::{ate_rmse_cm, psnr_db};
+    pub use crate::snapshot::{Snapshot, SnapshotError};
     pub use crate::system::{SlamConfig, SlamResult, SlamSystem};
     pub use splatonic_render::{Pipeline, SamplingStrategy};
 }

@@ -178,6 +178,33 @@ pub fn map_scene_with_telemetry(
     seed: u64,
     telemetry: &Telemetry,
 ) -> MappingOutput {
+    let mut adam = AdamVector::new(0);
+    map_scene_with_state(
+        scene, keyframes, intrinsics, sampler, algo, pipeline, render_cfg, seed, &mut adam,
+        telemetry,
+    )
+}
+
+/// [`map_scene_with_telemetry`] with caller-owned optimizer state.
+///
+/// `adam` is reset to exactly `AdamVector::new(scene.len() * 14)` at the
+/// start of the invocation — numerically identical to the transient vector
+/// the convenience wrappers create, but the moments and step count live in
+/// the caller between iterations, so a checkpoint taken mid-run genuinely
+/// captures them ([`crate::snapshot`]).
+#[allow(clippy::too_many_arguments)]
+pub fn map_scene_with_state(
+    scene: &mut GaussianScene,
+    keyframes: &[Keyframe],
+    intrinsics: Intrinsics,
+    sampler: &MappingSampler,
+    algo: &AlgorithmConfig,
+    pipeline: Pipeline,
+    render_cfg: &RenderConfig,
+    seed: u64,
+    adam: &mut AdamVector,
+    telemetry: &Telemetry,
+) -> MappingOutput {
     assert!(!keyframes.is_empty(), "mapping needs at least one keyframe");
     let newest = keyframes.last().expect("non-empty");
     let mut trace = RenderTrace::new();
@@ -206,7 +233,7 @@ pub fn map_scene_with_telemetry(
     );
 
     // 3. Optimization over the window.
-    let mut adam = AdamVector::new(scene.len() * PARAMS_PER_GAUSSIAN);
+    adam.reset_to(scene.len() * PARAMS_PER_GAUSSIAN);
     let lr = AdamParams::default();
     let mut pixels_total = 0usize;
     for it in 0..algo.mapping_iters {

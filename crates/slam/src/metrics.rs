@@ -6,11 +6,21 @@ use splatonic_scene::ColorImage;
 /// Umeyama alignment (rotation + translation, no scale) of `est` onto `gt`
 /// camera centers. Returns the aligning pose `T` such that `T(est) ≈ gt`.
 ///
-/// Returns identity when fewer than 3 poses are given.
+/// Fewer than 3 camera centers underdetermine the rotation, so short
+/// trajectories fall back to an *anchor-relative* alignment: identity
+/// rotation plus the translation that maps the first estimated center onto
+/// the first ground-truth center. This matches the SLAM convention that the
+/// first pose is the given anchor — an estimate expressed in a shifted
+/// world frame aligns to zero error instead of reporting the raw offset the
+/// old identity fallback produced.
 pub fn align_trajectories(est: &[Pose], gt: &[Pose]) -> Pose {
     let n = est.len().min(gt.len());
-    if n < 3 {
+    if n == 0 {
         return Pose::identity();
+    }
+    if n < 3 {
+        let t = gt[0].camera_center() - est[0].camera_center();
+        return Pose::new(Mat3::identity(), t);
     }
     let est_c: Vec<Vec3> = est[..n].iter().map(Pose::camera_center).collect();
     let gt_c: Vec<Vec3> = gt[..n].iter().map(Pose::camera_center).collect();
@@ -66,6 +76,12 @@ fn polar_rotation(m: &Mat3) -> Mat3 {
 
 /// Absolute trajectory error (RMSE of aligned camera-center distances), in
 /// centimeters — the paper's tracking-accuracy metric.
+///
+/// Trajectories of 3+ poses are Umeyama-aligned (rotation + translation, no
+/// scale) before the RMSE; 1–2 poses use the anchor-relative fallback of
+/// [`align_trajectories`], so the early-trajectory values reported in
+/// per-frame telemetry (`ate_so_far_cm`) follow the same anchored
+/// convention as the full-run number instead of mixing in a global offset.
 ///
 /// # Panics
 ///
@@ -183,6 +199,41 @@ mod tests {
     fn polar_rotation_handles_zero() {
         let q = polar_rotation(&Mat3::zero());
         assert!((q.det() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_trajectory_alignment_is_anchor_relative() {
+        // satellite of PR 5: with <3 poses the old code returned identity
+        // alignment, so an estimate expressed in a shifted world frame
+        // reported the raw frame offset as "error". The anchored fallback
+        // removes the offset via the first pose.
+        let gt = make_traj(2, Vec3::ZERO);
+        // Shift every camera center by a constant world offset d:
+        // c = −Rᵀt, so t ← t − R·d moves c to c + d.
+        let d = Vec3::new(1.5, -0.4, 2.0);
+        let est: Vec<Pose> = gt
+            .iter()
+            .map(|p| {
+                let mut q = *p;
+                q.translation -= q.rotation * d;
+                q
+            })
+            .collect();
+        let ate = ate_rmse_cm(&est, &gt);
+        assert!(ate < 1e-9, "pure world-frame shift must align out: {ate}");
+        // A genuine relative error still shows up.
+        let mut bad = gt.clone();
+        bad[1].translation += Vec3::new(0.05, 0.0, 0.0);
+        assert!(ate_rmse_cm(&bad, &gt) > 1.0);
+        // Single-pose trajectories anchor to exactly zero.
+        assert!(ate_rmse_cm(&gt[..1], &gt[..1]) < 1e-12);
+        // In-system convention: est[0] == gt[0] (the anchor is given), so
+        // the fallback translation is zero and frame-1 values are unchanged
+        // versus the old identity fallback.
+        let mut est2 = vec![gt[0], gt[1]];
+        est2[1].translation += Vec3::new(0.01, 0.0, 0.0);
+        let anchored = ate_rmse_cm(&est2, &gt[..2]);
+        assert!(anchored > 0.0 && anchored.is_finite());
     }
 
     #[test]

@@ -1,0 +1,772 @@
+//! Versioned, bit-exact binary snapshots of the SLAM run state.
+//!
+//! A [`Snapshot`] captures everything [`crate::system::SlamSystem`] needs to
+//! continue a run mid-sequence with results **bitwise identical** to the
+//! uninterrupted run (DESIGN.md §12): the Gaussian scene, the estimated
+//! trajectory, the keyframe window (as frame indices + poses — the RGB-D
+//! images are rebuilt from the dataset at resume time), the mapping
+//! optimizer's Adam moments and step count, the aggregated workload traces,
+//! and the per-frame seed derivation point (`seed`, `next_frame` — per-frame
+//! seeds are pure functions of these, so no RNG state exists to save).
+//!
+//! The wire format is dependency-free and versioned: an 8-byte magic, a
+//! `u32` format version, the payload length, and an FNV-1a checksum of the
+//! payload. Corrupt, truncated, or incompatible snapshots are rejected with
+//! a typed [`SnapshotError`] instead of producing garbage state. All scalars
+//! are little-endian; every `f64` travels via `to_bits`/`from_bits`, so the
+//! round trip is bit-exact by construction (NaN payloads and signed zeros
+//! included).
+//!
+//! Deliberately **not** captured: the projection cache and its thread-local
+//! statistics (bitwise-transparent by contract), pool worker state, and the
+//! scene's revision counter as an identity (it is stored as metadata but a
+//! fresh revision is drawn on restore — revisions are process-unique).
+
+use crate::adam::{AdamScalar, AdamVector};
+use splatonic_math::stats::Summary;
+use splatonic_math::{Mat3, Pose, Quat, Vec3};
+use splatonic_render::trace::{BackwardStats, ForwardStats};
+use splatonic_render::RenderTrace;
+use splatonic_scene::{Gaussian, GaussianScene};
+use std::fmt;
+use std::path::Path;
+
+/// Magic bytes identifying a SPLATONIC snapshot file.
+pub const MAGIC: [u8; 8] = *b"SPLTSNAP";
+
+/// Current snapshot format version. Bump on any wire-format change; old
+/// readers reject newer versions with [`SnapshotError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size: magic (8) + version (4) + payload length (8) +
+/// checksum (8).
+pub const HEADER_LEN: usize = 28;
+
+/// Typed failure modes of snapshot decoding and resume validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The buffer ends before the announced payload does.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The payload checksum does not match the header — bit rot or a
+    /// partial/interrupted write.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the payload as read.
+        computed: u64,
+    },
+    /// The payload decoded cleanly but bytes remain after the last field —
+    /// the writer and reader disagree about the format.
+    TrailingBytes(usize),
+    /// A decoded count is implausibly large for the buffer that carries it
+    /// (corruption the checksum caught too late to blame a single field).
+    Malformed(&'static str),
+    /// The snapshot is internally valid but stale for the given resume
+    /// context: the named configuration aspect differs from the one the
+    /// snapshot was taken under, so continuing would silently diverge.
+    ConfigMismatch(&'static str),
+    /// A keyframe or trajectory index points past the resume dataset.
+    FrameOutOfRange {
+        /// The offending frame index.
+        frame: usize,
+        /// Length of the dataset given to resume.
+        dataset_len: usize,
+    },
+    /// Filesystem failure while reading or writing a snapshot file.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a SPLATONIC snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (this build reads <= {FORMAT_VERSION})")
+            }
+            SnapshotError::Truncated { needed, available } => {
+                write!(f, "snapshot truncated: needed {needed} bytes, have {available}")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: header says {stored:#018x}, payload hashes to {computed:#018x}"
+            ),
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "snapshot has {n} trailing bytes after the last field")
+            }
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::ConfigMismatch(what) => {
+                write!(f, "snapshot is stale for this configuration: {what} differs")
+            }
+            SnapshotError::FrameOutOfRange { frame, dataset_len } => write!(
+                f,
+                "snapshot references frame {frame} but the resume dataset has {dataset_len} frames"
+            ),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit hash — the payload checksum. Not cryptographic; it guards
+/// against bit rot and partial writes, which is all a checkpoint needs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A decoded snapshot: the complete resumable state of a SLAM run.
+///
+/// Fields are public so the bench harness can build synthetic snapshots for
+/// encode/decode micro-benchmarks; [`crate::system::SlamSystem::checkpoint`]
+/// and [`crate::system::SlamSystem::resume`] are the real producers and
+/// consumers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Master seed of the run (per-frame seeds derive from it and the frame
+    /// index alone).
+    pub seed: u64,
+    /// Fingerprint of the result-affecting configuration, so resuming under
+    /// a different algorithm/sampling setup is rejected as stale.
+    pub config_fingerprint: u64,
+    /// Index of the first frame not yet processed.
+    pub next_frame: usize,
+    /// The scene's revision at checkpoint time. Metadata only: restore
+    /// draws a fresh revision (see [`GaussianScene::from_vec`]).
+    pub scene_revision: u64,
+    /// The reconstructed scene's Gaussians.
+    pub gaussians: Vec<Gaussian>,
+    /// Estimated world-to-camera poses for frames `0..next_frame`.
+    pub est_poses: Vec<Pose>,
+    /// Keyframe window as (dataset frame index, estimated pose) — the RGB-D
+    /// images are cloned back out of the dataset at resume time.
+    pub keyframes: Vec<(usize, Pose)>,
+    /// Mapping optimizer step count.
+    pub adam_t: u64,
+    /// Mapping optimizer first/second moment pairs, in parameter order.
+    pub adam_moments: Vec<(f64, f64)>,
+    /// Total tracking iterations executed so far.
+    pub tracking_iters: usize,
+    /// Total mapping iterations executed so far.
+    pub mapping_iters: usize,
+    /// Mapping invocations executed so far.
+    pub mapping_invocations: usize,
+    /// Aggregated tracking workload trace so far.
+    pub tracking_trace: RenderTrace,
+    /// Aggregated mapping workload trace so far.
+    pub mapping_trace: RenderTrace,
+}
+
+impl Snapshot {
+    /// Serializes to the versioned wire format (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(256 + self.gaussians.len() * 14 * 8);
+        let w = &mut payload;
+        put_u64(w, self.seed);
+        put_u64(w, self.config_fingerprint);
+        put_u64(w, self.next_frame as u64);
+        put_u64(w, self.scene_revision);
+        put_u64(w, self.gaussians.len() as u64);
+        for g in &self.gaussians {
+            put_gaussian(w, g);
+        }
+        put_u64(w, self.est_poses.len() as u64);
+        for p in &self.est_poses {
+            put_pose(w, p);
+        }
+        put_u64(w, self.keyframes.len() as u64);
+        for (idx, pose) in &self.keyframes {
+            put_u64(w, *idx as u64);
+            put_pose(w, pose);
+        }
+        put_u64(w, self.adam_t);
+        put_u64(w, self.adam_moments.len() as u64);
+        for &(m, v) in &self.adam_moments {
+            put_f64(w, m);
+            put_f64(w, v);
+        }
+        put_u64(w, self.tracking_iters as u64);
+        put_u64(w, self.mapping_iters as u64);
+        put_u64(w, self.mapping_invocations as u64);
+        put_trace(w, &self.tracking_trace);
+        put_trace(w, &self.mapping_trace);
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a snapshot, validating magic, version, length, and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+                return Err(SnapshotError::BadMagic);
+            }
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+        let stored = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+        let available = bytes.len() - HEADER_LEN;
+        if available < payload_len {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN + payload_len,
+                available: bytes.len(),
+            });
+        }
+        if available > payload_len {
+            return Err(SnapshotError::TrailingBytes(available - payload_len));
+        }
+        let payload = &bytes[HEADER_LEN..];
+        let computed = fnv1a(payload);
+        if computed != stored {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut c = Cursor::new(payload);
+        let seed = c.u64()?;
+        let config_fingerprint = c.u64()?;
+        let next_frame = c.u64()? as usize;
+        let scene_revision = c.u64()?;
+        let n_gaussians = c.len_field("gaussians", 14 * 8)?;
+        let mut gaussians = Vec::with_capacity(n_gaussians);
+        for _ in 0..n_gaussians {
+            gaussians.push(c.gaussian()?);
+        }
+        let n_poses = c.len_field("est_poses", 12 * 8)?;
+        let mut est_poses = Vec::with_capacity(n_poses);
+        for _ in 0..n_poses {
+            est_poses.push(c.pose()?);
+        }
+        let n_keyframes = c.len_field("keyframes", 13 * 8)?;
+        let mut keyframes = Vec::with_capacity(n_keyframes);
+        for _ in 0..n_keyframes {
+            let idx = c.u64()? as usize;
+            keyframes.push((idx, c.pose()?));
+        }
+        let adam_t = c.u64()?;
+        let n_moments = c.len_field("adam_moments", 16)?;
+        let mut adam_moments = Vec::with_capacity(n_moments);
+        for _ in 0..n_moments {
+            adam_moments.push((c.f64()?, c.f64()?));
+        }
+        let tracking_iters = c.u64()? as usize;
+        let mapping_iters = c.u64()? as usize;
+        let mapping_invocations = c.u64()? as usize;
+        let tracking_trace = c.trace()?;
+        let mapping_trace = c.trace()?;
+        if c.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes(c.remaining()));
+        }
+        Ok(Snapshot {
+            seed,
+            config_fingerprint,
+            next_frame,
+            scene_revision,
+            gaussians,
+            est_poses,
+            keyframes,
+            adam_t,
+            adam_moments,
+            tracking_iters,
+            mapping_iters,
+            mapping_invocations,
+            tracking_trace,
+            mapping_trace,
+        })
+    }
+
+    /// Writes the snapshot atomically: encode to `<path>.tmp`, then rename.
+    /// A crash mid-write leaves either the previous snapshot or a `.tmp`
+    /// orphan — never a torn file that decodes.
+    pub fn write_file(&self, path: &Path) -> Result<(), SnapshotError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))
+    }
+
+    /// Reads and decodes a snapshot file.
+    pub fn read_file(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Snapshot::from_bytes(&bytes)
+    }
+
+    /// Rebuilds the scene: contents restored bitwise, revision fresh (see
+    /// [`GaussianScene::from_vec`]).
+    pub fn restore_scene(&self) -> GaussianScene {
+        GaussianScene::from_vec(self.gaussians.clone())
+    }
+
+    /// Rebuilds the mapping optimizer state bitwise.
+    pub fn restore_adam(&self) -> AdamVector {
+        AdamVector::from_parts(
+            self.adam_t,
+            self.adam_moments
+                .iter()
+                .map(|&(m, v)| AdamScalar::from_moments(m, v))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives. Everything below is little-endian; f64 travels as
+// raw IEEE-754 bits.
+
+fn put_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(w: &mut Vec<u8>, v: f64) {
+    w.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_vec3(w: &mut Vec<u8>, v: Vec3) {
+    put_f64(w, v.x);
+    put_f64(w, v.y);
+    put_f64(w, v.z);
+}
+
+fn put_gaussian(w: &mut Vec<u8>, g: &Gaussian) {
+    put_vec3(w, g.mean);
+    put_vec3(w, g.log_scale);
+    put_f64(w, g.rotation.w);
+    put_f64(w, g.rotation.x);
+    put_f64(w, g.rotation.y);
+    put_f64(w, g.rotation.z);
+    put_f64(w, g.opacity_logit);
+    put_vec3(w, g.color);
+}
+
+fn put_pose(w: &mut Vec<u8>, p: &Pose) {
+    for &m in &p.rotation.m {
+        put_f64(w, m);
+    }
+    put_vec3(w, p.translation);
+}
+
+fn put_summary(w: &mut Vec<u8>, s: &Summary) {
+    put_u64(w, s.count() as u64);
+    put_f64(w, s.sum());
+    put_f64(w, s.sum_sq());
+    put_f64(w, s.raw_min());
+    put_f64(w, s.raw_max());
+}
+
+fn put_u32_list(w: &mut Vec<u8>, v: &[u32]) {
+    put_u64(w, v.len() as u64);
+    for &x in v {
+        w.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Serializes a trace. The destructuring is deliberately exhaustive (no
+/// `..`), mirroring [`RenderTrace::merge`]: adding a counter to the trace
+/// structs fails compilation here until the snapshot format handles it (and
+/// [`FORMAT_VERSION`] is bumped).
+fn put_trace(w: &mut Vec<u8>, t: &RenderTrace) {
+    let RenderTrace {
+        forward,
+        backward,
+        pixel_lists,
+        proj_candidates,
+    } = t;
+    let ForwardStats {
+        gaussians_input,
+        gaussians_culled,
+        gaussians_projected,
+        tile_pairs,
+        proj_alpha_checks,
+        bin_candidates,
+        proj_pairs_kept,
+        sort_elems,
+        sort_lists,
+        raster_alpha_checks,
+        pairs_integrated,
+        pixels_shaded,
+        exp_evals,
+        warp_steps,
+        warp_active,
+        pixel_list_len,
+        bytes_read,
+        bytes_written,
+    } = forward;
+    for v in [
+        gaussians_input,
+        gaussians_culled,
+        gaussians_projected,
+        tile_pairs,
+        proj_alpha_checks,
+        bin_candidates,
+        proj_pairs_kept,
+        sort_elems,
+        sort_lists,
+        raster_alpha_checks,
+        pairs_integrated,
+        pixels_shaded,
+        exp_evals,
+        warp_steps,
+        warp_active,
+        bytes_read,
+        bytes_written,
+    ] {
+        put_u64(w, *v);
+    }
+    put_summary(w, pixel_list_len);
+    let BackwardStats {
+        alpha_checks,
+        pairs_grad,
+        reduction_ops,
+        atomic_adds,
+        exp_evals,
+        warp_steps,
+        warp_active,
+        gaussian_touches,
+        gaussians_touched,
+        reprojections,
+        bytes_read,
+        bytes_written,
+    } = backward;
+    for v in [
+        alpha_checks,
+        pairs_grad,
+        reduction_ops,
+        atomic_adds,
+        exp_evals,
+        warp_steps,
+        warp_active,
+        gaussians_touched,
+        reprojections,
+        bytes_read,
+        bytes_written,
+    ] {
+        put_u64(w, *v);
+    }
+    put_summary(w, gaussian_touches);
+    put_u32_list(w, pixel_lists);
+    put_u32_list(w, proj_candidates);
+}
+
+/// Bounds-checked payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN + self.pos + n,
+                available: HEADER_LEN + self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length prefix and sanity-checks it against the bytes left:
+    /// a count whose elements (each at least `elem_bytes` wide) cannot fit
+    /// in the remaining payload is corruption, reported before a huge
+    /// `Vec::with_capacity` can abort the process.
+    fn len_field(&mut self, what: &'static str, elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u64()? as usize;
+        if n.checked_mul(elem_bytes)
+            .is_none_or(|b| b > self.remaining())
+        {
+            return Err(SnapshotError::Malformed(what));
+        }
+        Ok(n)
+    }
+
+    fn vec3(&mut self) -> Result<Vec3, SnapshotError> {
+        Ok(Vec3::new(self.f64()?, self.f64()?, self.f64()?))
+    }
+
+    fn gaussian(&mut self) -> Result<Gaussian, SnapshotError> {
+        let mean = self.vec3()?;
+        let log_scale = self.vec3()?;
+        let rotation = Quat {
+            w: self.f64()?,
+            x: self.f64()?,
+            y: self.f64()?,
+            z: self.f64()?,
+        };
+        let opacity_logit = self.f64()?;
+        let color = self.vec3()?;
+        Ok(Gaussian {
+            mean,
+            log_scale,
+            rotation,
+            opacity_logit,
+            color,
+        })
+    }
+
+    fn pose(&mut self) -> Result<Pose, SnapshotError> {
+        let mut m = [0.0; 9];
+        for v in &mut m {
+            *v = self.f64()?;
+        }
+        let translation = self.vec3()?;
+        Ok(Pose {
+            rotation: Mat3 { m },
+            translation,
+        })
+    }
+
+    fn summary(&mut self) -> Result<Summary, SnapshotError> {
+        let count = self.u64()? as usize;
+        let sum = self.f64()?;
+        let sum_sq = self.f64()?;
+        let min = self.f64()?;
+        let max = self.f64()?;
+        Ok(Summary::from_parts(count, sum, sum_sq, min, max))
+    }
+
+    fn u32_list(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let n = self.len_field("u32 list", 4)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+
+    fn trace(&mut self) -> Result<RenderTrace, SnapshotError> {
+        let mut t = RenderTrace::new();
+        {
+            let f = &mut t.forward;
+            f.gaussians_input = self.u64()?;
+            f.gaussians_culled = self.u64()?;
+            f.gaussians_projected = self.u64()?;
+            f.tile_pairs = self.u64()?;
+            f.proj_alpha_checks = self.u64()?;
+            f.bin_candidates = self.u64()?;
+            f.proj_pairs_kept = self.u64()?;
+            f.sort_elems = self.u64()?;
+            f.sort_lists = self.u64()?;
+            f.raster_alpha_checks = self.u64()?;
+            f.pairs_integrated = self.u64()?;
+            f.pixels_shaded = self.u64()?;
+            f.exp_evals = self.u64()?;
+            f.warp_steps = self.u64()?;
+            f.warp_active = self.u64()?;
+            f.bytes_read = self.u64()?;
+            f.bytes_written = self.u64()?;
+            f.pixel_list_len = self.summary()?;
+        }
+        {
+            let b = &mut t.backward;
+            b.alpha_checks = self.u64()?;
+            b.pairs_grad = self.u64()?;
+            b.reduction_ops = self.u64()?;
+            b.atomic_adds = self.u64()?;
+            b.exp_evals = self.u64()?;
+            b.warp_steps = self.u64()?;
+            b.warp_active = self.u64()?;
+            b.gaussians_touched = self.u64()?;
+            b.reprojections = self.u64()?;
+            b.bytes_read = self.u64()?;
+            b.bytes_written = self.u64()?;
+            b.gaussian_touches = self.summary()?;
+        }
+        t.pixel_lists = self.u32_list()?;
+        t.proj_candidates = self.u32_list()?;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut tracking_trace = RenderTrace::new();
+        tracking_trace.forward.pixels_shaded = 123;
+        tracking_trace.forward.pixel_list_len.push(3.0);
+        tracking_trace.forward.pixel_list_len.push(7.5);
+        tracking_trace.backward.atomic_adds = 9;
+        tracking_trace.pixel_lists = vec![1, 2, 3];
+        tracking_trace.proj_candidates = vec![4, 5];
+        let g = Gaussian::new(
+            Vec3::new(0.5, -1.25, 2.0),
+            Vec3::splat(0.1),
+            Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 0.3),
+            0.8,
+            Vec3::new(0.9, 0.1, 0.4),
+        );
+        Snapshot {
+            seed: 42,
+            config_fingerprint: 0xDEAD_BEEF,
+            next_frame: 5,
+            scene_revision: 17,
+            gaussians: vec![g; 3],
+            est_poses: vec![Pose::identity(); 5],
+            keyframes: vec![(0, Pose::identity()), (4, Pose::identity())],
+            adam_t: 11,
+            adam_moments: vec![(0.25, -0.5), (1e-9, 3.0)],
+            tracking_iters: 40,
+            mapping_iters: 30,
+            mapping_invocations: 2,
+            tracking_trace,
+            mapping_trace: RenderTrace::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let s = sample_snapshot();
+        let bytes = s.to_bytes();
+        let d = Snapshot::from_bytes(&bytes).expect("decodes");
+        assert_eq!(d, s);
+        // Empty summaries keep their ±∞ sentinels bitwise.
+        assert_eq!(
+            d.mapping_trace.forward.pixel_list_len.raw_min().to_bits(),
+            f64::INFINITY.to_bits()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapshotError::BadMagic));
+        assert_eq!(Snapshot::from_bytes(b"short"), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let bytes = sample_snapshot().to_bytes();
+        for cut in [
+            8,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            HEADER_LEN + 9,
+            bytes.len() - 1,
+        ] {
+            let err = Snapshot::from_bytes(&bytes[..cut]).expect_err("must reject");
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "cut at {cut}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_rejected_by_checksum() {
+        let mut bytes = sample_snapshot().to_bytes();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn restored_scene_gets_fresh_revision() {
+        let s = sample_snapshot();
+        let a = s.restore_scene();
+        let b = s.restore_scene();
+        assert_eq!(a, b); // content-equal...
+        assert_ne!(a.revision(), b.revision()); // ...never identity-equal
+        assert_ne!(a.revision(), s.scene_revision);
+    }
+
+    #[test]
+    fn restored_adam_is_bitwise_equal() {
+        let s = sample_snapshot();
+        let adam = s.restore_adam();
+        assert_eq!(adam.step_count(), s.adam_t);
+        let roundtrip: Vec<(f64, f64)> = adam.scalars().iter().map(|x| x.moments()).collect();
+        for (a, b) in roundtrip.iter().zip(s.adam_moments.iter()) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_io_error() {
+        let dir = std::env::temp_dir().join("splatonic-snap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+        let s = sample_snapshot();
+        s.write_file(&path).unwrap();
+        assert_eq!(Snapshot::read_file(&path).unwrap(), s);
+        let missing = dir.join("does-not-exist.snap");
+        assert!(matches!(
+            Snapshot::read_file(&missing),
+            Err(SnapshotError::Io(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -5,12 +5,21 @@
 //! window (mapping `M_t` depends on tracking `T_t`, Fig. 2). The first pose
 //! anchors the trajectory (standard SLAM convention) and the scene is seeded
 //! from the first frame's depth.
+//!
+//! The loop is structured as an incremental state machine —
+//! [`SlamSystem::step_frame`] processes one frame, [`SlamSystem::finalize`]
+//! evaluates the finished trajectory — so a run can be checkpointed after
+//! any frame ([`SlamSystem::checkpoint`]) and continued in another process
+//! ([`SlamSystem::resume`]) with bitwise-identical results (DESIGN.md §12).
 
+use crate::adam::AdamVector;
 use crate::algorithm::AlgorithmConfig;
-use crate::mapping::{map_scene_with_telemetry, seed_scene_from_frame, Keyframe};
+use crate::mapping::{map_scene_with_state, seed_scene_from_frame, Keyframe};
 use crate::metrics::{ate_rmse_cm, psnr_db};
+use crate::snapshot::{fnv1a, Snapshot, SnapshotError};
 use crate::tracking::{constant_velocity_init, track_frame_with_telemetry};
 use crate::Dataset;
+use splatonic_math::pool::WorkerStats;
 use splatonic_math::{Image, Pose, Vec3};
 use splatonic_render::projcache;
 use splatonic_render::sampling::MappingStrategy;
@@ -20,6 +29,11 @@ use splatonic_render::{
 use splatonic_scene::{Camera, Frame, GaussianScene, Intrinsics};
 use splatonic_telemetry::{FrameRecord, Telemetry};
 use std::time::Instant;
+
+/// Receives each checkpoint as it is cut: the decoded [`Snapshot`] plus its
+/// already-encoded wire bytes (so a file sink never re-encodes). Returning
+/// an error aborts the run with that error.
+pub type CheckpointSink<'a> = dyn FnMut(&Snapshot, &[u8]) -> Result<(), SnapshotError> + 'a;
 
 /// System-level configuration: which pipeline, which samplers, which
 /// algorithm preset.
@@ -41,6 +55,10 @@ pub struct SlamConfig {
     pub seed: u64,
     /// Seeding stride for the initial back-projection.
     pub seed_stride: usize,
+    /// Cut a checkpoint after every this many frames in
+    /// [`SlamSystem::run_with_checkpoints`] (`0` disables checkpointing).
+    /// Frame 0 (the anchor + initial mapping) always falls on the cadence.
+    pub checkpoint_every: usize,
 }
 
 impl Default for SlamConfig {
@@ -54,6 +72,7 @@ impl Default for SlamConfig {
             render: RenderConfig::default(),
             seed: 0,
             seed_stride: 1,
+            checkpoint_every: 0,
         }
     }
 }
@@ -88,6 +107,65 @@ impl SlamConfig {
             ..SlamConfig::default()
         }
     }
+
+    /// Fingerprint of the *result-affecting* configuration, stored in every
+    /// [`Snapshot`] so resuming under a different algorithm or sampling
+    /// setup is rejected as stale ([`SnapshotError::ConfigMismatch`]).
+    ///
+    /// Execution knobs that are bitwise-transparent by contract are
+    /// deliberately excluded — `render.threads`, `render.binning`,
+    /// `render.cache`, `render.bin_size`, and `checkpoint_every` itself —
+    /// so a snapshot taken at one thread width resumes at any other.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf: Vec<u8> = Vec::with_capacity(256);
+        let u = |buf: &mut Vec<u8>, v: u64| buf.extend_from_slice(&v.to_le_bytes());
+        let f = |buf: &mut Vec<u8>, v: f64| buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        let a = &self.algorithm;
+        buf.extend_from_slice(format!("{:?}", a.preset).as_bytes());
+        u(&mut buf, a.tracking_iters as u64);
+        u(&mut buf, a.mapping_iters as u64);
+        u(&mut buf, a.mapping_every as u64);
+        u(&mut buf, a.keyframe_window as u64);
+        for lr in [
+            a.pose_lr,
+            a.mean_lr,
+            a.scale_lr,
+            a.rot_lr,
+            a.opacity_lr,
+            a.color_lr,
+        ] {
+            f(&mut buf, lr);
+        }
+        for w in [
+            a.loss.color_weight,
+            a.loss.depth_weight,
+            a.loss.huber_delta,
+            a.loss.huber_delta_depth,
+        ] {
+            f(&mut buf, w);
+        }
+        buf.extend_from_slice(format!("{:?}", self.pipeline).as_bytes());
+        buf.extend_from_slice(format!("{:?}", self.tracking_sampling).as_bytes());
+        u(&mut buf, self.mapping_tile as u64);
+        buf.extend_from_slice(format!("{:?}", self.mapping_strategy).as_bytes());
+        let r = &self.render;
+        for v in [
+            r.alpha_threshold,
+            r.alpha_max,
+            r.transmittance_min,
+            r.screen_blur,
+            r.bbox_sigma,
+            r.near,
+            r.background.x,
+            r.background.y,
+            r.background.z,
+        ] {
+            f(&mut buf, v);
+        }
+        u(&mut buf, self.seed);
+        u(&mut buf, self.seed_stride as u64);
+        fnv1a(&buf)
+    }
 }
 
 /// Result of a SLAM run.
@@ -97,7 +175,10 @@ pub struct SlamResult {
     pub est_poses: Vec<Pose>,
     /// Absolute trajectory error versus ground truth (cm).
     pub ate_cm: f64,
-    /// Mean PSNR of final-map renders at keyframe poses (dB).
+    /// Mean PSNR of final-map renders at every `mapping_every`-th estimated
+    /// frame pose (dB). Evaluation strides over the whole trajectory —
+    /// every `mapping_every`-th frame, whether or not it entered the
+    /// keyframe window.
     pub psnr_db: f64,
     /// Aggregated tracking workload trace.
     pub tracking_trace: RenderTrace,
@@ -115,12 +196,43 @@ pub struct SlamResult {
     pub scene_size: usize,
 }
 
+/// In-flight run state: everything that must survive a checkpoint/resume
+/// cycle, plus per-process telemetry bracketing that deliberately does not
+/// (pool/cache baselines restart at resume — they are side-band stats,
+/// outside the bitwise contract).
+#[derive(Debug, Clone)]
+struct RunState {
+    /// Index of the first unprocessed frame.
+    next_frame: usize,
+    /// Estimated poses for frames `0..next_frame`.
+    est_poses: Vec<Pose>,
+    /// The keyframe window (owned frames, for mapping).
+    keyframes: Vec<Keyframe>,
+    /// Dataset frame index of each keyframe (for serialization — snapshots
+    /// store indices, not images).
+    keyframe_indices: Vec<usize>,
+    /// Mapping optimizer state (moments + step count).
+    map_adam: AdamVector,
+    /// Aggregated tracking trace so far.
+    tracking_trace: RenderTrace,
+    /// Aggregated mapping trace so far.
+    mapping_trace: RenderTrace,
+    tracking_iters: usize,
+    mapping_iters: usize,
+    mapping_invocations: usize,
+    /// Pool busy-time baseline captured at run start (telemetry only).
+    pool_stats_before: Vec<WorkerStats>,
+    /// Projection-cache baseline captured at run start (telemetry only).
+    cache_run_start: projcache::CacheStats,
+}
+
 /// The SLAM system state.
 #[derive(Debug, Clone)]
 pub struct SlamSystem {
     config: SlamConfig,
     intrinsics: Intrinsics,
     scene: GaussianScene,
+    run: Option<RunState>,
 }
 
 impl SlamSystem {
@@ -130,6 +242,7 @@ impl SlamSystem {
             config,
             intrinsics,
             scene: GaussianScene::new(),
+            run: None,
         }
     }
 
@@ -165,7 +278,264 @@ impl SlamSystem {
     ///
     /// Panics if the dataset is empty.
     pub fn run_with_telemetry(&mut self, dataset: &Dataset, telemetry: &Telemetry) -> SlamResult {
+        self.run_with_checkpoints(dataset, telemetry, &mut |_, _| Ok(()))
+            .expect("the no-op checkpoint sink cannot fail")
+    }
+
+    /// [`Self::run_with_telemetry`] that additionally cuts a checkpoint
+    /// through `sink` after every `checkpoint_every`-th frame (see
+    /// [`SlamConfig::checkpoint_every`]; a zero cadence never calls the
+    /// sink). Each cut records a `checkpoint` span, bumps the
+    /// `slam/checkpoints_written` counter, and sets `slam/snapshot_bytes`.
+    ///
+    /// Continues a resumed run ([`Self::resume`]) from its first
+    /// unprocessed frame instead of starting over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the sink returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn run_with_checkpoints(
+        &mut self,
+        dataset: &Dataset,
+        telemetry: &Telemetry,
+        sink: &mut CheckpointSink,
+    ) -> Result<SlamResult, SnapshotError> {
         assert!(!dataset.is_empty(), "dataset must contain frames");
+        let every = self.config.checkpoint_every;
+        while let Some(t) = self.step_frame(dataset, telemetry) {
+            if every > 0 && t.is_multiple_of(every) {
+                self.emit_checkpoint(telemetry, sink)?;
+            }
+        }
+        Ok(self.finalize(dataset, telemetry))
+    }
+
+    /// Processes the next unprocessed frame and returns its index, or
+    /// `None` when every frame has been processed (call
+    /// [`Self::finalize`]). The first call of a fresh run processes the
+    /// anchor frame: pose given, scene seeded from depth, initial mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn step_frame(&mut self, dataset: &Dataset, telemetry: &Telemetry) -> Option<usize> {
+        assert!(!dataset.is_empty(), "dataset must contain frames");
+        if self.run.is_none() {
+            self.init_run(dataset, telemetry);
+            return Some(0);
+        }
+        let t = self.run.as_ref().expect("active run").next_frame;
+        if t >= dataset.len() {
+            return None;
+        }
+        self.process_frame(dataset, t, telemetry);
+        Some(t)
+    }
+
+    /// Evaluates the finished trajectory (ATE, PSNR), exports the
+    /// aggregated traces and run counters to telemetry, and clears the run
+    /// state so the next [`Self::run`] starts fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run is active (no [`Self::step_frame`] call, or
+    /// finalize called twice).
+    pub fn finalize(&mut self, dataset: &Dataset, telemetry: &Telemetry) -> SlamResult {
+        let state = self.run.take().expect("finalize requires an active run");
+        let n = state.next_frame;
+        assert_eq!(n, dataset.len(), "finalize requires a completed run");
+        let ate_cm = ate_rmse_cm(&state.est_poses, &dataset.gt_poses[..n]);
+        let psnr = self.evaluate_psnr(
+            dataset,
+            &state.est_poses,
+            self.config.algorithm.mapping_every,
+        );
+
+        telemetry.record_trace("tracking", &state.tracking_trace);
+        telemetry.record_trace("mapping", &state.mapping_trace);
+        let cache_run = projcache::stats().since(&state.cache_run_start);
+        telemetry.counter_add("render/cache_hits", cache_run.hits);
+        telemetry.counter_add("render/cache_misses", cache_run.misses);
+        telemetry.counter_add("render/cache_invalidations", cache_run.invalidations);
+        telemetry.counter_add("slam/tracking_iters", state.tracking_iters as u64);
+        telemetry.counter_add("slam/mapping_iters", state.mapping_iters as u64);
+        telemetry.counter_add("slam/mapping_invocations", state.mapping_invocations as u64);
+        telemetry.gauge_set("slam/scene_size", self.scene.len() as f64);
+        telemetry.record_pool_workers(&state.pool_stats_before);
+
+        SlamResult {
+            est_poses: state.est_poses,
+            ate_cm,
+            psnr_db: psnr,
+            tracking_trace: state.tracking_trace,
+            mapping_trace: state.mapping_trace,
+            tracking_iters: state.tracking_iters,
+            mapping_iters: state.mapping_iters,
+            frames: n,
+            mapping_invocations: state.mapping_invocations,
+            scene_size: self.scene.len(),
+        }
+    }
+
+    /// Serializes the current run state into a [`Snapshot`].
+    ///
+    /// Between runs (no frame processed yet, or after [`Self::finalize`])
+    /// the snapshot carries `next_frame == 0` and the current scene;
+    /// resuming it starts a fresh run.
+    pub fn checkpoint(&self) -> Snapshot {
+        let cfg = &self.config;
+        let base = Snapshot {
+            seed: cfg.seed,
+            config_fingerprint: cfg.fingerprint(),
+            next_frame: 0,
+            scene_revision: self.scene.revision(),
+            gaussians: self.scene.gaussians().to_vec(),
+            est_poses: Vec::new(),
+            keyframes: Vec::new(),
+            adam_t: 0,
+            adam_moments: Vec::new(),
+            tracking_iters: 0,
+            mapping_iters: 0,
+            mapping_invocations: 0,
+            tracking_trace: RenderTrace::new(),
+            mapping_trace: RenderTrace::new(),
+        };
+        match &self.run {
+            None => base,
+            Some(r) => Snapshot {
+                next_frame: r.next_frame,
+                est_poses: r.est_poses.clone(),
+                keyframes: r
+                    .keyframe_indices
+                    .iter()
+                    .zip(r.keyframes.iter())
+                    .map(|(&idx, kf)| (idx, kf.pose))
+                    .collect(),
+                adam_t: r.map_adam.step_count(),
+                adam_moments: r.map_adam.scalars().iter().map(|s| s.moments()).collect(),
+                tracking_iters: r.tracking_iters,
+                mapping_iters: r.mapping_iters,
+                mapping_invocations: r.mapping_invocations,
+                tracking_trace: r.tracking_trace.clone(),
+                mapping_trace: r.mapping_trace.clone(),
+                ..base
+            },
+        }
+    }
+
+    /// Encodes the current run state and hands it to `sink`, recording the
+    /// `checkpoint` span, the `slam/checkpoints_written` counter, and the
+    /// `slam/snapshot_bytes` gauge. [`Self::run_with_checkpoints`] calls
+    /// this on the configured cadence; harnesses driving
+    /// [`Self::step_frame`] directly (fault injection) call it themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's error.
+    pub fn emit_checkpoint(
+        &self,
+        telemetry: &Telemetry,
+        sink: &mut CheckpointSink,
+    ) -> Result<(), SnapshotError> {
+        let _span = telemetry.span("checkpoint");
+        let snapshot = self.checkpoint();
+        let bytes = snapshot.to_bytes();
+        telemetry.counter_add("slam/checkpoints_written", 1);
+        telemetry.gauge_set("slam/snapshot_bytes", bytes.len() as f64);
+        sink(&snapshot, &bytes)
+    }
+
+    /// Reconstructs a mid-run system from a snapshot, validating it against
+    /// the configuration and dataset it will continue under. The next
+    /// [`Self::run_with_telemetry`] / [`Self::run_with_checkpoints`] /
+    /// [`Self::step_frame`] call continues from `snapshot.next_frame`, and
+    /// the completed run is bitwise identical to one that was never
+    /// interrupted (see `tests/` and `scripts/fault_inject.sh`).
+    ///
+    /// # Errors
+    ///
+    /// * [`SnapshotError::ConfigMismatch`] — `config` fingerprints
+    ///   differently from the configuration the snapshot was taken under
+    ///   (different algorithm, sampling, seed, ...); continuing would
+    ///   silently diverge from the original run.
+    /// * [`SnapshotError::FrameOutOfRange`] — the snapshot references
+    ///   frames past the end of `dataset`.
+    /// * [`SnapshotError::Malformed`] — internally inconsistent state
+    ///   (trajectory length disagrees with the frame cursor).
+    pub fn resume(
+        config: SlamConfig,
+        intrinsics: Intrinsics,
+        dataset: &Dataset,
+        snapshot: &Snapshot,
+    ) -> Result<SlamSystem, SnapshotError> {
+        if snapshot.config_fingerprint != config.fingerprint() {
+            return Err(SnapshotError::ConfigMismatch(
+                "result-affecting SlamConfig fingerprint",
+            ));
+        }
+        if snapshot.next_frame > dataset.len() {
+            return Err(SnapshotError::FrameOutOfRange {
+                frame: snapshot.next_frame,
+                dataset_len: dataset.len(),
+            });
+        }
+        if snapshot.est_poses.len() != snapshot.next_frame {
+            return Err(SnapshotError::Malformed(
+                "trajectory length disagrees with next_frame",
+            ));
+        }
+        for &(idx, _) in &snapshot.keyframes {
+            if idx >= dataset.len() {
+                return Err(SnapshotError::FrameOutOfRange {
+                    frame: idx,
+                    dataset_len: dataset.len(),
+                });
+            }
+        }
+        let scene = snapshot.restore_scene();
+        let run = if snapshot.next_frame == 0 {
+            None
+        } else {
+            let mut keyframes = Vec::with_capacity(snapshot.keyframes.len());
+            let mut keyframe_indices = Vec::with_capacity(snapshot.keyframes.len());
+            for &(idx, pose) in &snapshot.keyframes {
+                keyframes.push(Keyframe {
+                    frame: dataset.frames[idx].clone(),
+                    pose,
+                });
+                keyframe_indices.push(idx);
+            }
+            Some(RunState {
+                next_frame: snapshot.next_frame,
+                est_poses: snapshot.est_poses.clone(),
+                keyframes,
+                keyframe_indices,
+                map_adam: snapshot.restore_adam(),
+                tracking_trace: snapshot.tracking_trace.clone(),
+                mapping_trace: snapshot.mapping_trace.clone(),
+                tracking_iters: snapshot.tracking_iters,
+                mapping_iters: snapshot.mapping_iters,
+                mapping_invocations: snapshot.mapping_invocations,
+                pool_stats_before: Vec::new(),
+                cache_run_start: projcache::stats(),
+            })
+        };
+        Ok(SlamSystem {
+            config,
+            intrinsics,
+            scene,
+            run,
+        })
+    }
+
+    /// Anchor-frame processing: pose given, scene seeded from the first
+    /// frame's depth, initial mapping to refine the seed. Leaves
+    /// `next_frame == 1`.
+    fn init_run(&mut self, dataset: &Dataset, telemetry: &Telemetry) {
         // Bracket the run so the render pool's per-worker busy time lands
         // in the report as pool/worker<i> spans.
         let pool_stats_before = if telemetry.is_enabled() {
@@ -179,27 +549,32 @@ impl SlamSystem {
         let cache_run_start = projcache::stats();
         let cfg = self.config;
         let algo = cfg.algorithm;
-        let n = dataset.len();
-        let mut est_poses: Vec<Pose> = Vec::with_capacity(n);
-        let mut tracking_trace = RenderTrace::new();
-        let mut mapping_trace = RenderTrace::new();
-        let mut tracking_iters = 0;
-        let mut mapping_iters = 0;
-        let mut mapping_invocations = 0;
 
         // Anchor: the first pose is given (standard convention) and the
         // scene is seeded from the first frame.
-        est_poses.push(dataset.gt_poses[0]);
         self.scene = seed_scene_from_frame(
             &dataset.frames[0],
             self.intrinsics,
             dataset.gt_poses[0],
             cfg.seed_stride,
         );
-        let mut keyframes = vec![Keyframe {
-            frame: dataset.frames[0].clone(),
-            pose: dataset.gt_poses[0],
-        }];
+        let mut state = RunState {
+            next_frame: 1,
+            est_poses: vec![dataset.gt_poses[0]],
+            keyframes: vec![Keyframe {
+                frame: dataset.frames[0].clone(),
+                pose: dataset.gt_poses[0],
+            }],
+            keyframe_indices: vec![0],
+            map_adam: AdamVector::new(0),
+            tracking_trace: RenderTrace::new(),
+            mapping_trace: RenderTrace::new(),
+            tracking_iters: 0,
+            mapping_iters: 0,
+            mapping_invocations: 0,
+            pool_stats_before,
+            cache_run_start,
+        };
         let sampler = MappingSampler::new(cfg.mapping_tile, cfg.mapping_strategy);
 
         // Initial mapping refines the seeded scene.
@@ -207,21 +582,22 @@ impl SlamSystem {
         let map0_start = Instant::now();
         let m0 = {
             let _span = telemetry.span("mapping");
-            map_scene_with_telemetry(
+            map_scene_with_state(
                 &mut self.scene,
-                &keyframes,
+                &state.keyframes,
                 self.intrinsics,
                 &sampler,
                 &algo,
                 cfg.pipeline,
                 &cfg.render,
                 cfg.seed,
+                &mut state.map_adam,
                 telemetry,
             )
         };
-        mapping_trace.merge(&m0.trace);
-        mapping_iters += m0.iters;
-        mapping_invocations += 1;
+        state.mapping_trace.merge(&m0.trace);
+        state.mapping_iters += m0.iters;
+        state.mapping_invocations += 1;
         if telemetry.is_enabled() {
             let cache_frame = projcache::stats().since(&cache_frame_start);
             telemetry.record_frame(FrameRecord {
@@ -233,120 +609,109 @@ impl SlamSystem {
                 gaussian_count: self.scene.len(),
                 cache_hits: cache_frame.hits,
                 cache_invalidations: cache_frame.invalidations,
-                psnr_db: self.frame_psnr(&dataset.frames[0], est_poses[0]),
+                psnr_db: self.frame_psnr(&dataset.frames[0], state.est_poses[0]),
                 ate_so_far_cm: 0.0, // the anchor pose is given
                 track_ms: 0.0,
                 map_ms: map0_start.elapsed().as_secs_f64() * 1e3,
             });
         }
+        self.run = Some(state);
+    }
 
-        for t in 1..n {
-            let prev = est_poses[t - 1];
-            let prev_prev = if t >= 2 { Some(est_poses[t - 2]) } else { None };
-            let init = constant_velocity_init(prev, prev_prev);
-            let cache_frame_start = projcache::stats();
-            let track_start = Instant::now();
-            let out = {
-                let _span = telemetry.span("tracking");
-                track_frame_with_telemetry(
-                    &self.scene,
+    /// One loop iteration: track frame `t`, push a keyframe and map on the
+    /// `mapping_every` cadence, record the frame.
+    fn process_frame(&mut self, dataset: &Dataset, t: usize, telemetry: &Telemetry) {
+        let cfg = self.config;
+        let algo = cfg.algorithm;
+        let mut state = self.run.take().expect("active run");
+        let sampler = MappingSampler::new(cfg.mapping_tile, cfg.mapping_strategy);
+
+        let prev = state.est_poses[t - 1];
+        let prev_prev = if t >= 2 {
+            Some(state.est_poses[t - 2])
+        } else {
+            None
+        };
+        let init = constant_velocity_init(prev, prev_prev);
+        let cache_frame_start = projcache::stats();
+        let track_start = Instant::now();
+        let out = {
+            let _span = telemetry.span("tracking");
+            track_frame_with_telemetry(
+                &self.scene,
+                self.intrinsics,
+                init,
+                &dataset.frames[t],
+                cfg.tracking_sampling,
+                cfg.pipeline,
+                &algo,
+                &cfg.render,
+                cfg.seed ^ (t as u64).wrapping_mul(0xA5A5_5A5A),
+                telemetry,
+            )
+        };
+        let track_ms = track_start.elapsed().as_secs_f64() * 1e3;
+        state.tracking_trace.merge(&out.trace);
+        state.tracking_iters += out.iters;
+        state.est_poses.push(out.pose);
+
+        let mut map_invoked = false;
+        let mut map_ms = 0.0;
+        let mut map_sampled_pixels = 0usize;
+        if t.is_multiple_of(algo.mapping_every) {
+            state.keyframes.push(Keyframe {
+                frame: dataset.frames[t].clone(),
+                pose: out.pose,
+            });
+            state.keyframe_indices.push(t);
+            if state.keyframes.len() > algo.keyframe_window {
+                let cut = state.keyframes.len() - algo.keyframe_window;
+                state.keyframes.drain(..cut);
+                state.keyframe_indices.drain(..cut);
+            }
+            let map_start = Instant::now();
+            let m = {
+                let _span = telemetry.span("mapping");
+                map_scene_with_state(
+                    &mut self.scene,
+                    &state.keyframes,
                     self.intrinsics,
-                    init,
-                    &dataset.frames[t],
-                    cfg.tracking_sampling,
-                    cfg.pipeline,
+                    &sampler,
                     &algo,
+                    cfg.pipeline,
                     &cfg.render,
-                    cfg.seed ^ (t as u64).wrapping_mul(0xA5A5_5A5A),
+                    cfg.seed ^ (t as u64).wrapping_mul(0x5A5A_A5A5) ^ 0xF0F0,
+                    &mut state.map_adam,
                     telemetry,
                 )
             };
-            let track_ms = track_start.elapsed().as_secs_f64() * 1e3;
-            tracking_trace.merge(&out.trace);
-            tracking_iters += out.iters;
-            est_poses.push(out.pose);
-
-            let mut map_invoked = false;
-            let mut map_ms = 0.0;
-            let mut map_sampled_pixels = 0usize;
-            if t % algo.mapping_every == 0 {
-                keyframes.push(Keyframe {
-                    frame: dataset.frames[t].clone(),
-                    pose: out.pose,
-                });
-                if keyframes.len() > algo.keyframe_window {
-                    let cut = keyframes.len() - algo.keyframe_window;
-                    keyframes.drain(..cut);
-                }
-                let map_start = Instant::now();
-                let m = {
-                    let _span = telemetry.span("mapping");
-                    map_scene_with_telemetry(
-                        &mut self.scene,
-                        &keyframes,
-                        self.intrinsics,
-                        &sampler,
-                        &algo,
-                        cfg.pipeline,
-                        &cfg.render,
-                        cfg.seed ^ (t as u64).wrapping_mul(0x5A5A_A5A5) ^ 0xF0F0,
-                        telemetry,
-                    )
-                };
-                map_ms = map_start.elapsed().as_secs_f64() * 1e3;
-                map_invoked = true;
-                map_sampled_pixels = m.sampled_pixels;
-                mapping_trace.merge(&m.trace);
-                mapping_iters += m.iters;
-                mapping_invocations += 1;
-            }
-
-            if telemetry.is_enabled() {
-                let cache_frame = projcache::stats().since(&cache_frame_start);
-                telemetry.record_frame(FrameRecord {
-                    frame_idx: t,
-                    track_iters: out.iters,
-                    map_invoked,
-                    sampled_pixels: (out.pixels_per_iter * out.iters as f64).round() as usize,
-                    map_sampled_pixels,
-                    gaussian_count: self.scene.len(),
-                    cache_hits: cache_frame.hits,
-                    cache_invalidations: cache_frame.invalidations,
-                    psnr_db: self.frame_psnr(&dataset.frames[t], out.pose),
-                    ate_so_far_cm: ate_rmse_cm(&est_poses, &dataset.gt_poses[..=t]),
-                    track_ms,
-                    map_ms,
-                });
-            }
+            map_ms = map_start.elapsed().as_secs_f64() * 1e3;
+            map_invoked = true;
+            map_sampled_pixels = m.sampled_pixels;
+            state.mapping_trace.merge(&m.trace);
+            state.mapping_iters += m.iters;
+            state.mapping_invocations += 1;
         }
 
-        let ate_cm = ate_rmse_cm(&est_poses, &dataset.gt_poses[..n]);
-        let psnr = self.evaluate_psnr(dataset, &est_poses, algo.mapping_every);
-
-        telemetry.record_trace("tracking", &tracking_trace);
-        telemetry.record_trace("mapping", &mapping_trace);
-        let cache_run = projcache::stats().since(&cache_run_start);
-        telemetry.counter_add("render/cache_hits", cache_run.hits);
-        telemetry.counter_add("render/cache_misses", cache_run.misses);
-        telemetry.counter_add("render/cache_invalidations", cache_run.invalidations);
-        telemetry.counter_add("slam/tracking_iters", tracking_iters as u64);
-        telemetry.counter_add("slam/mapping_iters", mapping_iters as u64);
-        telemetry.counter_add("slam/mapping_invocations", mapping_invocations as u64);
-        telemetry.gauge_set("slam/scene_size", self.scene.len() as f64);
-        telemetry.record_pool_workers(&pool_stats_before);
-
-        SlamResult {
-            est_poses,
-            ate_cm,
-            psnr_db: psnr,
-            tracking_trace,
-            mapping_trace,
-            tracking_iters,
-            mapping_iters,
-            frames: n,
-            mapping_invocations,
-            scene_size: self.scene.len(),
+        if telemetry.is_enabled() {
+            let cache_frame = projcache::stats().since(&cache_frame_start);
+            telemetry.record_frame(FrameRecord {
+                frame_idx: t,
+                track_iters: out.iters,
+                map_invoked,
+                sampled_pixels: out.sampled_pixels,
+                map_sampled_pixels,
+                gaussian_count: self.scene.len(),
+                cache_hits: cache_frame.hits,
+                cache_invalidations: cache_frame.invalidations,
+                psnr_db: self.frame_psnr(&dataset.frames[t], out.pose),
+                ate_so_far_cm: ate_rmse_cm(&state.est_poses, &dataset.gt_poses[..=t]),
+                track_ms,
+                map_ms,
+            });
         }
+        state.next_frame = t + 1;
+        self.run = Some(state);
     }
 
     /// PSNR of the current map rendered densely at `pose` versus `frame`.
@@ -509,6 +874,25 @@ mod tests {
     }
 
     #[test]
+    fn frame_records_report_exact_sampled_pixels() {
+        // satellite of PR 5: `sampled_pixels` must be the tracker's exact
+        // total, not a mean×iters reconstruction.
+        let d = tiny();
+        let mut sys = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        let telemetry = Telemetry::enabled();
+        let r = sys.run_with_telemetry(&d, &telemetry);
+        let report = telemetry.finish(
+            "sys-exact-pixels",
+            splatonic_telemetry::AccuracySummary::default(),
+        );
+        let total: u64 = report.frames.iter().map(|f| f.sampled_pixels as u64).sum();
+        assert_eq!(
+            total, r.tracking_trace.forward.pixels_shaded,
+            "per-frame sampled_pixels must sum to the trace's exact total"
+        );
+    }
+
+    #[test]
     fn telemetry_does_not_change_results() {
         let d = tiny();
         let mut a = SlamSystem::new(SlamConfig::default(), d.intrinsics);
@@ -548,6 +932,153 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_cadence_and_telemetry() {
+        let d = tiny();
+        let cfg = SlamConfig {
+            checkpoint_every: 3,
+            ..Default::default()
+        };
+        let mut sys = SlamSystem::new(cfg, d.intrinsics);
+        let telemetry = Telemetry::enabled();
+        let mut cuts: Vec<usize> = Vec::new();
+        let mut last_bytes = 0usize;
+        let r = sys
+            .run_with_checkpoints(&d, &telemetry, &mut |snap, bytes| {
+                cuts.push(snap.next_frame);
+                last_bytes = bytes.len();
+                Ok(())
+            })
+            .expect("run completes");
+        // Frames 0, 3, 6 fall on the cadence (9 frames, every 3).
+        assert_eq!(cuts, vec![1, 4, 7]);
+        assert!(last_bytes > 0);
+        assert_eq!(r.frames, 9);
+        let report = telemetry.finish("ckpt", splatonic_telemetry::AccuracySummary::default());
+        let counter = |n: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("slam/checkpoints_written"), 3);
+        assert!(report.spans.iter().any(|(n, _)| n == "checkpoint"));
+        assert!(report
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "slam/snapshot_bytes" && *v > 0.0));
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_results() {
+        let d = tiny();
+        let mut plain = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        let ra = plain.run(&d);
+        let cfg = SlamConfig {
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let mut chk = SlamSystem::new(cfg, d.intrinsics);
+        let rb = chk
+            .run_with_checkpoints(&d, &Telemetry::disabled(), &mut |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(ra.est_poses, rb.est_poses);
+        assert_eq!(ra.ate_cm.to_bits(), rb.ate_cm.to_bits());
+        assert_eq!(ra.psnr_db.to_bits(), rb.psnr_db.to_bits());
+        assert_eq!(ra.tracking_trace, rb.tracking_trace);
+        assert_eq!(ra.mapping_trace, rb.mapping_trace);
+    }
+
+    #[test]
+    fn sink_error_aborts_run() {
+        let d = tiny();
+        let cfg = SlamConfig {
+            checkpoint_every: 1,
+            ..Default::default()
+        };
+        let mut sys = SlamSystem::new(cfg, d.intrinsics);
+        let err = sys
+            .run_with_checkpoints(&d, &Telemetry::disabled(), &mut |_, _| {
+                Err(SnapshotError::Io("disk full".into()))
+            })
+            .expect_err("sink error must propagate");
+        assert_eq!(err, SnapshotError::Io("disk full".into()));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let d = tiny();
+        let mut sys = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        sys.step_frame(&d, &Telemetry::disabled());
+        let snap = sys.checkpoint();
+        let other = SlamConfig {
+            seed: 999,
+            ..Default::default()
+        };
+        let err = SlamSystem::resume(other, d.intrinsics, &d, &snap).expect_err("stale");
+        assert!(matches!(err, SnapshotError::ConfigMismatch(_)));
+        // Thread width is bitwise-transparent and must NOT be stale.
+        let mut wide = SlamConfig::default();
+        wide.render.threads = 7;
+        assert!(SlamSystem::resume(wide, d.intrinsics, &d, &snap).is_ok());
+    }
+
+    #[test]
+    fn resume_rejects_out_of_range_frames() {
+        let d = tiny();
+        let mut sys = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        for _ in 0..5 {
+            sys.step_frame(&d, &Telemetry::disabled());
+        }
+        let mut snap = sys.checkpoint();
+        snap.keyframes.push((999, Pose::identity()));
+        let err =
+            SlamSystem::resume(SlamConfig::default(), d.intrinsics, &d, &snap).expect_err("oob");
+        assert!(matches!(err, SnapshotError::FrameOutOfRange { .. }));
+    }
+
+    #[test]
+    fn kill_and_resume_is_bitwise_identical() {
+        // The tentpole contract: stop after frame k, rebuild the system
+        // from the snapshot's wire bytes, continue — everything the result
+        // carries must be bitwise identical to the uninterrupted run.
+        let d = tiny();
+        let mut uninterrupted = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        let full = uninterrupted.run(&d);
+        for kill_after in [1, 4, 8] {
+            let mut sys = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+            for _ in 0..=kill_after {
+                sys.step_frame(&d, &Telemetry::disabled());
+            }
+            let bytes = sys.checkpoint().to_bytes();
+            drop(sys); // the "crash"
+            let snap = Snapshot::from_bytes(&bytes).expect("snapshot decodes");
+            let mut resumed =
+                SlamSystem::resume(SlamConfig::default(), d.intrinsics, &d, &snap).unwrap();
+            let r = resumed.run(&d);
+            assert_eq!(full.est_poses, r.est_poses, "kill after {kill_after}");
+            assert_eq!(full.ate_cm.to_bits(), r.ate_cm.to_bits());
+            assert_eq!(full.psnr_db.to_bits(), r.psnr_db.to_bits());
+            assert_eq!(full.tracking_trace, r.tracking_trace);
+            assert_eq!(full.mapping_trace, r.mapping_trace);
+            assert_eq!(full.scene_size, r.scene_size);
+        }
+    }
+
+    #[test]
+    fn run_twice_restarts_from_scratch() {
+        // finalize() clears the run state, so a second run() re-anchors and
+        // reproduces the first bit-for-bit (the pre-refactor behavior).
+        let d = tiny();
+        let mut sys = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        let a = sys.run(&d);
+        let b = sys.run(&d);
+        assert_eq!(a.est_poses, b.est_poses);
+        assert_eq!(a.ate_cm.to_bits(), b.ate_cm.to_bits());
+    }
+
+    #[test]
     fn config_presets_differ() {
         let algo = AlgorithmConfig::default();
         let a = SlamConfig::dense_baseline(algo);
@@ -560,6 +1091,15 @@ mod tests {
             c.tracking_sampling,
             SamplingStrategy::RandomPerTile { tile: 16 }
         ));
+        // Fingerprints separate result-affecting differences...
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // ...but ignore bitwise-transparent execution knobs.
+        let mut b2 = b;
+        b2.render.threads = 13;
+        b2.render.binning = false;
+        b2.render.cache = false;
+        b2.checkpoint_every = 5;
+        assert_eq!(b.fingerprint(), b2.fingerprint());
     }
 
     #[test]

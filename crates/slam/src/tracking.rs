@@ -37,6 +37,11 @@ pub struct TrackerOutput {
     pub final_loss: f64,
     /// Pixels rendered per iteration (mean).
     pub pixels_per_iter: f64,
+    /// Exact total pixels rendered across all optimization iterations
+    /// (excludes the final best-of evaluation render, matching what the
+    /// trace accounts). Unlike `pixels_per_iter × iters`, this stays exact
+    /// when per-iteration pixel counts vary (e.g. loss-guided resampling).
+    pub sampled_pixels: usize,
 }
 
 /// Downsamples a frame by an integer factor (box filter), for the
@@ -212,6 +217,7 @@ pub fn track_frame_with_telemetry(
         iters: algo.tracking_iters,
         final_loss: best_loss,
         pixels_per_iter: pixels_total as f64 / algo.tracking_iters.max(1) as f64,
+        sampled_pixels: pixels_total,
     }
 }
 
@@ -405,6 +411,9 @@ mod tests {
         assert!(out.trace.forward.pixels_shaded >= 4 * 12); // 64x48/16² = 12 tiles
         assert!(out.trace.backward.pairs_grad > 0);
         assert!(out.pixels_per_iter > 0.0);
+        // The exact total matches what the trace accounted: the final
+        // best-of evaluation render is excluded from both.
+        assert_eq!(out.sampled_pixels as u64, out.trace.forward.pixels_shaded);
     }
 
     #[test]

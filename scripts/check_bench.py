@@ -45,6 +45,12 @@ FRAME_EXACT_FIELDS = [
 FRAME_FLOAT_FIELDS = ["psnr_db", "ate_so_far_cm"]
 SKIP_PREFIXES = ("pool/",)
 
+# Instrumentation the report run must carry regardless of what the baseline
+# happens to contain — a dropped checkpoint subsystem must fail the gate
+# even if both sides lost the keys together.
+REQUIRED_COUNTERS = ["slam/checkpoints_written"]
+REQUIRED_GAUGES = ["slam/snapshot_bytes"]
+
 
 def machine_dependent(name):
     return any(name.startswith(p) for p in SKIP_PREFIXES)
@@ -115,6 +121,12 @@ def check(report, baseline):
                 f"counters.{name}: report {counters_r[name]} "
                 f"!= baseline {counters_b[name]}"
             )
+    for name in REQUIRED_COUNTERS:
+        for side, data in (("report", counters_r), ("baseline", counters_b)):
+            if name not in data:
+                err(f"counters.{name}: required, missing from {side}")
+        if counters_r.get(name, 0) == 0 and name in counters_r:
+            err(f"counters.{name}: required to be nonzero (checkpointing ran)")
 
     # Spans: invocation counts are deterministic; wall time is not, so only
     # an upper bound (generous multiplier, floored) is enforced.
@@ -156,6 +168,10 @@ def check(report, baseline):
         tol = GAUGE_REL_TOL * max(abs(r), abs(b), 1.0)
         if abs(r - b) > tol:
             err(f"gauges.{name}: report {r} vs baseline {b} (tol {tol:.3g})")
+    for name in REQUIRED_GAUGES:
+        for side, data in (("report", gauges_r), ("baseline", gauges_b)):
+            if name not in data:
+                err(f"gauges.{name}: required, missing from {side}")
 
     return errors
 

@@ -28,4 +28,9 @@ SPLATONIC_THREADS=4 cargo test --workspace --release -q
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== scripts/fault_inject.sh (kill/resume bitwise + corruption gate) =="
+# Cross-process checkpoint/resume: kill mid-run, resume from the snapshot,
+# assert bitwise-identical results at widths 1, 4, and auto (DESIGN.md §12).
+bash scripts/fault_inject.sh
+
 echo "verify: OK"

@@ -97,6 +97,45 @@ fn slam_is_deterministic() {
 }
 
 #[test]
+fn kill_and_resume_is_bitwise_identical_across_thread_widths() {
+    // Checkpoint/resume contract (DESIGN.md §12): stop after frame k,
+    // serialize, decode, resume — at ANY worker width, including a width
+    // different from the one the snapshot was taken at — and the completed
+    // run must be bitwise identical to an uninterrupted single-width run.
+    let d = dataset();
+    let cfg_for = |threads: usize| {
+        let mut cfg = SlamConfig::splatonic(AlgorithmConfig::default());
+        cfg.render.threads = threads;
+        cfg
+    };
+    let full = SlamSystem::new(cfg_for(1), d.intrinsics).run(&d);
+    let telemetry = splatonic::telemetry::Telemetry::disabled();
+    for kill_after in [2usize, 6] {
+        // Take the snapshot at width 1...
+        let mut sys = SlamSystem::new(cfg_for(1), d.intrinsics);
+        for _ in 0..=kill_after {
+            sys.step_frame(&d, &telemetry);
+        }
+        let bytes = sys.checkpoint().to_bytes();
+        drop(sys);
+        let snap = splatonic_slam::Snapshot::from_bytes(&bytes).expect("snapshot decodes");
+        // ...and resume at widths 1, 4, and 8.
+        for threads in [1usize, 4, 8] {
+            let mut resumed = SlamSystem::resume(cfg_for(threads), d.intrinsics, &d, &snap)
+                .expect("snapshot resumes at any width");
+            let r = resumed.run(&d);
+            let label = format!("kill after {kill_after}, {threads} workers");
+            assert_eq!(full.est_poses, r.est_poses, "{label}");
+            assert_eq!(full.ate_cm.to_bits(), r.ate_cm.to_bits(), "{label}");
+            assert_eq!(full.psnr_db.to_bits(), r.psnr_db.to_bits(), "{label}");
+            assert_eq!(full.tracking_trace, r.tracking_trace, "{label}");
+            assert_eq!(full.mapping_trace, r.mapping_trace, "{label}");
+            assert_eq!(full.scene_size, r.scene_size, "{label}");
+        }
+    }
+}
+
+#[test]
 fn hardware_pricing_end_to_end() {
     use splatonic::harness::{measure_tracking_iteration, TrackingScenario};
     let d = dataset();

@@ -67,6 +67,10 @@ fn arb_scene(rng: &mut Rng64, min: usize, max: usize) -> GaussianScene {
     (0..n).map(|_| arb_gaussian(rng)).collect()
 }
 
+fn arb_pose(rng: &mut Rng64) -> Pose {
+    Se3::new(small_vec3(rng) * 3.0, small_vec3(rng)).exp()
+}
+
 fn camera() -> Camera {
     Camera::new(Intrinsics::with_fov(48, 36, 1.2), Pose::identity())
 }
@@ -329,5 +333,82 @@ fn projection_cache_is_transparent() {
         assert_eq!(a2.color, b.color, "case {case}: repeat (cached) render");
         assert_eq!(a1.trace, b.trace, "case {case}: trace");
         assert_eq!(a2.trace, b.trace, "case {case}: cached trace");
+    });
+}
+
+/// Snapshot wire-format round trip: encode → decode → re-encode is the
+/// byte-identity for arbitrary run state, including non-finite floats
+/// (NaN payloads, ±∞, −0.0 travel via `to_bits`, DESIGN.md §12) — and any
+/// single corrupted payload byte is rejected by the checksum.
+#[test]
+fn snapshot_round_trip_is_byte_identity() {
+    use splatonic_math::stats::Summary;
+    use splatonic_render::RenderTrace;
+    use splatonic_slam::snapshot::{Snapshot, SnapshotError, HEADER_LEN};
+
+    for_each_case(0x5A47_500C, |case, rng| {
+        let weird = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 1.5e-300];
+        let f = |rng: &mut Rng64| {
+            if rng.gen_range(0.0..1.0) < 0.15 {
+                weird[rng.gen_range(0usize..weird.len())]
+            } else {
+                rng.gen_range(-1e6..1e6)
+            }
+        };
+        let n_poses = rng.gen_range(1usize..6);
+        let mut tracking_trace = RenderTrace::new();
+        tracking_trace.forward.pixels_shaded = rng.gen_range(0u64..1 << 40);
+        tracking_trace.forward.pixel_list_len =
+            Summary::from_parts(rng.gen_range(0usize..99), f(rng), f(rng), f(rng), f(rng));
+        tracking_trace.backward.atomic_adds = rng.gen_range(0u64..1 << 40);
+        tracking_trace.pixel_lists = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.gen_range(0u64..1 << 32) as u32)
+            .collect();
+        tracking_trace.proj_candidates = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.gen_range(0u64..1 << 32) as u32)
+            .collect();
+        let snapshot = Snapshot {
+            seed: rng.gen_range(0u64..u64::MAX),
+            config_fingerprint: rng.gen_range(0u64..u64::MAX),
+            next_frame: n_poses,
+            scene_revision: rng.gen_range(0u64..1 << 50),
+            gaussians: (0..rng.gen_range(0usize..12))
+                .map(|_| arb_gaussian(rng))
+                .collect(),
+            est_poses: (0..n_poses).map(|_| arb_pose(rng)).collect(),
+            keyframes: (0..rng.gen_range(0usize..4))
+                .map(|_| (rng.gen_range(0usize..n_poses), arb_pose(rng)))
+                .collect(),
+            adam_t: rng.gen_range(0u64..1 << 50),
+            adam_moments: (0..rng.gen_range(0usize..30))
+                .map(|_| (f(rng), f(rng)))
+                .collect(),
+            tracking_iters: rng.gen_range(0usize..1 << 20),
+            mapping_iters: rng.gen_range(0usize..1 << 20),
+            mapping_invocations: rng.gen_range(0usize..1 << 20),
+            tracking_trace,
+            mapping_trace: RenderTrace::new(),
+        };
+        let bytes = snapshot.to_bytes();
+        let decoded = Snapshot::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+        assert_eq!(
+            decoded.to_bytes(),
+            bytes,
+            "case {case}: re-encode must be byte-identical"
+        );
+        // Any single payload-byte corruption trips the checksum.
+        if bytes.len() > HEADER_LEN {
+            let mut corrupt = bytes.clone();
+            let i = HEADER_LEN + rng.gen_range(0usize..bytes.len() - HEADER_LEN);
+            corrupt[i] ^= 1 + rng.gen_range(0u64..255) as u8;
+            assert!(
+                matches!(
+                    Snapshot::from_bytes(&corrupt),
+                    Err(SnapshotError::ChecksumMismatch { .. })
+                ),
+                "case {case}: flipped payload byte {i} must be rejected"
+            );
+        }
     });
 }
