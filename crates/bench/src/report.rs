@@ -48,6 +48,9 @@ pub fn instrumented_run_with_checkpoints(
 ) -> RunReport {
     let dataset = Dataset::replica_like("report-room", 7, settings.dataset_config());
     let telemetry = Telemetry::enabled();
+    // Host vector width in use (DESIGN.md §13). check_bench.py requires the
+    // gauge to be present but skips its value (machine-dependent).
+    telemetry.gauge_set("render/simd_lanes", splatonic_render::simd::lanes() as f64);
 
     // End-to-end SLAM with spans and per-frame records.
     let mut slam_cfg = SlamConfig::splatonic(AlgorithmConfig::default());

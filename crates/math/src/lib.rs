@@ -30,6 +30,10 @@
 //! assert!((v.y - 1.0).abs() < 1e-12);
 //! ```
 
+// Every public item must carry a doc comment; config knobs additionally
+// document their default and bit-exactness contract (DESIGN.md §13).
+#![warn(missing_docs)]
+
 pub mod explut;
 pub mod image;
 pub mod mat;

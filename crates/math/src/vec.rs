@@ -17,6 +17,7 @@ use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, MulAssign, Neg, Sub, S
 /// assert_eq!(v.norm(), 5.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Vec2 {
     /// x component.
     pub x: f64,
@@ -34,6 +35,7 @@ pub struct Vec2 {
 /// assert_eq!(v, Vec3::new(0.0, 0.0, 1.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Vec3 {
     /// x component.
     pub x: f64,
@@ -53,6 +55,7 @@ pub struct Vec3 {
 /// assert_eq!(h.w, 1.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Vec4 {
     /// x component.
     pub x: f64,

@@ -5,7 +5,7 @@
 //! tiles its 3σ bounding box overlaps. That cost scales with the number of
 //! *Gaussians* even when only a handful of pixels is sampled. The bin index
 //! inverts the loop: projected Gaussians are bucketed once per render into a
-//! coarse screen grid ([`RenderConfig::bin_size`] pixels per bin), and each
+//! coarse screen grid ([`crate::RenderConfig::bin_size`] pixels per bin), and each
 //! sampled pixel then visits only the candidates of its own bin — the
 //! GS-TG / SeeLe-style coarse grouping that prunes non-overlapping Gaussians
 //! before any α math runs.

@@ -285,7 +285,7 @@ pub fn reproject(
     let mut pose = Se3::ZERO;
     for &id in accum.touched() {
         let cg = accum.get(id);
-        let g: &Gaussian = match scene.get(id as usize) {
+        let g: Gaussian = match scene.get(id as usize) {
             Some(g) => g,
             None => continue,
         };

@@ -26,41 +26,62 @@ use splatonic_scene::{Camera, Gaussian};
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RenderConfig {
-    /// α* — Gaussians with `α < alpha_threshold` at a pixel are skipped.
+    /// α* — Gaussians with `α < alpha_threshold` at a pixel are skipped
+    /// (default `1/255`). Output-affecting: part of the rendering
+    /// definition, covered by the `SlamConfig` fingerprint.
     pub alpha_threshold: f64,
-    /// Upper clamp on α (0.99 in the reference implementation).
+    /// Upper clamp on α (default `0.99`, the reference implementation's
+    /// value). Output-affecting.
     pub alpha_max: f64,
-    /// Early-termination transmittance: stop compositing once `Γ < t_min`.
+    /// Early-termination transmittance: stop compositing once `Γ < t_min`
+    /// (default `1e-4`). Output-affecting.
     pub transmittance_min: f64,
-    /// Screen-space blur added to the projected covariance diagonal.
+    /// Screen-space blur added to the projected covariance diagonal
+    /// (default `0.3`). Output-affecting.
     pub screen_blur: f64,
-    /// Bounding-box extent in standard deviations. 3.5σ guarantees that any
-    /// pixel outside the box has `α < 1/255` even at full opacity
-    /// (`exp(−3.5²/2)·0.99 ≈ 0.0022 < 1/255`), so bbox-based candidate
-    /// discovery (pixel pipeline) and threshold-only α-checking (tile
-    /// pipeline) select exactly the same pixel–Gaussian pairs.
+    /// Bounding-box extent in standard deviations (default `3.5`). 3.5σ
+    /// guarantees that any pixel outside the box has `α < 1/255` even at
+    /// full opacity (`exp(−3.5²/2)·0.99 ≈ 0.0022 < 1/255`), so bbox-based
+    /// candidate discovery (pixel pipeline) and threshold-only α-checking
+    /// (tile pipeline) select exactly the same pixel–Gaussian pairs.
+    /// Output-affecting.
     pub bbox_sigma: f64,
-    /// Near-plane distance for frustum culling.
+    /// Near-plane distance for frustum culling (default `0.2`).
+    /// Output-affecting.
     pub near: f64,
-    /// Background color composited where transmittance remains.
+    /// Background color composited where transmittance remains (default
+    /// black). Output-affecting.
     pub background: Vec3,
     /// Screen-space bin index for the pixel-based pipeline: sampled pixels
     /// visit only the Gaussians binned to their bin instead of being
-    /// discovered Gaussian-major. Output is bit-identical either way; the
-    /// `bin_candidates` trace counter records the pruning achieved.
+    /// discovered Gaussian-major (default `true`). Output is bit-identical
+    /// either way; the `bin_candidates` trace counter records the pruning
+    /// achieved.
     pub binning: bool,
-    /// Bin edge length in pixels for the bin index (`0` = default 16).
+    /// Bin edge length in pixels for the bin index (default 16; `0` also
+    /// resolves to 16). Output-transparent: any bin size yields bit-identical
+    /// renders.
     pub bin_size: usize,
     /// Cross-iteration projection cache: reuse per-Gaussian projection
     /// results across renders that share the exact camera and unchanged
-    /// Gaussian parameters (invalidated by any pose delta, see
-    /// `projcache`). Output is bit-identical either way.
+    /// Gaussian parameters (default `true`; invalidated by any pose delta,
+    /// see `projcache`). Output is bit-identical either way.
     pub cache: bool,
-    /// Worker threads for the parallel render/backward paths. `0` resolves
-    /// via the `SPLATONIC_THREADS` environment variable, falling back to
-    /// `available_parallelism()`. Results are bit-identical for every
+    /// Worker threads for the parallel render/backward paths (default `0` =
+    /// auto: the `SPLATONIC_THREADS` environment variable, falling back to
+    /// `available_parallelism()`). Results are bit-identical for every
     /// value (see `splatonic_math::pool`).
     pub threads: usize,
+    /// Kernel implementation selector (default [`crate::simd::KernelMode::Simd`]).
+    ///
+    /// `Simd` uses the runtime-detected vector paths in [`crate::simd`] and
+    /// falls back to scalar automatically when no vector unit is detected.
+    /// Every shipped SIMD lane replicates the scalar operation order exactly,
+    /// so outputs are bit-identical across modes (enforced by the
+    /// determinism suite); the flag exists as the A/B harness for future
+    /// lanes that relax that contract. Excluded from the `SlamConfig`
+    /// fingerprint, like the other output-transparent execution knobs.
+    pub kernels: crate::simd::KernelMode,
 }
 
 impl Default for RenderConfig {
@@ -77,6 +98,7 @@ impl Default for RenderConfig {
             bin_size: crate::binning::DEFAULT_BIN_SIZE,
             cache: true,
             threads: 0,
+            kernels: crate::simd::KernelMode::Simd,
         }
     }
 }
@@ -139,6 +161,22 @@ pub fn project_gaussian(
         intr.fx * p_cam.x / p_cam.z + intr.cx,
         intr.fy * p_cam.y / p_cam.z + intr.cy,
     );
+    project_from_cam(g, id, p_cam, mean2d, camera, config)
+}
+
+/// Covariance/conic/culling tail of [`project_gaussian`], starting from a
+/// precomputed camera-frame mean and projected 2D mean. The SIMD projection
+/// path vectorizes the transform + pinhole head and finishes each surviving
+/// lane here, so both paths share one covariance pipeline bit-for-bit.
+pub(crate) fn project_from_cam(
+    g: &Gaussian,
+    id: u32,
+    p_cam: Vec3,
+    mean2d: Vec2,
+    camera: &Camera,
+    config: &RenderConfig,
+) -> Option<ProjectedGaussian> {
+    let intr = &camera.intrinsics;
     // 2D covariance: Σ' = J W Σ Wᵀ Jᵀ + blur·I.
     let w = camera.pose.rotation;
     let sigma_cam = w * g.covariance() * w.transpose();
@@ -200,22 +238,26 @@ pub fn project_scene(
     config: &RenderConfig,
 ) -> (Vec<ProjectedGaussian>, u64) {
     let threads = pool::resolve_threads(config.threads);
-    let chunks = pool::par_chunks_indexed(
-        threads,
-        scene.gaussians(),
-        PROJECT_CHUNK,
-        |_, offset, gs| {
-            let mut out = Vec::with_capacity(gs.len());
+    let simd = config.kernels.simd_active();
+    let chunks =
+        pool::par_chunks_indexed(threads, scene.means(), PROJECT_CHUNK, |_, offset, means| {
+            let mut out = Vec::with_capacity(means.len());
             let mut culled = 0u64;
-            for (k, g) in gs.iter().enumerate() {
-                match project_gaussian(g, (offset + k) as u32, camera, config) {
-                    Some(pg) => out.push(pg),
-                    None => culled += 1,
+            if simd {
+                crate::simd::project_chunk(scene, offset, means.len(), camera, config, &mut out);
+                culled += (means.len() - out.len()) as u64;
+            } else {
+                for k in 0..means.len() {
+                    let i = offset + k;
+                    let g = scene.gaussian(i);
+                    match project_gaussian(&g, i as u32, camera, config) {
+                        Some(pg) => out.push(pg),
+                        None => culled += 1,
+                    }
                 }
             }
             (out, culled)
-        },
-    );
+        });
     let mut out = Vec::with_capacity(scene.len());
     let mut culled = 0u64;
     for (chunk_out, chunk_culled) in chunks {

@@ -44,6 +44,10 @@
 //! assert_eq!(out.color.len(), pixels.len());
 //! ```
 
+// Every public item must carry a doc comment; config knobs additionally
+// document their default and bit-exactness contract (DESIGN.md §13).
+#![warn(missing_docs)]
+
 pub mod binning;
 pub mod grad;
 pub mod kernel;
@@ -52,6 +56,7 @@ pub mod pixel;
 pub mod pixelset;
 pub mod projcache;
 pub mod sampling;
+pub mod simd;
 pub mod tile;
 pub mod trace;
 
@@ -61,6 +66,7 @@ pub use kernel::{ProjectedGaussian, RenderConfig};
 pub use loss::{LossConfig, LossGrad};
 pub use pixelset::PixelSet;
 pub use sampling::{MappingSampler, SamplingStrategy};
+pub use simd::KernelMode;
 pub use trace::RenderTrace;
 
 use splatonic_math::Vec3;

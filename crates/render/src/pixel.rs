@@ -21,6 +21,7 @@ use crate::kernel::{alpha_at, ProjectedGaussian, RenderConfig};
 use crate::loss::LossGrad;
 use crate::pixelset::{PixelCoord, PixelSet};
 use crate::projcache::project_scene_cached;
+use crate::simd::{self, ProjectedSoA};
 use crate::trace::{bytes, RenderTrace};
 use crate::{Contribution, ForwardResult};
 use splatonic_math::{pool, Vec2, Vec3};
@@ -62,10 +63,10 @@ impl ExtraGrid {
         let cells_y = pixels.height().div_ceil(EXTRA_CELL).max(1);
         let mut cells: Vec<Vec<(usize, PixelCoord)>> = vec![Vec::new(); cells_x * cells_y];
         let base = pixels.sample_count();
-        for (k, p) in pixels.extra().iter().enumerate() {
+        for (k, p) in pixels.extra().enumerate() {
             let cx = p.x as usize / EXTRA_CELL;
             let cy = p.y as usize / EXTRA_CELL;
-            cells[cy * cells_x + cx].push((base + k, *p));
+            cells[cy * cells_x + cx].push((base + k, p));
         }
         ExtraGrid {
             cells_x,
@@ -145,6 +146,14 @@ pub fn forward(
     let n_out = pixels.len();
     let mut lists: Vec<Vec<PixelEntry>> = vec![Vec::new(); n_out];
     let threads = pool::resolve_threads(config.threads);
+    // SoA view for the vector kernels, gathered once per pass. The SIMD
+    // paths below are bit-identical to the scalar ones (see `simd`), so the
+    // dispatch never changes output — only the instruction mix.
+    let soa = (config.kernels.simd_active()
+        && crate::simd::soa_pays_off(pixels.len(), projected.len()))
+    .then(|| ProjectedSoA::build(projected));
+    let soa = soa.as_ref();
+    let simd = soa.is_some();
 
     if use_bin_walk(pixels, config) {
         // Pixel-major discovery through the screen-space bin index: the
@@ -178,7 +187,14 @@ pub fn forward(
                 alpha_checks: 0,
                 pairs_kept: 0,
             };
+            // Scratch for the SIMD two-phase walk: collect the candidates
+            // passing the exact geometric predicate, then α-check them in
+            // lane batches. Same predicate, same candidate order, same
+            // counters as the interleaved scalar walk.
+            let mut cand_scratch: Vec<u32> = Vec::new();
+            let mut alpha_scratch: Vec<f64> = Vec::new();
             for &(out_idx, p) in chunk {
+                cand_scratch.clear();
                 for &pi in index.candidates(p) {
                     part.bin_candidates += 1;
                     let pg = &projected[pi as usize];
@@ -193,6 +209,10 @@ pub fn forward(
                     }
                     part.candidates[pi as usize] += 1;
                     part.alpha_checks += 1;
+                    if soa.is_some() {
+                        cand_scratch.push(pi);
+                        continue;
+                    }
                     let (alpha, _) = alpha_at(pg, p.center(), config);
                     if alpha >= config.alpha_threshold {
                         part.pairs_kept += 1;
@@ -204,6 +224,30 @@ pub fn forward(
                                 depth: pg.depth,
                             },
                         ));
+                    }
+                }
+                if let Some(soa) = soa {
+                    alpha_scratch.clear();
+                    simd::alpha_batch_pixel(
+                        soa,
+                        projected,
+                        &cand_scratch,
+                        p.center(),
+                        config,
+                        &mut alpha_scratch,
+                    );
+                    for (&pi, &alpha) in cand_scratch.iter().zip(&alpha_scratch) {
+                        if alpha >= config.alpha_threshold {
+                            part.pairs_kept += 1;
+                            part.entries.push((
+                                out_idx,
+                                PixelEntry {
+                                    proj: pi,
+                                    alpha,
+                                    depth: projected[pi as usize].depth,
+                                },
+                            ));
+                        }
                     }
                 }
             }
@@ -248,28 +292,71 @@ pub fn forward(
                     alpha_checks: 0,
                     pairs_kept: 0,
                 };
+                // SIMD scratch: candidate pixel indices and centers per
+                // Gaussian, α-checked in lane batches after collection.
+                let mut idx_scratch: Vec<usize> = Vec::new();
+                let mut px_scratch: Vec<f64> = Vec::new();
+                let mut py_scratch: Vec<f64> = Vec::new();
+                let mut alpha_scratch: Vec<f64> = Vec::new();
                 for (k, pg) in chunk.iter().enumerate() {
                     let pi = offset + k;
                     let (lo, hi) = pg.bbox();
                     let mut candidates = 0u32;
-                    let mut check = |out_idx: usize, p: PixelCoord| {
-                        candidates += 1;
-                        part.alpha_checks += 1;
-                        let (alpha, _) = alpha_at(pg, p.center(), config);
-                        if alpha >= config.alpha_threshold {
-                            part.pairs_kept += 1;
-                            part.entries.push((
-                                out_idx,
-                                PixelEntry {
-                                    proj: pi as u32,
-                                    alpha,
-                                    depth: pg.depth,
-                                },
-                            ));
+                    if simd {
+                        idx_scratch.clear();
+                        px_scratch.clear();
+                        py_scratch.clear();
+                        let mut collect = |out_idx: usize, p: PixelCoord| {
+                            candidates += 1;
+                            part.alpha_checks += 1;
+                            idx_scratch.push(out_idx);
+                            let c = p.center();
+                            px_scratch.push(c.x);
+                            py_scratch.push(c.y);
+                        };
+                        pixels.samples_in_bbox(lo, hi, &mut collect);
+                        extra_grid.visit_bbox(lo, hi, &mut collect);
+                        alpha_scratch.clear();
+                        simd::alpha_batch_gaussian(
+                            pg,
+                            &px_scratch,
+                            &py_scratch,
+                            config,
+                            &mut alpha_scratch,
+                        );
+                        for (j, &alpha) in alpha_scratch.iter().enumerate() {
+                            if alpha >= config.alpha_threshold {
+                                part.pairs_kept += 1;
+                                part.entries.push((
+                                    idx_scratch[j],
+                                    PixelEntry {
+                                        proj: pi as u32,
+                                        alpha,
+                                        depth: pg.depth,
+                                    },
+                                ));
+                            }
                         }
-                    };
-                    pixels.samples_in_bbox(lo, hi, &mut check);
-                    extra_grid.visit_bbox(lo, hi, &mut check);
+                    } else {
+                        let mut check = |out_idx: usize, p: PixelCoord| {
+                            candidates += 1;
+                            part.alpha_checks += 1;
+                            let (alpha, _) = alpha_at(pg, p.center(), config);
+                            if alpha >= config.alpha_threshold {
+                                part.pairs_kept += 1;
+                                part.entries.push((
+                                    out_idx,
+                                    PixelEntry {
+                                        proj: pi as u32,
+                                        alpha,
+                                        depth: pg.depth,
+                                    },
+                                ));
+                            }
+                        };
+                        pixels.samples_in_bbox(lo, hi, &mut check);
+                        extra_grid.visit_bbox(lo, hi, &mut check);
+                    }
                     part.candidates.push(candidates);
                 }
                 part
@@ -320,6 +407,10 @@ pub fn forward(
             bytes_written: 0,
         };
         let mut sorted: Vec<PixelEntry> = Vec::new();
+        // SoA scratch for the vector composite: the sorted entry list split
+        // into parallel projection-index / α arrays.
+        let mut proj_scratch: Vec<u32> = Vec::new();
+        let mut alpha_scratch: Vec<f64> = Vec::new();
         for list in chunk {
             sorted.clear();
             sorted.extend_from_slice(list);
@@ -335,27 +426,45 @@ pub fn forward(
                         .then(a.proj.cmp(&b.proj))
                 });
             }
-            let mut t = 1.0;
-            let mut c = Vec3::ZERO;
-            let mut d = 0.0;
-            let mut used = 0usize;
             let mut contribs = Vec::new();
-            for e in &sorted {
-                if t < config.transmittance_min {
-                    break;
+            let (c, d, t, used) = if let Some(soa) = soa {
+                proj_scratch.clear();
+                alpha_scratch.clear();
+                for e in &sorted {
+                    proj_scratch.push(e.proj);
+                    alpha_scratch.push(e.alpha);
                 }
-                let pg = &projected[e.proj as usize];
-                let w = t * e.alpha;
-                c += pg.color * w;
-                d += pg.depth * w;
-                contribs.push(Contribution {
-                    gaussian: pg.id,
-                    alpha: e.alpha,
-                    transmittance: t,
-                });
-                t *= 1.0 - e.alpha;
-                used += 1;
-            }
+                let (acc, t, used) = simd::composite_pixel(
+                    &proj_scratch,
+                    &alpha_scratch,
+                    soa,
+                    config.transmittance_min,
+                    &mut contribs,
+                );
+                (Vec3::new(acc[0], acc[1], acc[2]), acc[3], t, used)
+            } else {
+                let mut t = 1.0;
+                let mut c = Vec3::ZERO;
+                let mut d = 0.0;
+                let mut used = 0usize;
+                for e in &sorted {
+                    if t < config.transmittance_min {
+                        break;
+                    }
+                    let pg = &projected[e.proj as usize];
+                    let w = t * e.alpha;
+                    c += pg.color * w;
+                    d += pg.depth * w;
+                    contribs.push(Contribution {
+                        gaussian: pg.id,
+                        alpha: e.alpha,
+                        transmittance: t,
+                    });
+                    t *= 1.0 - e.alpha;
+                    used += 1;
+                }
+                (c, d, t, used)
+            };
             part.color.push(c + config.background * t);
             part.depth.push(d);
             part.t_final.push(t);
@@ -433,6 +542,12 @@ pub fn backward(
         proj_of_id[pg.id as usize] = pi as u32;
     }
     let lookup = |id: u32| projected[proj_of_id[id as usize] as usize];
+    // SoA view for the vector backward kernel (bit-identical to `lookup` +
+    // `pixel_backward`; see `simd`).
+    let soa = (config.kernels.simd_active()
+        && crate::simd::soa_pays_off(pixels.len(), projected.len()))
+    .then(|| ProjectedSoA::build(projected));
+    let soa = soa.as_ref();
 
     // Per-pair gradients, fanned out over fixed chunks of pixels. Each
     // chunk accumulates into a private accumulator (recycled through a
@@ -479,16 +594,30 @@ pub fn backward(
                 part.warp_steps += 2 * steps; // α/Γ pass + gradient pass
                 part.warp_active += 2 * n;
                 part.bytes_read += n * (bytes::PAIR_ENTRY + bytes::PROJECTED);
-                let counts = pixel_backward(
-                    p.center(),
-                    contribs,
-                    &lookup,
-                    loss_grads[out_idx].d_color,
-                    loss_grads[out_idx].d_depth,
-                    config,
-                    config.background,
-                    &mut acc,
-                );
+                let counts = if let Some(soa) = soa {
+                    simd::pixel_backward_simd(
+                        p.center(),
+                        contribs,
+                        soa,
+                        &proj_of_id,
+                        loss_grads[out_idx].d_color,
+                        loss_grads[out_idx].d_depth,
+                        config,
+                        config.background,
+                        &mut acc,
+                    )
+                } else {
+                    pixel_backward(
+                        p.center(),
+                        contribs,
+                        &lookup,
+                        loss_grads[out_idx].d_color,
+                        loss_grads[out_idx].d_depth,
+                        config,
+                        config.background,
+                        &mut acc,
+                    )
+                };
                 part.pairs_grad += counts.pairs;
                 part.atomic_adds += counts.atomic_adds;
                 // Second reduction: aggregation of partial gradients.

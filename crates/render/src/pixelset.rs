@@ -5,6 +5,12 @@
 //! separately-stored *unseen* pixels of the mapping sampler ("the unseen
 //! pixel indices are stored separately, so that \[they] do not interrupt our
 //! indexing strategy").
+//!
+//! Storage is structure-of-arrays: sample and extra coordinates live in
+//! parallel `Vec<u16>` columns (`x` and `y` separately) so the SIMD kernels
+//! in [`crate::simd`] can load contiguous coordinate lanes without gathering
+//! through an array-of-structs layout. [`PixelCoord`] remains the by-value
+//! exchange type at every API boundary.
 
 use splatonic_math::Vec2;
 
@@ -49,31 +55,41 @@ pub struct PixelSet {
     width: usize,
     height: usize,
     tile: usize,
-    /// One sample per tile (tile-grid order where present).
-    samples: Vec<PixelCoord>,
-    /// tile index → index into `samples`, or `NO_SAMPLE`.
+    /// Sample columns, one entry per tile-structured sample (SoA with
+    /// `sample_ys`).
+    sample_xs: Vec<u16>,
+    /// Sample rows (SoA with `sample_xs`).
+    sample_ys: Vec<u16>,
+    /// tile index → index into the sample columns, or `NO_SAMPLE`.
     tile_grid: Vec<u32>,
-    /// Extra pixels outside the per-tile structure (mapping's unseen set).
-    extra: Vec<PixelCoord>,
+    /// Extra-pixel columns (mapping's unseen set), outside the per-tile
+    /// structure (SoA with `extra_ys`).
+    extra_xs: Vec<u16>,
+    /// Extra-pixel rows (SoA with `extra_xs`).
+    extra_ys: Vec<u16>,
 }
 
 impl PixelSet {
     /// Builds a dense set covering every pixel (tile size 1).
     pub fn dense(width: usize, height: usize) -> Self {
-        let mut samples = Vec::with_capacity(width * height);
+        let mut sample_xs = Vec::with_capacity(width * height);
+        let mut sample_ys = Vec::with_capacity(width * height);
         for y in 0..height {
             for x in 0..width {
-                samples.push(PixelCoord::new(x as u16, y as u16));
+                sample_xs.push(x as u16);
+                sample_ys.push(y as u16);
             }
         }
-        let tile_grid = (0..samples.len() as u32).collect();
+        let tile_grid = (0..sample_xs.len() as u32).collect();
         PixelSet {
             width,
             height,
             tile: 1,
-            samples,
+            sample_xs,
+            sample_ys,
             tile_grid,
-            extra: Vec::new(),
+            extra_xs: Vec::new(),
+            extra_ys: Vec::new(),
         }
     }
 
@@ -95,7 +111,8 @@ impl PixelSet {
         assert!(tile > 0, "tile size must be positive");
         let tiles_x = width.div_ceil(tile);
         let tiles_y = height.div_ceil(tile);
-        let mut samples = Vec::with_capacity(tiles_x * tiles_y);
+        let mut sample_xs = Vec::with_capacity(tiles_x * tiles_y);
+        let mut sample_ys = Vec::with_capacity(tiles_x * tiles_y);
         let mut tile_grid = vec![NO_SAMPLE; tiles_x * tiles_y];
         for ty in 0..tiles_y {
             for tx in 0..tiles_x {
@@ -111,8 +128,9 @@ impl PixelSet {
                             && (p.y as usize) < y0 + h,
                         "chooser returned a pixel outside its tile"
                     );
-                    tile_grid[ty * tiles_x + tx] = samples.len() as u32;
-                    samples.push(p);
+                    tile_grid[ty * tiles_x + tx] = sample_xs.len() as u32;
+                    sample_xs.push(p.x);
+                    sample_ys.push(p.y);
                 }
             }
         }
@@ -120,27 +138,36 @@ impl PixelSet {
             width,
             height,
             tile,
-            samples,
+            sample_xs,
+            sample_ys,
             tile_grid,
-            extra: Vec::new(),
+            extra_xs: Vec::new(),
+            extra_ys: Vec::new(),
         }
     }
 
     /// Builds a set from an explicit pixel list (tile structure degenerate).
     pub fn from_pixels(width: usize, height: usize, pixels: Vec<PixelCoord>) -> Self {
+        let sample_xs = pixels.iter().map(|p| p.x).collect();
+        let sample_ys = pixels.iter().map(|p| p.y).collect();
         PixelSet {
             width,
             height,
             tile: 1,
             tile_grid: Vec::new(),
-            samples: pixels,
-            extra: Vec::new(),
+            sample_xs,
+            sample_ys,
+            extra_xs: Vec::new(),
+            extra_ys: Vec::new(),
         }
     }
 
     /// Appends extra (unseen) pixels stored outside the tile structure.
     pub fn add_extra(&mut self, pixels: impl IntoIterator<Item = PixelCoord>) {
-        self.extra.extend(pixels);
+        for p in pixels {
+            self.extra_xs.push(p.x);
+            self.extra_ys.push(p.y);
+        }
     }
 
     /// Image width.
@@ -164,38 +191,74 @@ impl PixelSet {
     /// Total number of selected pixels (samples + extras).
     #[inline]
     pub fn len(&self) -> usize {
-        self.samples.len() + self.extra.len()
+        self.sample_xs.len() + self.extra_xs.len()
     }
 
     /// Returns `true` when no pixels are selected.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty() && self.extra.is_empty()
+        self.sample_xs.is_empty() && self.extra_xs.is_empty()
     }
 
     /// Number of tile-structured samples (excluding extras).
     #[inline]
     pub fn sample_count(&self) -> usize {
-        self.samples.len()
+        self.sample_xs.len()
     }
 
-    /// The tile-structured samples.
+    /// Number of extra (unseen) pixels.
     #[inline]
-    pub fn samples(&self) -> &[PixelCoord] {
-        &self.samples
+    pub fn extra_count(&self) -> usize {
+        self.extra_xs.len()
     }
 
-    /// The extra (unseen) pixels.
+    /// The tile-structured sample at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.sample_count()`.
     #[inline]
-    pub fn extra(&self) -> &[PixelCoord] {
-        &self.extra
+    pub fn sample(&self, i: usize) -> PixelCoord {
+        PixelCoord::new(self.sample_xs[i], self.sample_ys[i])
+    }
+
+    /// The tile-structured samples, by value.
+    #[inline]
+    pub fn samples(&self) -> impl ExactSizeIterator<Item = PixelCoord> + '_ {
+        self.sample_xs
+            .iter()
+            .zip(&self.sample_ys)
+            .map(|(&x, &y)| PixelCoord::new(x, y))
+    }
+
+    /// Sample columns (`x` coordinates), SoA order matching
+    /// [`PixelSet::sample_ys`].
+    #[inline]
+    pub fn sample_xs(&self) -> &[u16] {
+        &self.sample_xs
+    }
+
+    /// Sample rows (`y` coordinates), SoA order matching
+    /// [`PixelSet::sample_xs`].
+    #[inline]
+    pub fn sample_ys(&self) -> &[u16] {
+        &self.sample_ys
+    }
+
+    /// The extra (unseen) pixels, by value.
+    #[inline]
+    pub fn extra(&self) -> impl ExactSizeIterator<Item = PixelCoord> + '_ {
+        self.extra_xs
+            .iter()
+            .zip(&self.extra_ys)
+            .map(|(&x, &y)| PixelCoord::new(x, y))
     }
 
     /// Iterates over all selected pixels: samples first, then extras.
     ///
     /// Per-pixel vectors in `ForwardResult` follow this order.
     pub fn iter_all(&self) -> impl Iterator<Item = PixelCoord> + '_ {
-        self.samples.iter().chain(self.extra.iter()).copied()
+        self.samples().chain(self.extra())
     }
 
     /// Effective sampling rate: selected pixels / total pixels.
@@ -215,10 +278,10 @@ impl PixelSet {
     pub fn samples_in_bbox(&self, min: Vec2, max: Vec2, mut visit: impl FnMut(usize, PixelCoord)) {
         if self.tile_grid.is_empty() {
             // Degenerate structure: scan all samples.
-            for (i, p) in self.samples.iter().enumerate() {
+            for (i, p) in self.samples().enumerate() {
                 let c = p.center();
                 if c.x >= min.x && c.x <= max.x && c.y >= min.y && c.y <= max.y {
-                    visit(i, *p);
+                    visit(i, p);
                 }
             }
             return;
@@ -237,8 +300,7 @@ impl PixelSet {
             for tx in tx0..=tx1 {
                 let slot = self.tile_grid[ty * tiles_x + tx];
                 if slot != NO_SAMPLE {
-                    let p = self.samples[slot as usize];
-                    visit(slot as usize, p);
+                    visit(slot as usize, self.sample(slot as usize));
                 }
             }
         }
@@ -314,9 +376,27 @@ mod tests {
         s.add_extra([PixelCoord::new(5, 5), PixelCoord::new(6, 6)]);
         assert_eq!(s.len(), 3);
         assert_eq!(s.sample_count(), 1);
+        assert_eq!(s.extra_count(), 2);
         let all: Vec<_> = s.iter_all().collect();
         assert_eq!(all[0], PixelCoord::new(0, 0));
         assert_eq!(all[2], PixelCoord::new(6, 6));
+    }
+
+    #[test]
+    fn soa_columns_mirror_coords() {
+        let mut s = PixelSet::from_tile_chooser(32, 32, 16, |_, _, x0, y0, _, _| {
+            Some(PixelCoord::new((x0 + 1) as u16, (y0 + 2) as u16))
+        });
+        s.add_extra([PixelCoord::new(30, 31)]);
+        assert_eq!(s.sample_xs().len(), s.sample_count());
+        assert_eq!(s.sample_ys().len(), s.sample_count());
+        for (i, p) in s.samples().enumerate() {
+            assert_eq!(s.sample_xs()[i], p.x);
+            assert_eq!(s.sample_ys()[i], p.y);
+            assert_eq!(s.sample(i), p);
+        }
+        let extras: Vec<_> = s.extra().collect();
+        assert_eq!(extras, vec![PixelCoord::new(30, 31)]);
     }
 
     #[test]

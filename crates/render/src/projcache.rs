@@ -278,7 +278,7 @@ mod tests {
         let (mut scene, cam) = setup();
         let cfg = RenderConfig::default();
         let _ = project_scene_cached(&scene, &cam, &cfg);
-        scene.gaussians_mut()[0].opacity_logit += 0.25;
+        scene.update(0, |g| g.opacity_logit += 0.25);
         let (cached, _) = project_scene_cached(&scene, &cam, &cfg);
         let s = stats();
         assert_eq!(s.misses, 2);

@@ -351,8 +351,7 @@ impl MappingSampler {
             self.strategy,
             MappingStrategy::UnseenOnly | MappingStrategy::Combined
         ) {
-            let chosen: std::collections::HashSet<PixelCoord> =
-                set.samples().iter().copied().collect();
+            let chosen: std::collections::HashSet<PixelCoord> = set.samples().collect();
             let mut extras = Vec::new();
             for (x, y, &t) in transmittance.iter_pixels() {
                 if t > self.unseen_threshold {
@@ -424,9 +423,9 @@ mod tests {
         let SamplingPlan::Pixels(b) = tracking_plan(strategy, &large, 9, None) else {
             panic!()
         };
-        let a_set: std::collections::HashSet<_> = a.samples().iter().copied().collect();
-        for p in b.samples().iter().filter(|p| (p.x as usize) < 64) {
-            assert!(a_set.contains(p), "pick {p:?} changed when the frame grew");
+        let a_set: std::collections::HashSet<_> = a.samples().collect();
+        for p in b.samples().filter(|p| (p.x as usize) < 64) {
+            assert!(a_set.contains(&p), "pick {p:?} changed when the frame grew");
         }
     }
 
@@ -556,7 +555,7 @@ mod tests {
         let sampler = MappingSampler::new(4, MappingStrategy::Combined);
         let set = sampler.build(&f, &t, 1);
         assert_eq!(set.sample_count(), 64); // 8x8 tiles
-        assert!(!set.extra().is_empty());
+        assert!(set.extra_count() > 0);
         for e in set.extra() {
             assert!((e.x as usize) < 8 && (e.y as usize) < 8);
         }
@@ -569,7 +568,7 @@ mod tests {
         let sampler = MappingSampler::new(4, MappingStrategy::UnseenOnly);
         let set = sampler.build(&f, &t, 1);
         assert_eq!(set.sample_count(), 0);
-        assert_eq!(set.extra().len(), 32);
+        assert_eq!(set.extra_count(), 32);
     }
 
     #[test]
@@ -579,12 +578,11 @@ mod tests {
         let sampler = MappingSampler::new(8, MappingStrategy::WeightedOnly);
         let set = sampler.build(&f, &t, 5);
         assert_eq!(set.sample_count(), 64);
-        assert!(set.extra().is_empty());
+        assert_eq!(set.extra_count(), 0);
         // In tiles straddling the texture boundary, the picked pixel should
         // lie in the textured part more often than not.
         let boundary_samples: Vec<_> = set
             .samples()
-            .iter()
             .filter(|p| (p.x as usize) >= 24 && (p.x as usize) < 40)
             .collect();
         let textured = boundary_samples
@@ -605,7 +603,7 @@ mod tests {
         let sampler = MappingSampler::new(4, MappingStrategy::RandomOnly);
         let set = sampler.build(&f, &t, 2);
         assert_eq!(set.sample_count(), 16);
-        assert!(set.extra().is_empty());
+        assert_eq!(set.extra_count(), 0);
     }
 
     #[test]

@@ -316,6 +316,12 @@ pub fn backward(
     // identical for every worker count.
     let groups = group_pixels_by_tile(pixels, tiles_x, tiles_y);
     let lookup = |id: u32| projected[proj_of_id[id as usize] as usize];
+    // SoA view for the vector backward kernel (bit-identical to `lookup` +
+    // `pixel_backward`; see `simd`).
+    let soa = (config.kernels.simd_active()
+        && crate::simd::soa_pays_off(pixels.len(), projected.len()))
+    .then(|| crate::simd::ProjectedSoA::build(&projected));
+    let soa = soa.as_ref();
     let threads = pool::resolve_threads(config.threads);
     let acc_pool: Mutex<Vec<CamGradAccumulator>> = Mutex::new(Vec::new());
 
@@ -384,16 +390,30 @@ pub fn backward(
             }
             // The gradient math itself (schedule-independent).
             for &(p, out_idx) in group {
-                let counts = pixel_backward(
-                    p.center(),
-                    &forward_result.contributions[out_idx],
-                    &lookup,
-                    loss_grads[out_idx].d_color,
-                    loss_grads[out_idx].d_depth,
-                    config,
-                    config.background,
-                    &mut acc,
-                );
+                let counts = if let Some(soa) = soa {
+                    crate::simd::pixel_backward_simd(
+                        p.center(),
+                        &forward_result.contributions[out_idx],
+                        soa,
+                        &proj_of_id,
+                        loss_grads[out_idx].d_color,
+                        loss_grads[out_idx].d_depth,
+                        config,
+                        config.background,
+                        &mut acc,
+                    )
+                } else {
+                    pixel_backward(
+                        p.center(),
+                        &forward_result.contributions[out_idx],
+                        &lookup,
+                        loss_grads[out_idx].d_color,
+                        loss_grads[out_idx].d_depth,
+                        config,
+                        config.background,
+                        &mut acc,
+                    )
+                };
                 part.pairs_grad += counts.pairs;
                 part.atomic_adds += counts.atomic_adds;
                 part.bytes_written += counts.pairs * bytes::GRADIENT;
@@ -635,9 +655,7 @@ mod tests {
         let cfg = RenderConfig::default();
         let (projected, _) = project_scene(&scene, &cam, &cfg);
         for pg in &projected {
-            let expect = cam
-                .project_point(scene.gaussians()[pg.id as usize].mean)
-                .unwrap();
+            let expect = cam.project_point(scene.means()[pg.id as usize]).unwrap();
             assert!((pg.mean2d - Vec2::new(expect.x, expect.y)).norm() < 1e-9);
         }
     }

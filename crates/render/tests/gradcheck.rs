@@ -49,10 +49,10 @@ fn reference() -> Frame {
     // Render the reference from a slightly perturbed scene so residuals are
     // non-zero but small (inside the Huber region).
     let mut perturbed = test_scene();
-    for g in perturbed.gaussians_mut() {
+    perturbed.update_each(|_, g| {
         g.mean += Vec3::new(0.01, -0.008, 0.012);
         g.color += Vec3::new(0.03, -0.02, 0.01);
-    }
+    });
     let pixels = PixelSet::dense(W, H);
     let out = render_forward(
         &perturbed,
@@ -126,9 +126,9 @@ fn mean_gradients_match_fd() {
         let g = sg.get(gid as u32).expect("gradient present");
         for k in 0..3 {
             let mut plus = scene.clone();
-            plus.gaussians_mut()[gid].mean[k] += eps;
+            plus.update(gid, |g| g.mean[k] += eps);
             let mut minus = scene.clone();
-            minus.gaussians_mut()[gid].mean[k] -= eps;
+            minus.update(gid, |g| g.mean[k] -= eps);
             let fd = (scalar_loss(&plus, &cam, &r) - scalar_loss(&minus, &cam, &r)) / (2.0 * eps);
             check(fd, g.mean[k], &format!("gaussian {gid} mean[{k}]"));
         }
@@ -149,16 +149,16 @@ fn color_gradients_match_fd() {
             let mut minus = scene.clone();
             match k {
                 0 => {
-                    plus.gaussians_mut()[gid].color.x += eps;
-                    minus.gaussians_mut()[gid].color.x -= eps;
+                    plus.update(gid, |g| g.color.x += eps);
+                    minus.update(gid, |g| g.color.x -= eps);
                 }
                 1 => {
-                    plus.gaussians_mut()[gid].color.y += eps;
-                    minus.gaussians_mut()[gid].color.y -= eps;
+                    plus.update(gid, |g| g.color.y += eps);
+                    minus.update(gid, |g| g.color.y -= eps);
                 }
                 _ => {
-                    plus.gaussians_mut()[gid].color.z += eps;
-                    minus.gaussians_mut()[gid].color.z -= eps;
+                    plus.update(gid, |g| g.color.z += eps);
+                    minus.update(gid, |g| g.color.z -= eps);
                 }
             }
             let fd = (scalar_loss(&plus, &cam, &r) - scalar_loss(&minus, &cam, &r)) / (2.0 * eps);
@@ -182,9 +182,9 @@ fn opacity_gradients_match_fd() {
     for gid in 0..scene.len() {
         let g = sg.get(gid as u32).unwrap();
         let mut plus = scene.clone();
-        plus.gaussians_mut()[gid].opacity_logit += eps;
+        plus.update(gid, |g| g.opacity_logit += eps);
         let mut minus = scene.clone();
-        minus.gaussians_mut()[gid].opacity_logit -= eps;
+        minus.update(gid, |g| g.opacity_logit -= eps);
         let fd = (scalar_loss(&plus, &cam, &r) - scalar_loss(&minus, &cam, &r)) / (2.0 * eps);
         check(
             fd,
@@ -205,9 +205,9 @@ fn scale_gradients_match_fd() {
         let g = sg.get(gid as u32).unwrap();
         for k in 0..3 {
             let mut plus = scene.clone();
-            plus.gaussians_mut()[gid].log_scale[k] += eps;
+            plus.update(gid, |g| g.log_scale[k] += eps);
             let mut minus = scene.clone();
-            minus.gaussians_mut()[gid].log_scale[k] -= eps;
+            minus.update(gid, |g| g.log_scale[k] -= eps);
             let fd = (scalar_loss(&plus, &cam, &r) - scalar_loss(&minus, &cam, &r)) / (2.0 * eps);
             check(
                 fd,
@@ -230,12 +230,16 @@ fn rotation_gradients_match_fd() {
         for k in 0..4 {
             let mut plus = scene.clone();
             let mut minus = scene.clone();
-            let mut qp = plus.gaussians_mut()[gid].rotation.to_array();
-            qp[k] += eps;
-            plus.gaussians_mut()[gid].rotation = Quat::from_array(qp);
-            let mut qm = minus.gaussians_mut()[gid].rotation.to_array();
-            qm[k] -= eps;
-            minus.gaussians_mut()[gid].rotation = Quat::from_array(qm);
+            plus.update(gid, |g| {
+                let mut q = g.rotation.to_array();
+                q[k] += eps;
+                g.rotation = Quat::from_array(q);
+            });
+            minus.update(gid, |g| {
+                let mut q = g.rotation.to_array();
+                q[k] -= eps;
+                g.rotation = Quat::from_array(q);
+            });
             let fd = (scalar_loss(&plus, &cam, &r) - scalar_loss(&minus, &cam, &r)) / (2.0 * eps);
             check(fd, g.rotation[k], &format!("gaussian {gid} rotation[{k}]"));
         }

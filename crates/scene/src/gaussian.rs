@@ -5,6 +5,16 @@
 //! and opacity are stored in unconstrained form (log-scale, logit-opacity) so
 //! the mapping optimizer can take raw gradient steps, matching the reference
 //! 3DGS implementation.
+//!
+//! # Memory layout
+//!
+//! [`GaussianScene`] stores the attributes **structure-of-arrays** (one
+//! parallel `Vec` per attribute, see DESIGN.md §13): the render hot loops
+//! (projection, α-checking) stream exactly the fields they touch, and the
+//! SIMD kernels in `splatonic-render` load contiguous lanes without
+//! gather steps. [`Gaussian`] remains the by-value exchange type — every
+//! accessor assembles or scatters one on the fly, which costs the same
+//! copies the old array-of-structs layout paid per element.
 
 use splatonic_math::{Mat3, Quat, Vec3};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,6 +48,9 @@ pub fn logit(p: f64) -> f64 {
 }
 
 /// A single trainable 3D Gaussian primitive.
+///
+/// This is the *by-value exchange type* for one scene element; the scene
+/// itself stores the fields structure-of-arrays (see [`GaussianScene`]).
 ///
 /// # Examples
 ///
@@ -124,7 +137,35 @@ impl Gaussian {
     }
 }
 
-/// The scene representation `{G_i}`: a growable set of Gaussians.
+/// Structure-of-arrays view handed out by [`GaussianScene::fields_mut`]:
+/// one mutable slice per attribute, all of equal length.
+///
+/// Borrowing this view conservatively advances the scene revision (the
+/// caller may write through any slice). The mapping optimizer uses it to
+/// apply per-parameter Adam deltas without reassembling whole Gaussians.
+#[derive(Debug)]
+pub struct SceneFieldsMut<'a> {
+    /// Mean positions in world coordinates.
+    pub means: &'a mut [Vec3],
+    /// Per-axis log-scales.
+    pub log_scales: &'a mut [Vec3],
+    /// Orientation quaternions.
+    pub rotations: &'a mut [Quat],
+    /// Logit-space opacities.
+    pub opacity_logits: &'a mut [f64],
+    /// RGB colors.
+    pub colors: &'a mut [Vec3],
+}
+
+/// The scene representation `{G_i}`: a growable set of Gaussians, stored
+/// structure-of-arrays.
+///
+/// Each attribute lives in its own parallel `Vec` ([`GaussianScene::means`],
+/// [`GaussianScene::rotations`], …); [`GaussianScene::get`] and
+/// [`GaussianScene::iter`] assemble [`Gaussian`] values on the fly. The
+/// array-of-structs boundary round-trips losslessly:
+/// [`GaussianScene::from_vec`] ∘ [`GaussianScene::to_vec`] is a bitwise
+/// identity (property-tested in this crate's test suite).
 ///
 /// # Examples
 ///
@@ -135,10 +176,15 @@ impl Gaussian {
 /// let mut scene = GaussianScene::new();
 /// scene.push(Gaussian::new(Vec3::ZERO, Vec3::splat(0.1), Quat::IDENTITY, 0.8, Vec3::splat(0.5)));
 /// assert_eq!(scene.len(), 1);
+/// assert_eq!(scene.means()[0], Vec3::ZERO);
 /// ```
 #[derive(Debug, Clone)]
 pub struct GaussianScene {
-    gaussians: Vec<Gaussian>,
+    means: Vec<Vec3>,
+    log_scales: Vec<Vec3>,
+    rotations: Vec<Quat>,
+    opacity_logits: Vec<f64>,
+    colors: Vec<Vec3>,
     /// Monotonic content-change token; see [`GaussianScene::revision`].
     revision: u64,
 }
@@ -147,7 +193,11 @@ pub struct GaussianScene {
 /// aid for caches, not part of the value.
 impl PartialEq for GaussianScene {
     fn eq(&self, other: &Self) -> bool {
-        self.gaussians == other.gaussians
+        self.means == other.means
+            && self.log_scales == other.log_scales
+            && self.rotations == other.rotations
+            && self.opacity_logits == other.opacity_logits
+            && self.colors == other.colors
     }
 }
 
@@ -161,7 +211,11 @@ impl GaussianScene {
     /// Creates an empty scene.
     pub fn new() -> Self {
         GaussianScene {
-            gaussians: Vec::new(),
+            means: Vec::new(),
+            log_scales: Vec::new(),
+            rotations: Vec::new(),
+            opacity_logits: Vec::new(),
+            colors: Vec::new(),
             revision: fresh_revision(),
         }
     }
@@ -169,12 +223,17 @@ impl GaussianScene {
     /// Creates a scene with pre-allocated capacity.
     pub fn with_capacity(n: usize) -> Self {
         GaussianScene {
-            gaussians: Vec::with_capacity(n),
+            means: Vec::with_capacity(n),
+            log_scales: Vec::with_capacity(n),
+            rotations: Vec::with_capacity(n),
+            opacity_logits: Vec::with_capacity(n),
+            colors: Vec::with_capacity(n),
             revision: fresh_revision(),
         }
     }
 
-    /// Builds a scene directly from a vector of Gaussians without copying.
+    /// Builds a scene from a vector of Gaussians (array-of-structs input;
+    /// scattered into the structure-of-arrays storage).
     ///
     /// Used by snapshot restore. The scene gets a *fresh* revision, never a
     /// restored one: revisions are process-unique identity tokens (see
@@ -182,20 +241,28 @@ impl GaussianScene {
     /// collide with a revision already handed out in this process, breaking
     /// the "equal revisions imply bitwise-equal Gaussians" cache contract.
     pub fn from_vec(gaussians: Vec<Gaussian>) -> Self {
-        GaussianScene {
-            gaussians,
-            revision: fresh_revision(),
+        let mut scene = GaussianScene::with_capacity(gaussians.len());
+        for g in gaussians {
+            scene.push_fields(g);
         }
+        scene
+    }
+
+    /// Gathers the scene back into an array-of-structs vector (snapshot
+    /// serialization). Bitwise inverse of [`GaussianScene::from_vec`].
+    pub fn to_vec(&self) -> Vec<Gaussian> {
+        (0..self.len()).map(|i| self.gaussian(i)).collect()
     }
 
     /// Process-unique token identifying the current contents of this scene.
     ///
     /// Every constructor draws a fresh value and every mutating accessor
-    /// (`push`, `gaussians_mut`, `retain`, `extend`) replaces it with a new
-    /// one, so *equal revisions imply bitwise-equal Gaussians*. Cloning
-    /// keeps the revision (contents are identical at clone time); the first
-    /// mutation of either copy separates them. The render-side projection
-    /// cache keys on this to detect scene changes in O(1).
+    /// (`push`, `fields_mut`, `set`, `update`, `retain`, `extend`) replaces
+    /// it with a new one, so *equal revisions imply bitwise-equal
+    /// Gaussians*. Cloning keeps the revision (contents are identical at
+    /// clone time); the first mutation of either copy separates them. The
+    /// render-side projection cache keys on this to detect scene changes
+    /// in O(1).
     #[inline]
     pub fn revision(&self) -> u64 {
         self.revision
@@ -204,89 +271,242 @@ impl GaussianScene {
     /// Number of Gaussians.
     #[inline]
     pub fn len(&self) -> usize {
-        self.gaussians.len()
+        self.means.len()
     }
 
     /// Returns `true` when the scene holds no Gaussians.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.gaussians.is_empty()
+        self.means.is_empty()
+    }
+
+    /// Scatters one Gaussian's fields without touching the revision.
+    #[inline]
+    fn push_fields(&mut self, g: Gaussian) {
+        self.means.push(g.mean);
+        self.log_scales.push(g.log_scale);
+        self.rotations.push(g.rotation);
+        self.opacity_logits.push(g.opacity_logit);
+        self.colors.push(g.color);
     }
 
     /// Appends a Gaussian, returning its index.
     pub fn push(&mut self, g: Gaussian) -> usize {
         self.revision = fresh_revision();
-        self.gaussians.push(g);
-        self.gaussians.len() - 1
+        self.push_fields(g);
+        self.means.len() - 1
     }
 
-    /// Immutable view of the Gaussians.
+    /// Mean positions, indexed by Gaussian id.
     #[inline]
-    pub fn gaussians(&self) -> &[Gaussian] {
-        &self.gaussians
+    pub fn means(&self) -> &[Vec3] {
+        &self.means
     }
 
-    /// Mutable view of the Gaussians (used by the mapping optimizer).
+    /// Per-axis log-scales, indexed by Gaussian id.
+    #[inline]
+    pub fn log_scales(&self) -> &[Vec3] {
+        &self.log_scales
+    }
+
+    /// Orientation quaternions, indexed by Gaussian id.
+    #[inline]
+    pub fn rotations(&self) -> &[Quat] {
+        &self.rotations
+    }
+
+    /// Logit-space opacities, indexed by Gaussian id.
+    #[inline]
+    pub fn opacity_logits(&self) -> &[f64] {
+        &self.opacity_logits
+    }
+
+    /// RGB colors, indexed by Gaussian id.
+    #[inline]
+    pub fn colors(&self) -> &[Vec3] {
+        &self.colors
+    }
+
+    /// Mutable structure-of-arrays view (used by the mapping optimizer).
     ///
     /// Conservatively advances the revision: handing out mutable access
     /// *may* change contents, and the cache contract only requires that
     /// equal revisions imply equal contents.
-    #[inline]
-    pub fn gaussians_mut(&mut self) -> &mut [Gaussian] {
+    pub fn fields_mut(&mut self) -> SceneFieldsMut<'_> {
         self.revision = fresh_revision();
-        &mut self.gaussians
+        SceneFieldsMut {
+            means: &mut self.means,
+            log_scales: &mut self.log_scales,
+            rotations: &mut self.rotations,
+            opacity_logits: &mut self.opacity_logits,
+            colors: &mut self.colors,
+        }
     }
 
-    /// Immutable access by index.
-    pub fn get(&self, i: usize) -> Option<&Gaussian> {
-        self.gaussians.get(i)
+    /// Assembles the Gaussian at index `i` by value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds; use [`GaussianScene::get`] for the
+    /// fallible variant.
+    #[inline]
+    pub fn gaussian(&self, i: usize) -> Gaussian {
+        Gaussian {
+            mean: self.means[i],
+            log_scale: self.log_scales[i],
+            rotation: self.rotations[i],
+            opacity_logit: self.opacity_logits[i],
+            color: self.colors[i],
+        }
+    }
+
+    /// Assembles the Gaussian at index `i` by value, or `None` when out of
+    /// bounds.
+    pub fn get(&self, i: usize) -> Option<Gaussian> {
+        if i < self.len() {
+            Some(self.gaussian(i))
+        } else {
+            None
+        }
+    }
+
+    /// Overwrites the Gaussian at index `i` (scattering its fields).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn set(&mut self, i: usize, g: Gaussian) {
+        self.revision = fresh_revision();
+        self.means[i] = g.mean;
+        self.log_scales[i] = g.log_scale;
+        self.rotations[i] = g.rotation;
+        self.opacity_logits[i] = g.opacity_logit;
+        self.colors[i] = g.color;
+    }
+
+    /// Applies `f` to the Gaussian at index `i` (gather → mutate →
+    /// scatter). Convenience for tests and perturbation-style callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn update(&mut self, i: usize, f: impl FnOnce(&mut Gaussian)) {
+        let mut g = self.gaussian(i);
+        f(&mut g);
+        self.set(i, g);
+    }
+
+    /// Applies `f` to every Gaussian in index order.
+    pub fn update_each(&mut self, mut f: impl FnMut(usize, &mut Gaussian)) {
+        self.revision = fresh_revision();
+        for i in 0..self.len() {
+            let mut g = self.gaussian(i);
+            f(i, &mut g);
+            self.means[i] = g.mean;
+            self.log_scales[i] = g.log_scale;
+            self.rotations[i] = g.rotation;
+            self.opacity_logits[i] = g.opacity_logit;
+            self.colors[i] = g.color;
+        }
     }
 
     /// Retains only Gaussians satisfying the predicate (pruning).
-    pub fn retain(&mut self, f: impl FnMut(&Gaussian) -> bool) {
+    ///
+    /// All attribute arrays are compacted in lockstep, preserving the
+    /// relative order of survivors.
+    pub fn retain(&mut self, mut f: impl FnMut(&Gaussian) -> bool) {
         self.revision = fresh_revision();
-        self.gaussians.retain(f);
+        let n = self.len();
+        let mut write = 0usize;
+        for read in 0..n {
+            let g = self.gaussian(read);
+            if f(&g) {
+                if write != read {
+                    self.means[write] = self.means[read];
+                    self.log_scales[write] = self.log_scales[read];
+                    self.rotations[write] = self.rotations[read];
+                    self.opacity_logits[write] = self.opacity_logits[read];
+                    self.colors[write] = self.colors[read];
+                }
+                write += 1;
+            }
+        }
+        self.means.truncate(write);
+        self.log_scales.truncate(write);
+        self.rotations.truncate(write);
+        self.opacity_logits.truncate(write);
+        self.colors.truncate(write);
     }
 
-    /// Iterates over the Gaussians.
-    pub fn iter(&self) -> std::slice::Iter<'_, Gaussian> {
-        self.gaussians.iter()
+    /// Iterates over the Gaussians by value, in index order.
+    pub fn iter(&self) -> SceneIter<'_> {
+        SceneIter {
+            scene: self,
+            next: 0,
+        }
     }
 
     /// Axis-aligned bounding box of all means, or `None` when empty.
     pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
-        let first = self.gaussians.first()?;
-        let mut lo = first.mean;
-        let mut hi = first.mean;
-        for g in &self.gaussians {
-            lo = lo.min(g.mean);
-            hi = hi.max(g.mean);
+        let first = self.means.first()?;
+        let mut lo = *first;
+        let mut hi = *first;
+        for m in &self.means {
+            lo = lo.min(*m);
+            hi = hi.max(*m);
         }
         Some((lo, hi))
     }
 }
 
+/// By-value iterator over a scene's Gaussians (see [`GaussianScene::iter`]).
+#[derive(Debug, Clone)]
+pub struct SceneIter<'a> {
+    scene: &'a GaussianScene,
+    next: usize,
+}
+
+impl Iterator for SceneIter<'_> {
+    type Item = Gaussian;
+
+    fn next(&mut self) -> Option<Gaussian> {
+        let g = self.scene.get(self.next)?;
+        self.next += 1;
+        Some(g)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.scene.len().saturating_sub(self.next);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SceneIter<'_> {}
+
 impl FromIterator<Gaussian> for GaussianScene {
     fn from_iter<I: IntoIterator<Item = Gaussian>>(iter: I) -> Self {
-        GaussianScene {
-            gaussians: iter.into_iter().collect(),
-            revision: fresh_revision(),
+        let mut scene = GaussianScene::new();
+        for g in iter {
+            scene.push_fields(g);
         }
+        scene
     }
 }
 
 impl Extend<Gaussian> for GaussianScene {
     fn extend<I: IntoIterator<Item = Gaussian>>(&mut self, iter: I) {
         self.revision = fresh_revision();
-        self.gaussians.extend(iter);
+        for g in iter {
+            self.push_fields(g);
+        }
     }
 }
 
 impl<'a> IntoIterator for &'a GaussianScene {
-    type Item = &'a Gaussian;
-    type IntoIter = std::slice::Iter<'a, Gaussian>;
+    type Item = Gaussian;
+    type IntoIter = SceneIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.gaussians.iter()
+        self.iter()
     }
 }
 
@@ -410,6 +630,27 @@ mod tests {
     }
 
     #[test]
+    fn retain_compacts_all_arrays_in_lockstep() {
+        let gs: Vec<Gaussian> = (0..6)
+            .map(|i| {
+                Gaussian::new(
+                    Vec3::new(i as f64, -(i as f64), 1.0 + i as f64),
+                    Vec3::splat(0.05 + 0.01 * i as f64),
+                    Quat::from_axis_angle(Vec3::Y, 0.1 * i as f64),
+                    0.3 + 0.1 * i as f64,
+                    Vec3::splat(i as f64 / 6.0),
+                )
+            })
+            .collect();
+        let mut scene = GaussianScene::from_vec(gs.clone());
+        scene.retain(|g| (g.mean.x as usize).is_multiple_of(2));
+        assert_eq!(scene.len(), 3);
+        for (k, want_idx) in [0usize, 2, 4].iter().enumerate() {
+            assert_eq!(scene.gaussian(k), gs[*want_idx]);
+        }
+    }
+
+    #[test]
     fn scene_bounds() {
         let mut scene = GaussianScene::new();
         assert!(scene.bounds().is_none());
@@ -459,14 +700,17 @@ mod tests {
         let r1 = scene.revision();
         assert_ne!(r0, r1);
         // Read-only access keeps the revision.
-        let _ = scene.gaussians();
+        let _ = scene.means();
         let _ = scene.len();
         assert_eq!(scene.revision(), r1);
-        scene.gaussians_mut()[0].opacity_logit += 0.1;
+        scene.update(0, |g| g.opacity_logit += 0.1);
         let r2 = scene.revision();
         assert_ne!(r1, r2);
         scene.retain(|_| true);
         assert_ne!(scene.revision(), r2);
+        let r3 = scene.revision();
+        let _ = scene.fields_mut();
+        assert_ne!(scene.revision(), r3);
         // Two scenes never share a revision, even when equal in content.
         let a = GaussianScene::new();
         let b = GaussianScene::new();
@@ -475,6 +719,45 @@ mod tests {
         // Clones share the revision until one of them is mutated.
         let c = scene.clone();
         assert_eq!(c.revision(), scene.revision());
+    }
+
+    #[test]
+    fn fields_mut_writes_through() {
+        let mut scene = GaussianScene::from_vec(vec![sample(), sample()]);
+        {
+            let fields = scene.fields_mut();
+            fields.means[1].x = 42.0;
+            fields.opacity_logits[0] = -1.25;
+            fields.colors[1].z = 0.125;
+        }
+        assert_eq!(scene.gaussian(1).mean.x, 42.0);
+        assert_eq!(scene.gaussian(0).opacity_logit, -1.25);
+        assert_eq!(scene.gaussian(1).color.z, 0.125);
+    }
+
+    #[test]
+    fn soa_aos_round_trip_is_bitwise() {
+        let gs: Vec<Gaussian> = (0..32)
+            .map(|i| {
+                Gaussian::new(
+                    Vec3::new(0.31 * i as f64, -0.17 * i as f64, 1.0 + 0.09 * i as f64),
+                    Vec3::new(0.02 + 0.003 * i as f64, 0.05, 0.07),
+                    Quat::from_axis_angle(Vec3::new(1.0, 0.5, -0.25), 0.13 * i as f64),
+                    0.2 + 0.02 * i as f64,
+                    Vec3::new(0.1, 0.5, 0.9),
+                )
+            })
+            .collect();
+        let scene = GaussianScene::from_vec(gs.clone());
+        let back = scene.to_vec();
+        assert_eq!(back.len(), gs.len());
+        for (a, b) in gs.iter().zip(&back) {
+            // Bitwise, not approximate: SoA↔AoS must be lossless.
+            assert_eq!(a.mean.x.to_bits(), b.mean.x.to_bits());
+            assert_eq!(a.log_scale.z.to_bits(), b.log_scale.z.to_bits());
+            assert_eq!(a.opacity_logit.to_bits(), b.opacity_logit.to_bits());
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

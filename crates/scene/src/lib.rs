@@ -23,6 +23,10 @@
 //! assert!(world.scene.len() > 100);
 //! ```
 
+// Every public item must carry a doc comment; config knobs additionally
+// document their default and bit-exactness contract (DESIGN.md §13).
+#![warn(missing_docs)]
+
 pub mod camera;
 pub mod frame;
 pub mod gaussian;

@@ -400,14 +400,14 @@ mod tests {
         let a = WorldBuilder::new(5).gaussian_spacing(0.5).build();
         let b = WorldBuilder::new(5).gaussian_spacing(0.5).build();
         assert_eq!(a.scene.len(), b.scene.len());
-        assert_eq!(a.scene.gaussians()[0], b.scene.gaussians()[0]);
+        assert_eq!(a.scene.gaussian(0), b.scene.gaussian(0));
     }
 
     #[test]
     fn different_seeds_produce_different_worlds() {
         let a = WorldBuilder::new(5).gaussian_spacing(0.5).build();
         let b = WorldBuilder::new(6).gaussian_spacing(0.5).build();
-        assert_ne!(a.scene.gaussians()[0], b.scene.gaussians()[0]);
+        assert_ne!(a.scene.gaussian(0), b.scene.gaussian(0));
     }
 
     #[test]

@@ -288,11 +288,10 @@ pub fn map_scene_with_state(
             sparse.push((base + 12, g.color.y));
             sparse.push((base + 13, g.color.z));
         }
-        let gaussians = scene.gaussians_mut();
+        let fields = scene.fields_mut();
         adam.step(&sparse, &lr, |idx, mut delta| {
             let gid = idx / PARAMS_PER_GAUSSIAN;
             let k = idx % PARAMS_PER_GAUSSIAN;
-            let g = &mut gaussians[gid];
             // Per-group learning-rate scaling relative to the base Adam lr.
             let scale = match k {
                 0..=2 => algo.mean_lr,
@@ -303,20 +302,20 @@ pub fn map_scene_with_state(
             } / lr.lr;
             delta *= scale;
             match k {
-                0 => g.mean.x += delta,
-                1 => g.mean.y += delta,
-                2 => g.mean.z += delta,
-                3 => g.log_scale.x += delta,
-                4 => g.log_scale.y += delta,
-                5 => g.log_scale.z += delta,
-                6 => g.rotation.w += delta,
-                7 => g.rotation.x += delta,
-                8 => g.rotation.y += delta,
-                9 => g.rotation.z += delta,
-                10 => g.opacity_logit += delta,
-                11 => g.color.x += delta,
-                12 => g.color.y += delta,
-                _ => g.color.z += delta,
+                0 => fields.means[gid].x += delta,
+                1 => fields.means[gid].y += delta,
+                2 => fields.means[gid].z += delta,
+                3 => fields.log_scales[gid].x += delta,
+                4 => fields.log_scales[gid].y += delta,
+                5 => fields.log_scales[gid].z += delta,
+                6 => fields.rotations[gid].w += delta,
+                7 => fields.rotations[gid].x += delta,
+                8 => fields.rotations[gid].y += delta,
+                9 => fields.rotations[gid].z += delta,
+                10 => fields.opacity_logits[gid] += delta,
+                11 => fields.colors[gid].x += delta,
+                12 => fields.colors[gid].y += delta,
+                _ => fields.colors[gid].z += delta,
             }
         });
     }

@@ -114,8 +114,10 @@ impl SlamConfig {
     ///
     /// Execution knobs that are bitwise-transparent by contract are
     /// deliberately excluded — `render.threads`, `render.binning`,
-    /// `render.cache`, `render.bin_size`, and `checkpoint_every` itself —
-    /// so a snapshot taken at one thread width resumes at any other.
+    /// `render.cache`, `render.bin_size`, `render.kernels` (scalar and SIMD
+    /// kernels are bit-identical, DESIGN.md §13), and `checkpoint_every`
+    /// itself — so a snapshot taken at one thread width or kernel mode
+    /// resumes at any other.
     pub fn fingerprint(&self) -> u64 {
         let mut buf: Vec<u8> = Vec::with_capacity(256);
         let u = |buf: &mut Vec<u8>, v: u64| buf.extend_from_slice(&v.to_le_bytes());
@@ -393,7 +395,7 @@ impl SlamSystem {
             config_fingerprint: cfg.fingerprint(),
             next_frame: 0,
             scene_revision: self.scene.revision(),
-            gaussians: self.scene.gaussians().to_vec(),
+            gaussians: self.scene.to_vec(),
             est_poses: Vec::new(),
             keyframes: Vec::new(),
             adam_t: 0,

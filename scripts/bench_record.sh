@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Records a scalar-vs-SIMD kernel benchmark pair into BENCH_kernels.json.
+#
+# Runs the `kernels` micro-benchmark binary twice — once with `--scalar`
+# (the bit-exactness oracle) and once with `--simd` (the vector kernels,
+# DESIGN.md §13) — and appends one dated entry holding both runs' span
+# timings plus the derived per-kernel speedups. The file is a trajectory:
+# each commit that touches the hot kernels should append an entry so the
+# history of the scalar/SIMD gap stays reviewable in-repo.
+#
+# Usage: bench_record.sh [--iters N] [--out BENCH_kernels.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ITERS=50
+OUT=BENCH_kernels.json
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --iters) ITERS="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --release -p splatonic-bench --bin kernels
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "[bench_record] scalar pass (${ITERS} iters)..."
+./target/release/kernels --iters "$ITERS" --scalar \
+  --report "$TMP/scalar.json" >/dev/null
+echo "[bench_record] simd pass (${ITERS} iters)..."
+./target/release/kernels --iters "$ITERS" --simd \
+  --report "$TMP/simd.json" >/dev/null
+
+python3 - "$TMP/scalar.json" "$TMP/simd.json" "$OUT" "$ITERS" <<'EOF'
+import json
+import sys
+import time
+
+scalar = json.load(open(sys.argv[1]))
+simd = json.load(open(sys.argv[2]))
+out_path = sys.argv[3]
+iters = int(sys.argv[4])
+
+# The per-kernel micro-spans plus the end-to-end schedule spans: enough to
+# read both where the speedup comes from and what it buys overall.
+SPANS = [
+    "kernel/project",
+    "kernel/alpha_check",
+    "kernel/composite",
+    "kernel/gradient",
+    "forward/pixel_dense",
+    "forward/pixel_sparse16",
+    "forward/tile_dense",
+    "forward/tile_sparse16",
+    "backward/pixel_sparse16",
+]
+
+
+def times(report):
+    out = {}
+    for name in SPANS:
+        span = report["spans"].get(name)
+        if span is None:
+            sys.exit(f"bench_record: span {name} missing from report")
+        out[name] = round(span["total_ms"], 3)
+    return out
+
+
+scalar_ms = times(scalar)
+simd_ms = times(simd)
+entry = {
+    "date": time.strftime("%Y-%m-%d", time.gmtime()),
+    "iters": iters,
+    "simd_lanes": int(simd["gauges"]["render/simd_lanes"]),
+    "scalar_ms": scalar_ms,
+    "simd_ms": simd_ms,
+    "speedup": {
+        name: round(scalar_ms[name] / simd_ms[name], 2) if simd_ms[name] > 0 else None
+        for name in SPANS
+    },
+}
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {
+        "description": (
+            "Scalar-vs-SIMD kernel timing trajectory (scripts/bench_record.sh). "
+            "Spans are total_ms over `iters` iterations of the `kernels` "
+            "micro-benchmark; speedup = scalar_ms / simd_ms. Both modes "
+            "produce bit-identical output (DESIGN.md §13), so only wall "
+            "time differs. Timings are machine-dependent; compare entries "
+            "recorded on comparable hosts."
+        ),
+        "entries": [],
+    }
+doc["entries"].append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"bench_record: appended entry {len(doc['entries'])} to {out_path}")
+for name in SPANS:
+    s = entry["speedup"][name]
+    print(f"  {name:24s} scalar {scalar_ms[name]:9.2f} ms  "
+          f"simd {simd_ms[name]:9.2f} ms  speedup {s if s else 'n/a'}x")
+EOF

@@ -43,13 +43,15 @@ FRAME_EXACT_FIELDS = [
     "cache_invalidations",
 ]
 FRAME_FLOAT_FIELDS = ["psnr_db", "ate_so_far_cm"]
-SKIP_PREFIXES = ("pool/",)
+# pool/ is worker timing; render/simd_lanes is the host vector width (4 with
+# AVX2, 2 on NEON, 1 scalar) — present on both sides but value-skipped.
+SKIP_PREFIXES = ("pool/", "render/simd_lanes")
 
 # Instrumentation the report run must carry regardless of what the baseline
 # happens to contain — a dropped checkpoint subsystem must fail the gate
 # even if both sides lost the keys together.
 REQUIRED_COUNTERS = ["slam/checkpoints_written"]
-REQUIRED_GAUGES = ["slam/snapshot_bytes"]
+REQUIRED_GAUGES = ["slam/snapshot_bytes", "render/simd_lanes"]
 
 
 def machine_dependent(name):
@@ -138,6 +140,12 @@ def check(report, baseline):
     }
     for name in sorted(set(spans_b) - set(spans_r)):
         err(f"spans.{name}: missing from report")
+    # A span only the report carries is just as suspicious as one only the
+    # baseline carries: it means instrumentation changed without the
+    # baseline being regenerated, and its timing would go ungated.
+    for name in sorted(set(spans_r) - set(spans_b)):
+        err(f"spans.{name}: not in baseline; "
+            "regenerate scripts/bench_baseline.json")
     for name in sorted(set(spans_r) & set(spans_b)):
         r, b = spans_r[name], spans_b[name]
         if r.get("count") != b.get("count"):
@@ -145,12 +153,19 @@ def check(report, baseline):
                 f"spans.{name}.count: report {r.get('count')} "
                 f"!= baseline {b.get('count')}"
             )
-        limit = max(b.get("total_ms", 0.0) * TIMING_MULT, TIMING_FLOOR_MS)
-        if r.get("total_ms", 0.0) > limit:
+        # A span record without total_ms must hard-fail, not default to a
+        # value that trivially passes the timing bound.
+        for side, rec in (("report", r), ("baseline", b)):
+            if "total_ms" not in rec:
+                err(f"spans.{name}.total_ms: missing from {side}")
+        if "total_ms" not in r or "total_ms" not in b:
+            continue
+        limit = max(b["total_ms"] * TIMING_MULT, TIMING_FLOOR_MS)
+        if r["total_ms"] > limit:
             err(
-                f"spans.{name}.total_ms: report {r.get('total_ms'):.2f} ms "
+                f"spans.{name}.total_ms: report {r['total_ms']:.2f} ms "
                 f"exceeds {TIMING_MULT}x baseline "
-                f"({b.get('total_ms'):.2f} ms, limit {limit:.2f} ms)"
+                f"({b['total_ms']:.2f} ms, limit {limit:.2f} ms)"
             )
 
     # Gauges: hardware-model outputs are deterministic functions of the
@@ -168,8 +183,13 @@ def check(report, baseline):
         tol = GAUGE_REL_TOL * max(abs(r), abs(b), 1.0)
         if abs(r - b) > tol:
             err(f"gauges.{name}: report {r} vs baseline {b} (tol {tol:.3g})")
+    # Required gauges may be machine-dependent (value-skipped above), so
+    # presence is checked against the unfiltered reports.
     for name in REQUIRED_GAUGES:
-        for side, data in (("report", gauges_r), ("baseline", gauges_b)):
+        for side, data in (
+            ("report", report.get("gauges", {})),
+            ("baseline", baseline.get("gauges", {})),
+        ):
             if name not in data:
                 err(f"gauges.{name}: required, missing from {side}")
 

@@ -28,6 +28,12 @@ SPLATONIC_THREADS=4 cargo test --workspace --release -q
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (math, scene, render; warnings are errors) =="
+# The three crates with #![warn(missing_docs)]: every public item must be
+# documented and every intra-doc link must resolve (DESIGN.md §13).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p splatonic-math -p splatonic-scene -p splatonic-render
+
 echo "== scripts/fault_inject.sh (kill/resume bitwise + corruption gate) =="
 # Cross-process checkpoint/resume: kill mid-run, resume from the snapshot,
 # assert bitwise-identical results at widths 1, 4, and auto (DESIGN.md §12).

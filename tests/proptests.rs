@@ -412,3 +412,47 @@ fn snapshot_round_trip_is_byte_identity() {
         }
     });
 }
+
+/// The SoA scene store is a lossless transpose of the AoS `Gaussian` list:
+/// scattering any list into `GaussianScene` columns and gathering it back
+/// must reproduce every field bit-for-bit, in order (DESIGN.md §13). The
+/// SIMD kernels rely on this to treat either layout as the same scene.
+#[test]
+fn scene_soa_aos_round_trip_is_lossless() {
+    for_each_case(0x50a0_a05a, |case, rng| {
+        let scene = arb_scene(rng, 1, 40);
+        let aos = scene.to_vec();
+        assert_eq!(aos.len(), scene.len(), "case {case}: length");
+        let rebuilt = GaussianScene::from_vec(aos);
+        assert_eq!(rebuilt.len(), scene.len(), "case {case}: rebuilt length");
+        for (i, (a, b)) in scene.iter().zip(rebuilt.iter()).enumerate() {
+            let pairs = [
+                (a.mean.x, b.mean.x),
+                (a.mean.y, b.mean.y),
+                (a.mean.z, b.mean.z),
+                (a.log_scale.x, b.log_scale.x),
+                (a.log_scale.y, b.log_scale.y),
+                (a.log_scale.z, b.log_scale.z),
+                (a.opacity_logit, b.opacity_logit),
+                (a.color.x, b.color.x),
+                (a.color.y, b.color.y),
+                (a.color.z, b.color.z),
+            ];
+            for (k, (fa, fb)) in pairs.into_iter().enumerate() {
+                assert_eq!(
+                    fa.to_bits(),
+                    fb.to_bits(),
+                    "case {case}: gaussian {i} field {k}"
+                );
+            }
+            let (qa, qb) = (a.rotation.to_array(), b.rotation.to_array());
+            for k in 0..4 {
+                assert_eq!(
+                    qa[k].to_bits(),
+                    qb[k].to_bits(),
+                    "case {case}: gaussian {i} rotation[{k}]"
+                );
+            }
+        }
+    });
+}
