@@ -6,6 +6,12 @@
 //!   fault_inject resume  --dir D
 //!   fault_inject corrupt --dir D
 //!
+//! `run` and `resume` additionally accept `--trace-out <path>` (Chrome
+//! trace-event JSON; in `run` mode it is written just before the simulated
+//! crash) and `--events-out <path>` (JSONL event stream, flushed per line —
+//! so the stream written up to the kill point survives the crash, which is
+//! the whole point of a live-tailing format).
+//!
 //! `run` executes SLAM frame by frame, writing a snapshot to `--dir` on the
 //! checkpoint cadence, then simulates a crash by exiting with code 21
 //! immediately after frame `K` — no finalize, no cleanup. `resume` loads the
@@ -23,9 +29,57 @@ use splatonic_bench::Settings;
 use splatonic_math::Pose;
 use splatonic_slam::prelude::*;
 use splatonic_slam::snapshot::HEADER_LEN;
-use splatonic_telemetry::Telemetry;
+use splatonic_telemetry::{Telemetry, TraceSession};
 use std::path::{Path, PathBuf};
 use std::process::exit;
+
+/// Trace/event export options shared by the `run` and `resume` modes.
+#[derive(Default)]
+struct TraceFlags {
+    trace_out: Option<PathBuf>,
+    events_out: Option<PathBuf>,
+}
+
+impl TraceFlags {
+    fn parse(args: &[String]) -> TraceFlags {
+        TraceFlags {
+            trace_out: arg_value(args, "--trace-out").map(PathBuf::from),
+            events_out: arg_value(args, "--events-out").map(PathBuf::from),
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.trace_out.is_some() || self.events_out.is_some()
+    }
+
+    /// Enabled telemetry (with the event stream attached) plus a trace
+    /// session when exports were requested; disabled telemetry otherwise.
+    fn telemetry(&self) -> (Telemetry, Option<TraceSession>) {
+        if !self.any() {
+            return (Telemetry::disabled(), None);
+        }
+        let telemetry = Telemetry::enabled();
+        if let Some(path) = &self.events_out {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("[fault_inject] failed to create {}: {e}", path.display());
+                exit(1);
+            });
+            telemetry.stream_events_to(Box::new(std::io::BufWriter::new(file)));
+        }
+        let session = self.trace_out.as_ref().map(|_| TraceSession::begin());
+        (telemetry, session)
+    }
+
+    fn write_trace(&self, telemetry: &Telemetry, session: &Option<TraceSession>) {
+        if let (Some(path), Some(session)) = (&self.trace_out, session) {
+            if let Err(e) = telemetry.write_chrome_trace(session, path) {
+                eprintln!("[fault_inject] failed to write {}: {e}", path.display());
+                exit(1);
+            }
+            eprintln!("[fault_inject] trace written to {}", path.display());
+        }
+    }
+}
 
 /// Exit code the `run` mode uses for the simulated crash; the shell harness
 /// asserts it to distinguish the planned kill from a real failure.
@@ -67,7 +121,7 @@ fn pose_bits(p: &Pose) -> Vec<u64> {
     v
 }
 
-fn run_mode(dir: &Path, kill_at: usize, checkpoint_every: usize) {
+fn run_mode(dir: &Path, kill_at: usize, checkpoint_every: usize, flags: &TraceFlags) {
     std::fs::create_dir_all(dir).expect("create snapshot dir");
     let d = dataset();
     assert!(
@@ -76,7 +130,7 @@ fn run_mode(dir: &Path, kill_at: usize, checkpoint_every: usize) {
         d.len()
     );
     let mut sys = SlamSystem::new(config(checkpoint_every), d.intrinsics);
-    let telemetry = Telemetry::disabled();
+    let (telemetry, trace_session) = flags.telemetry();
     while let Some(t) = sys.step_frame(&d, &telemetry) {
         if t.is_multiple_of(checkpoint_every) {
             let snap = sys.checkpoint();
@@ -89,14 +143,17 @@ fn run_mode(dir: &Path, kill_at: usize, checkpoint_every: usize) {
         }
         if t == kill_at {
             eprintln!("[fault_inject] simulated crash after frame {t} (exit {KILL_EXIT_CODE})");
-            // A real crash runs no destructors either.
+            // The trace must be serialized before the kill — a crash runs no
+            // destructors. The JSONL stream needs nothing: it is flushed per
+            // line, so everything up to this frame is already on disk.
+            flags.write_trace(&telemetry, &trace_session);
             exit(KILL_EXIT_CODE as i32);
         }
     }
     unreachable!("kill-at frame must be reached before the dataset ends");
 }
 
-fn resume_mode(dir: &Path) {
+fn resume_mode(dir: &Path, flags: &TraceFlags) {
     let path = latest_snapshot(dir).unwrap_or_else(|| {
         eprintln!("[fault_inject] no snapshot found in {}", dir.display());
         exit(1);
@@ -110,7 +167,8 @@ fn resume_mode(dir: &Path) {
     );
     let mut resumed = SlamSystem::resume(config(0), d.intrinsics, &d, &snap)
         .expect("snapshot must resume under the original config");
-    let r = resumed.run(&d);
+    let (telemetry, trace_session) = flags.telemetry();
+    let r = resumed.run_with_telemetry(&d, &telemetry);
 
     let mut uninterrupted = SlamSystem::new(config(0), d.intrinsics);
     let full = uninterrupted.run(&d);
@@ -150,6 +208,7 @@ fn resume_mode(dir: &Path) {
         eprintln!("[fault_inject] resumed run diverged ({failures} mismatches)");
         exit(1);
     }
+    flags.write_trace(&telemetry, &trace_session);
     println!(
         "fault_inject resume: bitwise identical (ate {:.4} cm, psnr {:.2} dB, {} frames)",
         r.ate_cm, r.psnr_db, r.frames
@@ -246,9 +305,9 @@ fn main() {
                 .parse()
                 .expect("--checkpoint-every must be an integer");
             assert!(every > 0, "--checkpoint-every must be positive");
-            run_mode(&dir, kill_at, every);
+            run_mode(&dir, kill_at, every, &TraceFlags::parse(&args));
         }
-        "resume" => resume_mode(&dir),
+        "resume" => resume_mode(&dir, &TraceFlags::parse(&args)),
         "corrupt" => corrupt_mode(&dir),
         other => {
             eprintln!("unknown mode {other:?}; expected run | resume | corrupt");

@@ -6,6 +6,7 @@
 //!   figures --list
 //!   figures --report BENCH_smoke.json [--quick]
 //!   figures --report out.json --checkpoint-every 4 --checkpoint-dir snaps/
+//!   figures --trace-out trace.json --events-out events.jsonl [--quick]
 //!
 //! `--report <path>` runs a fully-instrumented SLAM pass plus hardware
 //! pricing and writes a machine-readable run report (spans, workload
@@ -15,6 +16,12 @@
 //! `--checkpoint-every N` overrides the report run's checkpoint cadence and
 //! `--checkpoint-dir D` additionally writes each snapshot to `D` (one
 //! `ckpt_<frame>.snap` per cut) instead of keeping them in memory.
+//!
+//! `--trace-out <path>` writes a Chrome trace-event JSON of the
+//! instrumented pass (open in Perfetto or `chrome://tracing`) and
+//! `--events-out <path>` streams a JSONL event log (one record per span,
+//! frame, counter — flushed per line, so `tail -f` follows the run live).
+//! Either flag triggers the instrumented pass even without `--report`.
 
 use splatonic_bench::{report, run_experiment, Settings, EXPERIMENTS};
 
@@ -50,6 +57,9 @@ fn main() {
         })
         .unwrap_or(4);
     let checkpoint_dir = flag_value("--checkpoint-dir").map(std::path::PathBuf::from);
+    let trace_out = flag_value("--trace-out").map(std::path::PathBuf::from);
+    let events_out = flag_value("--events-out").map(std::path::PathBuf::from);
+    let instrument = report_path.is_some() || trace_out.is_some() || events_out.is_some();
     let mut ids: Vec<&str> = {
         let mut skip_next = false;
         args.iter()
@@ -58,7 +68,15 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if ["--report", "--checkpoint-every", "--checkpoint-dir"].contains(&a.as_str()) {
+                if [
+                    "--report",
+                    "--checkpoint-every",
+                    "--checkpoint-dir",
+                    "--trace-out",
+                    "--events-out",
+                ]
+                .contains(&a.as_str())
+                {
                     skip_next = true;
                     return false;
                 }
@@ -67,7 +85,7 @@ fn main() {
             .map(String::as_str)
             .collect()
     };
-    if ids.contains(&"all") || (ids.is_empty() && report_path.is_none()) {
+    if ids.contains(&"all") || (ids.is_empty() && !instrument) {
         ids = EXPERIMENTS.to_vec();
     }
     for id in ids {
@@ -81,27 +99,41 @@ fn main() {
             start.elapsed().as_secs_f64()
         );
     }
-    if let Some(path) = report_path {
+    if instrument {
         let start = std::time::Instant::now();
         eprintln!("[figures] running instrumented report pass...");
-        let name = std::path::Path::new(&path)
-            .file_stem()
+        let name = report_path
+            .as_deref()
+            .and_then(|p| std::path::Path::new(p).file_stem())
             .and_then(|s| s.to_str())
             .unwrap_or("bench")
             .to_string();
-        let run = report::instrumented_run_with_checkpoints(
+        let run = report::instrumented_run_with_options(
             &name,
             &settings,
-            checkpoint_every,
-            checkpoint_dir.as_deref(),
+            &report::InstrumentOptions {
+                checkpoint_every,
+                checkpoint_dir,
+                trace_out: trace_out.clone(),
+                events_out: events_out.clone(),
+            },
         );
         print!("{}", run.to_text());
-        if let Err(e) = run.write_json_file(std::path::Path::new(&path)) {
-            eprintln!("[figures] failed to write {path}: {e}");
-            std::process::exit(1);
+        if let Some(path) = &report_path {
+            if let Err(e) = run.write_json_file(std::path::Path::new(path)) {
+                eprintln!("[figures] failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[figures] report written to {path}");
+        }
+        if let Some(path) = &trace_out {
+            eprintln!("[figures] trace written to {}", path.display());
+        }
+        if let Some(path) = &events_out {
+            eprintln!("[figures] events written to {}", path.display());
         }
         eprintln!(
-            "[figures] report written to {path} in {:.1}s",
+            "[figures] instrumented pass done in {:.1}s",
             start.elapsed().as_secs_f64()
         );
     }

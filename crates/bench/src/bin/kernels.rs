@@ -10,6 +10,11 @@
 //! Usage:
 //!   kernels [--iters N] [--threads N] [--report out.json]
 //!           [--no-binning] [--no-cache] [--scalar | --simd]
+//!           [--trace-out trace.json] [--events-out events.jsonl]
+//!
+//! `--trace-out` writes a Chrome trace-event JSON (Perfetto-loadable) of
+//! the whole run; `--events-out` streams the span/counter records as JSONL
+//! (one object per line, flushed per line).
 //!
 //! `--threads` sets the render worker-pool width (0 = auto: the
 //! `SPLATONIC_THREADS` environment variable, then host parallelism).
@@ -28,7 +33,7 @@
 //! without a vector unit). `scripts/bench_record.sh` runs both modes and
 //! appends the pair to `BENCH_kernels.json`.
 
-use splatonic::telemetry::{AccuracySummary, Telemetry};
+use splatonic::telemetry::{AccuracySummary, Telemetry, TraceSession};
 use splatonic_accel::{AggregationConfig, DramModel, FrameWorkload, SplatonicAccel};
 use splatonic_render::prelude::*;
 use splatonic_render::sampling::{tracking_plan, MappingStrategy};
@@ -103,7 +108,25 @@ fn main() {
     } else {
         splatonic_render::KernelMode::Simd
     };
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let events_out = args
+        .iter()
+        .position(|a| a == "--events-out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let t = Telemetry::enabled();
+    if let Some(path) = &events_out {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("[kernels] failed to create {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        t.stream_events_to(Box::new(std::io::BufWriter::new(file)));
+    }
+    let trace_session = trace_out.as_ref().map(|_| TraceSession::begin());
     let pool_stats_before = splatonic::pool::worker_stats_snapshot();
 
     // Forward kernels: schedule × density.
@@ -457,5 +480,12 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[kernels] report written to {path}");
+    }
+    if let (Some(path), Some(session)) = (&trace_out, &trace_session) {
+        if let Err(e) = t.write_chrome_trace(session, path) {
+            eprintln!("[kernels] failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[kernels] trace written to {}", path.display());
     }
 }

@@ -1,0 +1,60 @@
+//! Compares a fresh `RunReport` JSON against a committed baseline.
+//!
+//! Usage:
+//!   report_diff REPORT BASELINE [--spans-only]
+//!
+//! Mirrors the gating policy of `scripts/check_bench.py` (which shells out
+//! to this binary for its span comparison): workload counters and span
+//! counts exact, accuracy and per-frame floats within a small absolute
+//! tolerance, wall-clock (span totals, latency percentiles) bounded by a
+//! generous multiplier of the baseline, machine-dependent metrics (`pool/`,
+//! `render/simd_lanes`) skipped. `--spans-only` restricts the comparison to
+//! the span and latency sections.
+//!
+//! Exit codes: 0 = pass, 1 = violations (one per line on stderr),
+//! 2 = usage or unreadable/invalid input.
+
+use splatonic::telemetry::json;
+use splatonic_bench::diff::{diff_reports, DiffScope};
+
+fn load(path: &str) -> json::Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("report_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("report_diff: {path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spans_only = args.iter().any(|a| a == "--spans-only");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [report_path, baseline_path] = paths.as_slice() else {
+        eprintln!("usage: report_diff REPORT BASELINE [--spans-only]");
+        std::process::exit(2);
+    };
+    let report = load(report_path);
+    let baseline = load(baseline_path);
+    let scope = if spans_only {
+        DiffScope::SpansOnly
+    } else {
+        DiffScope::Full
+    };
+    let errors = diff_reports(&report, &baseline, scope);
+    if !errors.is_empty() {
+        eprintln!("report_diff: FAIL ({} violation(s))", errors.len());
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    let what = if spans_only {
+        "spans/latency"
+    } else {
+        "report"
+    };
+    println!("report_diff: OK ({what} match {baseline_path})");
+}

@@ -1,0 +1,479 @@
+//! Report-to-baseline comparison (`report_diff REPORT BASELINE`).
+//!
+//! Rust twin of the gating rules in `scripts/check_bench.py`, so CI can
+//! shell out to one binary instead of re-implementing the policy per
+//! consumer (check_bench.py delegates its span comparison here when the
+//! binary is built). The split of strict-vs-loose follows determinism:
+//!
+//! * workload counters: exact — the renderer is deterministic, any delta is
+//!   a real workload change;
+//! * per-frame integer/bool fields: exact; per-frame floats and accuracy:
+//!   absolute tolerance [`FLOAT_ABS_TOL`];
+//! * span invocation *counts*: exact; span *wall time*: upper bound only
+//!   ([`TIMING_MULT`]× baseline, floored at [`TIMING_FLOOR_MS`]);
+//! * latency histograms: sample counts exact, percentiles bounded like span
+//!   time (they are wall-clock, quantized to log2 bucket upper edges);
+//! * anything under a [`SKIP_PREFIXES`] prefix: machine-dependent, skipped.
+//!
+//! Every violation is collected (not just the first) and rendered one per
+//! line; [`diff_reports`] returning an empty list is a pass.
+
+use splatonic::telemetry::json::Json;
+
+/// Absolute tolerance for accuracy metrics and per-frame floats (dB for
+/// PSNR, cm for ATE).
+pub const FLOAT_ABS_TOL: f64 = 0.05;
+/// Relative tolerance for gauges (deterministic hardware-model outputs).
+pub const GAUGE_REL_TOL: f64 = 1e-6;
+/// A span's (or latency percentile's) report value may be up to this many
+/// times the baseline — CI runners are slow and noisy.
+pub const TIMING_MULT: f64 = 25.0;
+/// ...with a floor so micro-spans cannot flake.
+pub const TIMING_FLOOR_MS: f64 = 5.0;
+/// Machine-dependent metric prefixes, value-skipped on both sides.
+pub const SKIP_PREFIXES: &[&str] = &["pool/", "render/simd_lanes"];
+/// Counters the report must carry (and be nonzero) regardless of baseline.
+pub const REQUIRED_COUNTERS: &[&str] = &["slam/checkpoints_written"];
+/// Gauges that must be present on both sides (values may be skipped).
+pub const REQUIRED_GAUGES: &[&str] = &["slam/snapshot_bytes", "render/simd_lanes"];
+
+/// Which report sections to compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffScope {
+    /// Everything: accuracy, frames, counters, spans, gauges, latency.
+    Full,
+    /// Spans and latency histograms only (`--spans-only`; what
+    /// `check_bench.py` delegates).
+    SpansOnly,
+}
+
+fn machine_dependent(name: &str) -> bool {
+    SKIP_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Object fields as `(key, value)` pairs, machine-dependent keys removed.
+fn object_entries<'a>(doc: &'a Json, section: &str) -> Vec<(&'a str, &'a Json)> {
+    match doc.get(section) {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .filter(|(k, _)| !machine_dependent(k))
+            .map(|(k, v)| (k.as_str(), v))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn lookup<'a>(entries: &[(&'a str, &'a Json)], key: &str) -> Option<&'a Json> {
+    entries.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+/// Sorted union of keys missing from one side, as errors.
+fn key_set_errors(
+    errors: &mut Vec<String>,
+    section: &str,
+    report: &[(&str, &Json)],
+    baseline: &[(&str, &Json)],
+    extra_hint: &str,
+) {
+    for (k, _) in baseline {
+        if lookup(report, k).is_none() {
+            errors.push(format!("{section}.{k}: missing from report"));
+        }
+    }
+    for (k, _) in report {
+        if lookup(baseline, k).is_none() {
+            errors.push(format!("{section}.{k}: not in baseline{extra_hint}"));
+        }
+    }
+}
+
+fn f64_field(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+fn diff_accuracy(errors: &mut Vec<String>, report: &Json, baseline: &Json) {
+    let empty = Json::obj();
+    let acc_r = report.get("accuracy").unwrap_or(&empty);
+    let acc_b = baseline.get("accuracy").unwrap_or(&empty);
+    for field in ["frames", "scene_size"] {
+        if acc_r.get(field) != acc_b.get(field) {
+            errors.push(format!(
+                "accuracy.{field}: report {:?} != baseline {:?}",
+                acc_r.get(field),
+                acc_b.get(field)
+            ));
+        }
+    }
+    for field in ["psnr_db", "ate_cm"] {
+        match (f64_field(acc_r, field), f64_field(acc_b, field)) {
+            (Some(r), Some(b)) => {
+                if (r - b).abs() > FLOAT_ABS_TOL {
+                    errors.push(format!(
+                        "accuracy.{field}: report {r} vs baseline {b} \
+                         (|delta| {:.4} > {FLOAT_ABS_TOL})",
+                        (r - b).abs()
+                    ));
+                }
+            }
+            (r, b) => errors.push(format!(
+                "accuracy.{field}: missing (report {r:?}, baseline {b:?})"
+            )),
+        }
+    }
+}
+
+fn diff_frames(errors: &mut Vec<String>, report: &Json, baseline: &Json) {
+    const EXACT: &[&str] = &[
+        "frame_idx",
+        "track_iters",
+        "map_invoked",
+        "sampled_pixels",
+        "map_sampled_pixels",
+        "gaussian_count",
+        "cache_hits",
+        "cache_invalidations",
+    ];
+    const FLOATS: &[&str] = &["psnr_db", "ate_so_far_cm"];
+    let frames_r = report.get("frames").and_then(Json::as_arr).unwrap_or(&[]);
+    let frames_b = baseline.get("frames").and_then(Json::as_arr).unwrap_or(&[]);
+    if frames_r.len() != frames_b.len() {
+        errors.push(format!(
+            "frames: report has {}, baseline has {}",
+            frames_r.len(),
+            frames_b.len()
+        ));
+    }
+    for (i, (fr, fb)) in frames_r.iter().zip(frames_b.iter()).enumerate() {
+        for field in EXACT {
+            if fr.get(field) != fb.get(field) {
+                errors.push(format!(
+                    "frames[{i}].{field}: report {:?} != baseline {:?}",
+                    fr.get(field),
+                    fb.get(field)
+                ));
+            }
+        }
+        for field in FLOATS {
+            let r = f64_field(fr, field).unwrap_or(0.0);
+            let b = f64_field(fb, field).unwrap_or(0.0);
+            if (r - b).abs() > FLOAT_ABS_TOL {
+                errors.push(format!(
+                    "frames[{i}].{field}: report {r} vs baseline {b} \
+                     (|delta| {:.4} > {FLOAT_ABS_TOL})",
+                    (r - b).abs()
+                ));
+            }
+        }
+    }
+}
+
+fn diff_counters(errors: &mut Vec<String>, report: &Json, baseline: &Json) {
+    let counters_r = object_entries(report, "counters");
+    let counters_b = object_entries(baseline, "counters");
+    key_set_errors(
+        errors,
+        "counters",
+        &counters_r,
+        &counters_b,
+        "; regenerate scripts/bench_baseline.json",
+    );
+    for (name, r) in &counters_r {
+        if let Some(b) = lookup(&counters_b, name) {
+            if *r != b {
+                errors.push(format!("counters.{name}: report {r:?} != baseline {b:?}"));
+            }
+        }
+    }
+    for name in REQUIRED_COUNTERS {
+        match lookup(&counters_r, name).and_then(Json::as_f64) {
+            None => errors.push(format!("counters.{name}: required, missing from report")),
+            Some(v) => {
+                if v == 0.0 {
+                    errors.push(format!(
+                        "counters.{name}: required to be nonzero (checkpointing ran)"
+                    ));
+                }
+            }
+        }
+        if lookup(&counters_b, name).is_none() {
+            errors.push(format!("counters.{name}: required, missing from baseline"));
+        }
+    }
+}
+
+fn diff_spans(errors: &mut Vec<String>, report: &Json, baseline: &Json) {
+    let spans_r = object_entries(report, "spans");
+    let spans_b = object_entries(baseline, "spans");
+    key_set_errors(
+        errors,
+        "spans",
+        &spans_r,
+        &spans_b,
+        "; regenerate scripts/bench_baseline.json",
+    );
+    for (name, r) in &spans_r {
+        let Some(b) = lookup(&spans_b, name) else {
+            continue;
+        };
+        if r.get("count") != b.get("count") {
+            errors.push(format!(
+                "spans.{name}.count: report {:?} != baseline {:?}",
+                r.get("count"),
+                b.get("count")
+            ));
+        }
+        let (rt, bt) = (f64_field(r, "total_ms"), f64_field(b, "total_ms"));
+        for (side, v) in [("report", rt), ("baseline", bt)] {
+            if v.is_none() {
+                errors.push(format!("spans.{name}.total_ms: missing from {side}"));
+            }
+        }
+        if let (Some(rt), Some(bt)) = (rt, bt) {
+            let limit = (bt * TIMING_MULT).max(TIMING_FLOOR_MS);
+            if rt > limit {
+                errors.push(format!(
+                    "spans.{name}.total_ms: report {rt:.2} ms exceeds \
+                     {TIMING_MULT}x baseline ({bt:.2} ms, limit {limit:.2} ms)"
+                ));
+            }
+        }
+    }
+}
+
+fn diff_latency(errors: &mut Vec<String>, report: &Json, baseline: &Json) {
+    let lat_r = object_entries(report, "latency");
+    let lat_b = object_entries(baseline, "latency");
+    key_set_errors(
+        errors,
+        "latency",
+        &lat_r,
+        &lat_b,
+        "; regenerate scripts/bench_baseline.json",
+    );
+    for (name, r) in &lat_r {
+        let Some(b) = lookup(&lat_b, name) else {
+            continue;
+        };
+        // Sample counts are deterministic (one per frame / map invocation).
+        if r.get("count") != b.get("count") {
+            errors.push(format!(
+                "latency.{name}.count: report {:?} != baseline {:?}",
+                r.get("count"),
+                b.get("count")
+            ));
+        }
+        // Percentiles are wall-clock, quantized to log2 bucket upper edges;
+        // bound them like span time.
+        for p in ["p50_ms", "p95_ms", "p99_ms"] {
+            let (Some(rp), Some(bp)) = (f64_field(r, p), f64_field(b, p)) else {
+                errors.push(format!("latency.{name}.{p}: missing"));
+                continue;
+            };
+            let limit = (bp * TIMING_MULT).max(TIMING_FLOOR_MS);
+            if rp > limit {
+                errors.push(format!(
+                    "latency.{name}.{p}: report {rp:.3} ms exceeds \
+                     {TIMING_MULT}x baseline ({bp:.3} ms, limit {limit:.3} ms)"
+                ));
+            }
+        }
+    }
+}
+
+fn diff_gauges(errors: &mut Vec<String>, report: &Json, baseline: &Json) {
+    let gauges_r = object_entries(report, "gauges");
+    let gauges_b = object_entries(baseline, "gauges");
+    for (name, _) in &gauges_b {
+        if lookup(&gauges_r, name).is_none() {
+            errors.push(format!("gauges.{name}: missing from report"));
+        }
+    }
+    for (name, r) in &gauges_r {
+        let Some(b) = lookup(&gauges_b, name) else {
+            continue;
+        };
+        let (Some(r), Some(b)) = (r.as_f64(), b.as_f64()) else {
+            continue;
+        };
+        let tol = GAUGE_REL_TOL * r.abs().max(b.abs()).max(1.0);
+        if (r - b).abs() > tol {
+            errors.push(format!(
+                "gauges.{name}: report {r} vs baseline {b} (tol {tol:.3e})"
+            ));
+        }
+    }
+    // Required gauges may be machine-dependent (value-skipped above), so
+    // presence is checked against the unfiltered sections.
+    for name in REQUIRED_GAUGES {
+        for (side, doc) in [("report", report), ("baseline", baseline)] {
+            let present = doc.get("gauges").is_some_and(|g| g.get(name).is_some());
+            if !present {
+                errors.push(format!("gauges.{name}: required, missing from {side}"));
+            }
+        }
+    }
+}
+
+/// Compares two parsed `RunReport` JSON documents and returns every
+/// violation (empty = pass). `scope` selects the full gate or the
+/// span/latency subset.
+pub fn diff_reports(report: &Json, baseline: &Json, scope: DiffScope) -> Vec<String> {
+    let mut errors = Vec::new();
+    if scope == DiffScope::Full {
+        diff_accuracy(&mut errors, report, baseline);
+        diff_frames(&mut errors, report, baseline);
+        diff_counters(&mut errors, report, baseline);
+        diff_gauges(&mut errors, report, baseline);
+    }
+    diff_spans(&mut errors, report, baseline);
+    diff_latency(&mut errors, report, baseline);
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatonic::telemetry::json::parse;
+
+    fn report_fixture() -> Json {
+        parse(
+            r#"{
+              "name": "fixture", "date": "2026-08-08", "unix_time": 0,
+              "frames": [
+                {"frame_idx": 0, "track_iters": 0, "map_invoked": true,
+                 "sampled_pixels": 0, "map_sampled_pixels": 100,
+                 "gaussian_count": 50, "cache_hits": 0,
+                 "cache_invalidations": 0, "psnr_db": 20.0,
+                 "ate_so_far_cm": 0.0, "track_ms": 0.0, "map_ms": 3.0}
+              ],
+              "spans": {
+                "tracking": {"count": 4, "total_ms": 12.0},
+                "pool/worker0": {"count": 9, "total_ms": 1.0}
+              },
+              "counters": {"slam/checkpoints_written": 2,
+                           "tracking/forward/pixels_shaded": 400},
+              "gauges": {"slam/snapshot_bytes": 1000.0,
+                         "render/simd_lanes": 4.0},
+              "latency": {
+                "frame/track_ms": {"count": 4, "p50_ms": 8.192,
+                                    "p95_ms": 16.384, "p99_ms": 16.384,
+                                    "buckets": [[14, 4]]}
+              },
+              "accuracy": {"ate_cm": 0.5, "psnr_db": 21.0,
+                           "frames": 2, "scene_size": 50}
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let doc = report_fixture();
+        assert_eq!(
+            diff_reports(&doc, &doc, DiffScope::Full),
+            Vec::<String>::new()
+        );
+        assert!(diff_reports(&doc, &doc, DiffScope::SpansOnly).is_empty());
+    }
+
+    #[test]
+    fn counter_delta_fails_exactly() {
+        let report = report_fixture();
+        let mut baseline = report_fixture();
+        if let Json::Obj(fields) = &mut baseline {
+            let counters = fields
+                .iter_mut()
+                .find(|(k, _)| k == "counters")
+                .map(|(_, v)| v)
+                .unwrap();
+            *counters = parse(
+                r#"{"slam/checkpoints_written": 2,
+                     "tracking/forward/pixels_shaded": 399}"#,
+            )
+            .unwrap();
+        }
+        let errors = diff_reports(&report, &baseline, DiffScope::Full);
+        assert!(
+            errors.iter().any(|e| e.contains("pixels_shaded")),
+            "counter delta must be reported: {errors:?}"
+        );
+        // But not in spans-only scope.
+        assert!(diff_reports(&report, &baseline, DiffScope::SpansOnly).is_empty());
+    }
+
+    #[test]
+    fn span_count_and_timing_violations() {
+        let report = report_fixture();
+        let mut slow = report_fixture();
+        if let Json::Obj(fields) = &mut slow {
+            let spans = fields
+                .iter_mut()
+                .find(|(k, _)| k == "spans")
+                .map(|(_, v)| v)
+                .unwrap();
+            // Baseline 25x smaller than the floor still passes; make the
+            // report exceed max(25x baseline, 5ms) by baselining tiny.
+            *spans = parse(
+                r#"{"tracking": {"count": 5, "total_ms": 0.01},
+                     "pool/worker0": {"count": 1, "total_ms": 1.0}}"#,
+            )
+            .unwrap();
+        }
+        let errors = diff_reports(&report, &slow, DiffScope::SpansOnly);
+        assert!(errors.iter().any(|e| e.contains("spans.tracking.count")));
+        assert!(
+            errors.iter().any(|e| e.contains("spans.tracking.total_ms")),
+            "12ms vs limit max(0.25, 5) must fail: {errors:?}"
+        );
+        // pool/ spans are machine-dependent and skipped entirely.
+        assert!(!errors.iter().any(|e| e.contains("pool/")));
+    }
+
+    #[test]
+    fn missing_latency_histogram_fails() {
+        let report = report_fixture();
+        let mut baseline = report_fixture();
+        if let Json::Obj(fields) = &mut baseline {
+            let lat = fields
+                .iter_mut()
+                .find(|(k, _)| k == "latency")
+                .map(|(_, v)| v)
+                .unwrap();
+            lat.set(
+                "frame/map_ms",
+                parse(r#"{"count": 1, "p50_ms": 4.0, "p95_ms": 4.0, "p99_ms": 4.0}"#).unwrap(),
+            );
+        }
+        let errors = diff_reports(&report, &baseline, DiffScope::SpansOnly);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("latency.frame/map_ms") && e.contains("missing from report")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn required_counter_must_be_nonzero() {
+        let mut report = report_fixture();
+        if let Json::Obj(fields) = &mut report {
+            let counters = fields
+                .iter_mut()
+                .find(|(k, _)| k == "counters")
+                .map(|(_, v)| v)
+                .unwrap();
+            *counters = parse(
+                r#"{"slam/checkpoints_written": 0,
+                     "tracking/forward/pixels_shaded": 400}"#,
+            )
+            .unwrap();
+        }
+        let errors = diff_reports(&report, &report_fixture(), DiffScope::Full);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("slam/checkpoints_written") && e.contains("nonzero")),
+            "{errors:?}"
+        );
+    }
+}

@@ -5,6 +5,9 @@
 //! print every figure's rows; pass individual ids (`fig04`, `fig10`, …,
 //! `area`) to regenerate one, and `--quick` for a scaled-down pass.
 
+#![warn(missing_docs)]
+
+pub mod diff;
 pub mod experiments;
 pub mod report;
 pub mod tables;

@@ -11,8 +11,26 @@
 use crate::Settings;
 use splatonic::harness::{measure_tracking_iteration, TrackingScenario};
 use splatonic::prelude::*;
-use splatonic::telemetry::{AccuracySummary, RunReport, Telemetry};
+use splatonic::telemetry::{AccuracySummary, RunReport, Telemetry, TraceSession};
 use splatonic_slam::dataset::Dataset;
+use std::path::PathBuf;
+
+/// Output options for an instrumented pass (`figures --report/--trace-out/
+/// --events-out`). `Default` keeps the historical behavior: checkpoint
+/// cadence 4, everything in memory, no trace or event exports.
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentOptions {
+    /// Checkpoint cadence in frames; `0` falls back to the default of 4.
+    pub checkpoint_every: usize,
+    /// When set, every snapshot is also written here as `ckpt_<frame>.snap`.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// When set, a Chrome trace-event JSON (Perfetto-loadable) covering the
+    /// whole pass is written here (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// When set, a JSONL event stream (run/span/frame/counter records,
+    /// flushed per line for live tailing) is written here (`--events-out`).
+    pub events_out: Option<PathBuf>,
+}
 
 /// Telemetry gauge prefix for a hardware target: `hw/` + a lowercase slug
 /// of the display name (`hw/splatonic-hw`, `hw/gpu-tile-based`).
@@ -46,8 +64,43 @@ pub fn instrumented_run_with_checkpoints(
     checkpoint_every: usize,
     dir: Option<&std::path::Path>,
 ) -> RunReport {
+    instrumented_run_with_options(
+        name,
+        settings,
+        &InstrumentOptions {
+            checkpoint_every,
+            checkpoint_dir: dir.map(PathBuf::from),
+            ..InstrumentOptions::default()
+        },
+    )
+}
+
+/// [`instrumented_run`] with full output control; see [`InstrumentOptions`].
+///
+/// # Panics
+///
+/// Panics if the checkpoint directory or an export file cannot be created.
+pub fn instrumented_run_with_options(
+    name: &str,
+    settings: &Settings,
+    options: &InstrumentOptions,
+) -> RunReport {
+    let checkpoint_every = if options.checkpoint_every == 0 {
+        4
+    } else {
+        options.checkpoint_every
+    };
+    let dir = options.checkpoint_dir.as_deref();
     let dataset = Dataset::replica_like("report-room", 7, settings.dataset_config());
     let telemetry = Telemetry::enabled();
+    if let Some(path) = &options.events_out {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("create events file {}: {e}", path.display()));
+        telemetry.stream_events_to(Box::new(std::io::BufWriter::new(file)));
+    }
+    // Begin the trace session *before* any render so the pool/phase capture
+    // gates are on for the whole pass.
+    let trace_session = options.trace_out.as_deref().map(|_| TraceSession::begin());
     // Host vector width in use (DESIGN.md §13). check_bench.py requires the
     // gauge to be present but skips its value (machine-dependent).
     telemetry.gauge_set("render/simd_lanes", splatonic_render::simd::lanes() as f64);
@@ -87,7 +140,7 @@ pub fn instrumented_run_with_checkpoints(
         cost.export_telemetry(&telemetry, &target_slug(target));
     }
 
-    telemetry.finish(
+    let report = telemetry.finish(
         name,
         AccuracySummary {
             ate_cm: result.ate_cm,
@@ -95,7 +148,13 @@ pub fn instrumented_run_with_checkpoints(
             frames: result.frames,
             scene_size: result.scene_size,
         },
-    )
+    );
+    if let (Some(path), Some(session)) = (options.trace_out.as_deref(), &trace_session) {
+        telemetry
+            .write_chrome_trace(session, path)
+            .unwrap_or_else(|e| panic!("write trace {}: {e}", path.display()));
+    }
+    report
 }
 
 #[cfg(test)]
@@ -163,5 +222,85 @@ mod tests {
             .unwrap()
             .as_f64()
             .is_some());
+        // Latency histograms with deterministic-width buckets.
+        let latency = doc.get("latency").expect("latency section");
+        for name in ["frame/track_ms", "frame/map_ms"] {
+            let h = latency
+                .get(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert!(h.get("count").unwrap().as_f64().unwrap() > 0.0);
+            for key in ["p50_ms", "p95_ms", "p99_ms"] {
+                assert!(h.get(key).is_some(), "{name} missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn instrumented_options_emit_trace_events_and_clean_names() {
+        let dir = std::env::temp_dir().join(format!("splatonic-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let events_path = dir.join("events.jsonl");
+        let report = instrumented_run_with_options(
+            "bench-options",
+            &Settings::quick(),
+            &InstrumentOptions {
+                trace_out: Some(trace_path.clone()),
+                events_out: Some(events_path.clone()),
+                ..InstrumentOptions::default()
+            },
+        );
+
+        // Chrome trace: valid JSON with metadata and complete events from
+        // all three producers (telemetry spans, render phases, pool lanes).
+        let trace = json::parse(&std::fs::read_to_string(&trace_path).unwrap())
+            .expect("trace must be valid JSON");
+        let events = trace.get("traceEvents").unwrap().as_arr().unwrap();
+        let name_of = |e: &json::Json| e.get("name").and_then(|n| n.as_str().map(String::from));
+        let cat_of = |e: &json::Json| e.get("cat").and_then(|c| c.as_str().map(String::from));
+        assert!(events
+            .iter()
+            .any(|e| name_of(e).as_deref() == Some("frame")));
+        for cat in ["span", "render"] {
+            assert!(
+                events.iter().any(|e| cat_of(e).as_deref() == Some(cat)),
+                "no {cat} events in trace"
+            );
+        }
+
+        // JSONL stream: one JSON object per line, bracketed run_start →
+        // run_end, with span and frame records in between.
+        let stream = std::fs::read_to_string(&events_path).unwrap();
+        let lines: Vec<&str> = stream.lines().collect();
+        assert!(lines.len() > 10, "stream too short: {} lines", lines.len());
+        let types: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                json::parse(l)
+                    .expect("every stream line must be valid JSON")
+                    .get("type")
+                    .and_then(|t| t.as_str().map(String::from))
+                    .expect("every record carries a type")
+            })
+            .collect();
+        assert_eq!(types.first().map(String::as_str), Some("run_start"));
+        assert_eq!(types.last().map(String::as_str), Some("run_end"));
+        for t in ["span", "frame", "counter", "gauge"] {
+            assert!(types.iter().any(|x| x == t), "no {t} records in stream");
+        }
+
+        // Naming audit: every counter and gauge from an end-to-end run obeys
+        // the `subsystem/name` convention, with no duplicates or collisions.
+        let mut seen = std::collections::BTreeSet::new();
+        let counter_names: Vec<&String> = report.counters.iter().map(|(n, _)| n).collect();
+        let gauge_names: Vec<&String> = report.gauges.iter().map(|(n, _)| n).collect();
+        for (kind, names) in [("counter", counter_names), ("gauge", gauge_names)] {
+            for name in names {
+                splatonic::telemetry::validate_metric_name(name)
+                    .unwrap_or_else(|e| panic!("{kind} {name}: {e}"));
+                assert!(seen.insert(name.clone()), "duplicate metric name {name}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

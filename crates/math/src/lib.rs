@@ -16,7 +16,9 @@
 //! * small statistics helpers ([`stats`]) used by the hardware models,
 //! * the deterministic scoped worker pool ([`pool`]) that parallelizes the
 //!   render and backward hot paths with bit-identical results on any
-//!   thread count.
+//!   thread count,
+//! * the shared tracing timebase ([`timebase`]) stamping every trace event
+//!   in the suite against one monotonic clock and stable lane ids.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub mod quat;
 pub mod rng;
 pub mod se3;
 pub mod stats;
+pub mod timebase;
 pub mod vec;
 
 pub use explut::ExpLut;

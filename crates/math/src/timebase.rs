@@ -1,0 +1,72 @@
+//! Shared monotonic timebase and trace-lane identifiers.
+//!
+//! Every tracing producer in the suite — the telemetry span guards, the
+//! render-phase side-band buffer, the worker pool — stamps events against
+//! **one** process-wide monotonic clock so a merged Chrome trace lines up
+//! across subsystems. [`monotonic_ns`] is that clock: nanoseconds since the
+//! first call in the process (the epoch is latched lazily with a
+//! [`OnceLock`], so ordering between subsystems needs no init call).
+//!
+//! Trace rows ("threads" in the Chrome trace-event model) are identified by
+//! small integer **lanes** rather than OS thread ids: the pool spawns fresh
+//! scoped threads per invocation, so OS ids are unstable and unbounded,
+//! while lanes are stable and compact. Long-lived threads get a lane from
+//! [`lane_id`] (a thread-local counting from 1); pool workers use
+//! [`POOL_LANE_BASE`]` + worker_index` so worker *slots* — not ephemeral
+//! threads — form the rows.
+//!
+//! Timings are wall-clock and therefore non-deterministic by nature; lanes
+//! and the clock are trace-only concepts and never feed the bit-exactness
+//! suites (DESIGN.md §14).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// First lane reserved for pool workers: worker `w` traces on lane
+/// `POOL_LANE_BASE + w`. Lanes below this belong to long-lived threads
+/// (see [`lane_id`]).
+pub const POOL_LANE_BASE: u32 = 1000;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (the first call to this
+/// function). Monotonic and shared by every tracing producer in the suite.
+pub fn monotonic_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Stable small integer identifying the calling thread's trace lane.
+///
+/// Lanes are assigned on first use per thread, starting at 1 (the process
+/// main thread is almost always lane 1). They are distinct from — and
+/// numerically below — the pool-worker lanes at [`POOL_LANE_BASE`].
+pub fn lane_id() -> u32 {
+    static NEXT_LANE: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static LANE: u32 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+    }
+    LANE.with(|l| *l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_ns_is_monotonic() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn lane_id_is_stable_per_thread_and_distinct_across_threads() {
+        let here = lane_id();
+        assert_eq!(here, lane_id());
+        assert!(here < POOL_LANE_BASE);
+        let other = std::thread::spawn(lane_id).join().unwrap();
+        assert_ne!(here, other);
+    }
+}

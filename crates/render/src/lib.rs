@@ -19,6 +19,8 @@
 //!   candidate discovery on sparse pixel sets (bit-identical output),
 //! * [`projcache`] — the cross-iteration projection cache reusing
 //!   per-Gaussian projection results across Adam iterations,
+//! * [`phase`] — gated side-band phase tracing feeding the Chrome trace
+//!   export (trace-only; never perturbs reports),
 //! * [`sampling`] — the adaptive sparse pixel samplers of Sec. IV-A plus the
 //!   baselines of Fig. 10 (Low-Res., Loss-guided, Harris),
 //! * [`loss`] — L1 color+depth losses and their gradients,
@@ -52,6 +54,7 @@ pub mod binning;
 pub mod grad;
 pub mod kernel;
 pub mod loss;
+pub mod phase;
 pub mod pixel;
 pub mod pixelset;
 pub mod projcache;

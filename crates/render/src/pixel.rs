@@ -133,6 +133,7 @@ pub fn forward(
     pixels: &PixelSet,
     config: &RenderConfig,
 ) -> ForwardResult {
+    let _pass = crate::phase::begin("render/pixel_forward");
     let mut trace = RenderTrace::new();
     let f = &mut trace.forward;
     f.gaussians_input = scene.len() as u64;
@@ -151,7 +152,10 @@ pub fn forward(
     // dispatch never changes output — only the instruction mix.
     let soa = (config.kernels.simd_active()
         && crate::simd::soa_pays_off(pixels.len(), projected.len()))
-    .then(|| ProjectedSoA::build(projected));
+    .then(|| {
+        let _p = crate::phase::begin("render/soa_build");
+        ProjectedSoA::build(projected)
+    });
     let soa = soa.as_ref();
     let simd = soa.is_some();
 
@@ -166,7 +170,11 @@ pub fn forward(
         // order — and every pre-existing counter are identical to the
         // Gaussian-major walk. Only `bin_candidates` (visits the index
         // allowed) is new.
-        let index = BinIndex::build(projected, pixels, config.bin_size);
+        let index = {
+            let _p = crate::phase::begin("render/bin_index");
+            BinIndex::build(projected, pixels, config.bin_size)
+        };
+        let _discover = crate::phase::begin("render/discover_binned");
         let all_pixels: Vec<(usize, PixelCoord)> = pixels.iter_all().enumerate().collect();
         let sample_count = pixels.sample_count();
         let has_tiles = pixels.has_tile_index();
@@ -277,6 +285,7 @@ pub fn forward(
         // Gaussians. Each chunk emits its passing (pixel, entry) pairs and
         // counter partials; the merge below applies them in chunk order,
         // which reproduces the sequential push order.
+        let _discover = crate::phase::begin("render/discover_exhaustive");
         let extra_grid = ExtraGrid::build(pixels);
         struct ProjCheckPartial {
             entries: Vec<(usize, PixelEntry)>,
@@ -392,6 +401,7 @@ pub fn forward(
         bytes_read: u64,
         bytes_written: u64,
     }
+    let _raster = crate::phase::begin("render/sort_raster");
     let raster_partials = pool::par_chunks_indexed(threads, &lists, RASTER_CHUNK, |_, _, chunk| {
         let mut part = RasterPartial {
             color: Vec::with_capacity(chunk.len()),
@@ -534,6 +544,7 @@ pub fn backward(
         pixels.len(),
         "loss gradients must cover the pixel set"
     );
+    let _pass = crate::phase::begin("render/pixel_backward");
     let mut trace = RenderTrace::new();
     let (projected_shared, _) = project_scene_cached(scene, camera, config);
     let projected: &[ProjectedGaussian] = &projected_shared;
@@ -546,7 +557,10 @@ pub fn backward(
     // `pixel_backward`; see `simd`).
     let soa = (config.kernels.simd_active()
         && crate::simd::soa_pays_off(pixels.len(), projected.len()))
-    .then(|| ProjectedSoA::build(projected));
+    .then(|| {
+        let _p = crate::phase::begin("render/soa_build");
+        ProjectedSoA::build(projected)
+    });
     let soa = soa.as_ref();
 
     // Per-pair gradients, fanned out over fixed chunks of pixels. Each
@@ -569,6 +583,7 @@ pub fn backward(
         bytes_read: u64,
         bytes_written: u64,
     }
+    let _accum = crate::phase::begin("render/backward_accum");
     let partials =
         pool::par_chunks_indexed(threads, &all_pixels, BACKWARD_CHUNK, |_, offset, chunk| {
             let mut acc = acc_pool
@@ -659,7 +674,11 @@ pub fn backward(
         b.bytes_written += b.gaussians_touched * bytes::GRADIENT;
     }
 
-    let (grads, pose) = reproject(scene, camera, &accum, true);
+    drop(_accum);
+    let (grads, pose) = {
+        let _p = crate::phase::begin("render/reproject");
+        reproject(scene, camera, &accum, true)
+    };
     (grads, pose, trace)
 }
 

@@ -170,6 +170,7 @@ pub fn project_scene_cached(
     config: &RenderConfig,
 ) -> (Rc<Vec<ProjectedGaussian>>, u64) {
     if !config.cache {
+        let _p = crate::phase::begin("render/project");
         let (projected, culled) = project_scene(scene, camera, config);
         return (Rc::new(projected), culled);
     }
@@ -178,6 +179,7 @@ pub fn project_scene_cached(
         let mut state = cell.borrow_mut();
         if let Some(entry) = &state.entry {
             if entry.key == key {
+                let _p = crate::phase::begin("render/projcache_hit");
                 let projected = Rc::clone(&entry.projected);
                 let culled = entry.culled;
                 state.stats.hits += 1;
@@ -188,6 +190,7 @@ pub fn project_scene_cached(
             }
         }
         state.stats.misses += 1;
+        let _p = crate::phase::begin("render/project");
         let (projected, culled) = project_scene(scene, camera, config);
         let projected = Rc::new(projected);
         state.entry = Some(Entry {

@@ -79,6 +79,7 @@ pub fn forward(
     pixels: &PixelSet,
     config: &RenderConfig,
 ) -> ForwardResult {
+    let _pass = crate::phase::begin("render/tile_forward");
     let width = pixels.width();
     let height = pixels.height();
     let mut trace = RenderTrace::new();
@@ -283,6 +284,7 @@ pub fn backward(
         pixels.len(),
         "loss gradients must cover the pixel set"
     );
+    let _pass = crate::phase::begin("render/tile_backward");
     let width = pixels.width();
     let height = pixels.height();
     let mut trace = RenderTrace::new();

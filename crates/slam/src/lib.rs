@@ -27,6 +27,8 @@
 //! println!("ATE: {:.2} cm", result.ate_cm);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod adam;
 pub mod algorithm;
 pub mod dataset;

@@ -347,15 +347,19 @@ impl SlamSystem {
     /// Panics if no run is active (no [`Self::step_frame`] call, or
     /// finalize called twice).
     pub fn finalize(&mut self, dataset: &Dataset, telemetry: &Telemetry) -> SlamResult {
+        let _finalize = telemetry.span_flat("finalize");
         let state = self.run.take().expect("finalize requires an active run");
         let n = state.next_frame;
         assert_eq!(n, dataset.len(), "finalize requires a completed run");
         let ate_cm = ate_rmse_cm(&state.est_poses, &dataset.gt_poses[..n]);
-        let psnr = self.evaluate_psnr(
-            dataset,
-            &state.est_poses,
-            self.config.algorithm.mapping_every,
-        );
+        let psnr = {
+            let _span = telemetry.span_flat("psnr_eval");
+            self.evaluate_psnr(
+                dataset,
+                &state.est_poses,
+                self.config.algorithm.mapping_every,
+            )
+        };
 
         telemetry.record_trace("tracking", &state.tracking_trace);
         telemetry.record_trace("mapping", &state.mapping_trace);
@@ -538,6 +542,10 @@ impl SlamSystem {
     /// frame's depth, initial mapping to refine the seed. Leaves
     /// `next_frame == 1`.
     fn init_run(&mut self, dataset: &Dataset, telemetry: &Telemetry) {
+        // Flat span: aggregates under the verbatim name "frame" (one record
+        // per processed frame, anchor included) without nesting the
+        // tracking/mapping paths beneath it.
+        let _frame = telemetry.span_flat("frame");
         // Bracket the run so the render pool's per-worker busy time lands
         // in the report as pool/worker<i> spans.
         let pool_stats_before = if telemetry.is_enabled() {
@@ -623,6 +631,7 @@ impl SlamSystem {
     /// One loop iteration: track frame `t`, push a keyframe and map on the
     /// `mapping_every` cadence, record the frame.
     fn process_frame(&mut self, dataset: &Dataset, t: usize, telemetry: &Telemetry) {
+        let _frame = telemetry.span_flat("frame");
         let cfg = self.config;
         let algo = cfg.algorithm;
         let mut state = self.run.take().expect("active run");
@@ -855,6 +864,12 @@ mod tests {
         }
         assert_eq!(span("tracking").unwrap().1.count(), r.frames - 1);
         assert_eq!(span("mapping").unwrap().1.count(), r.mapping_invocations);
+        // Flat spans: recorded under their verbatim names (no nesting), with
+        // deterministic counts — one "frame" per processed frame, one
+        // "finalize" and one "psnr_eval" per run.
+        assert_eq!(span("frame").unwrap().1.count(), r.frames);
+        assert_eq!(span("finalize").unwrap().1.count(), 1);
+        assert_eq!(span("psnr_eval").unwrap().1.count(), 1);
         // Workload counters match the aggregated traces.
         let counter = |n: &str| {
             report

@@ -1,0 +1,196 @@
+//! Hierarchical span events and the incremental JSONL event stream.
+//!
+//! Every completed span guard produces one [`SpanEvent`] carrying its
+//! parent/child linkage (`id`/`parent`), its trace lane, and its window on
+//! the shared monotonic timebase. The in-memory event list feeds the Chrome
+//! trace export ([`crate::trace`]); when an [`EventSink`] is attached
+//! ([`crate::Telemetry::stream_events_to`]) the same events — plus frame,
+//! counter, gauge, and run lifecycle records — are written incrementally as
+//! one JSON object per line and flushed after each line, so a live run can
+//! be tailed (`tail -f events.jsonl`).
+
+use crate::frame::FrameRecord;
+use crate::json::Json;
+use std::io::Write;
+
+/// One completed hierarchical span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Event id, unique and increasing within one telemetry handle.
+    pub id: u32,
+    /// Id of the innermost span open when this one started, if any.
+    pub parent: Option<u32>,
+    /// Aggregation path (`/`-joined nesting, or the verbatim name for
+    /// flat spans — see [`crate::Telemetry::span_flat`]).
+    pub path: String,
+    /// The span's own name (last path segment).
+    pub name: String,
+    /// Trace lane of the recording thread ([`splatonic_math::timebase`]).
+    pub lane: u32,
+    /// Start, nanoseconds on the telemetry handle's clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl SpanEvent {
+    /// JSONL record for this event (`"type": "span"`).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("type", "span")
+            .set("id", self.id as i64)
+            .set(
+                "parent",
+                match self.parent {
+                    Some(p) => Json::Int(p as i64),
+                    None => Json::Null,
+                },
+            )
+            .set("path", self.path.as_str())
+            .set("name", self.name.as_str())
+            .set("lane", self.lane as i64)
+            .set("start_ns", self.start_ns)
+            .set("dur_ns", self.dur_ns);
+        o
+    }
+}
+
+/// Incremental JSONL writer for the structured event stream.
+///
+/// Write errors are swallowed after being counted — telemetry must never
+/// take down the instrumented run.
+pub struct EventSink {
+    out: Box<dyn Write>,
+    /// Lines that failed to write (diagnostic only).
+    errors: u64,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("errors", &self.errors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventSink {
+    /// Wraps a writer (typically a freshly created file).
+    pub fn new(out: Box<dyn Write>) -> Self {
+        EventSink { out, errors: 0 }
+    }
+
+    fn emit(&mut self, line: &Json) {
+        let ok =
+            writeln!(self.out, "{}", line.to_string_compact()).is_ok() && self.out.flush().is_ok();
+        if !ok {
+            self.errors += 1;
+        }
+    }
+
+    /// Emits the `run_start` lifecycle record.
+    pub fn run_start(&mut self, ts_ns: u64) {
+        let mut o = Json::obj();
+        o.set("type", "run_start").set("ts_ns", ts_ns);
+        self.emit(&o);
+    }
+
+    /// Emits one completed span.
+    pub fn span(&mut self, event: &SpanEvent) {
+        self.emit(&event.to_json());
+    }
+
+    /// Emits one per-frame record (`"type": "frame"` + the
+    /// [`FrameRecord`] fields).
+    pub fn frame(&mut self, record: &FrameRecord) {
+        let mut o = Json::obj();
+        o.set("type", "frame");
+        if let Json::Obj(fields) = record.to_json() {
+            if let Json::Obj(dst) = &mut o {
+                dst.extend(fields);
+            }
+        }
+        self.emit(&o);
+    }
+
+    /// Emits a counter total.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        let mut o = Json::obj();
+        o.set("type", "counter")
+            .set("name", name)
+            .set("value", value);
+        self.emit(&o);
+    }
+
+    /// Emits a gauge value.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        let mut o = Json::obj();
+        o.set("type", "gauge").set("name", name).set("value", value);
+        self.emit(&o);
+    }
+
+    /// Emits the `run_end` lifecycle record.
+    pub fn run_end(&mut self, name: &str, ts_ns: u64) {
+        let mut o = Json::obj();
+        o.set("type", "run_end")
+            .set("name", name)
+            .set("ts_ns", ts_ns);
+        self.emit(&o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A Write that appends into a shared buffer (single-threaded tests).
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedBuf(pub Rc<RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_writes_one_json_object_per_line() {
+        let buf = SharedBuf::default();
+        let mut sink = EventSink::new(Box::new(buf.clone()));
+        sink.run_start(10);
+        sink.counter("slam/frames", 12);
+        sink.run_end("unit", 99);
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            parse(line).expect("every JSONL line parses standalone");
+        }
+        let first = parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap(), &Json::Str("run_start".into()));
+        let c = parse(lines[1]).unwrap();
+        assert_eq!(c.get("value").unwrap().as_f64(), Some(12.0));
+    }
+
+    #[test]
+    fn span_event_serializes_parent_null_at_root() {
+        let e = SpanEvent {
+            id: 1,
+            parent: None,
+            path: "tracking".into(),
+            name: "tracking".into(),
+            lane: 1,
+            start_ns: 5,
+            dur_ns: 10,
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("parent").unwrap(), &Json::Null);
+        assert_eq!(j.get("dur_ns").unwrap().as_f64(), Some(10.0));
+    }
+}

@@ -1,0 +1,277 @@
+//! Fixed-bucket log2 latency histograms with deterministic percentiles.
+//!
+//! A [`LogHistogram`] buckets integer microseconds into 64 power-of-two
+//! buckets whose boundaries are *fixed at compile time*: bucket 0 holds
+//! sub-microsecond samples (`[0, 1) µs`) and bucket `k ≥ 1` holds
+//! `[2^(k-1), 2^k) µs`, with the last bucket absorbing overflow. Because
+//! the bucket grid never depends on the data, percentile extraction is
+//! deterministic given the same multiset of bucketed samples, and merging
+//! two histograms is a plain element-wise add — commutative and
+//! associative, so per-worker histograms can be combined in any order
+//! (property-tested below).
+//!
+//! Percentiles are nearest-rank over bucket counts and report the bucket's
+//! **upper edge** in milliseconds — a conservative (never underestimating)
+//! quantile with at most 2× resolution error, which is what a log2 grid
+//! buys in exchange for O(1) memory on unbounded streams.
+
+use crate::json::Json;
+
+/// Number of buckets; the top bucket absorbs overflow.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A fixed-bucket log2 histogram over microsecond durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; HIST_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a duration in microseconds: 0 for `[0, 1)`, else
+    /// `k` for `[2^(k-1), 2^k)`, clamped into the top (overflow) bucket.
+    pub fn bucket_of_us(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Upper edge of bucket `b`, in milliseconds (`2^b µs`, with bucket 0's
+    /// edge at 1 µs).
+    pub fn bucket_upper_ms(b: usize) -> f64 {
+        // 2^b µs → ms; exact in f64 for every bucket index.
+        (2.0f64).powi(b.min(HIST_BUCKETS - 1) as i32) / 1000.0
+    }
+
+    /// Records one duration in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[Self::bucket_of_us(us)] += 1;
+        self.total += 1;
+    }
+
+    /// Records one duration in milliseconds (rounded to whole microseconds;
+    /// negative or non-finite inputs count as 0 µs).
+    pub fn record_ms(&mut self, ms: f64) {
+        let us = if ms.is_finite() && ms > 0.0 {
+            (ms * 1000.0).round() as u64
+        } else {
+            0
+        };
+        self.record_us(us);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bucket counts (index = [`LogHistogram::bucket_of_us`]).
+    pub fn counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.counts
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`) as the matched bucket's
+    /// upper edge in milliseconds; 0 for an empty histogram.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_ms(b);
+            }
+        }
+        Self::bucket_upper_ms(HIST_BUCKETS - 1)
+    }
+
+    /// Median (ms, bucket upper edge).
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_ms(50.0)
+    }
+
+    /// 95th percentile (ms, bucket upper edge).
+    pub fn p95_ms(&self) -> f64 {
+        self.percentile_ms(95.0)
+    }
+
+    /// 99th percentile (ms, bucket upper edge).
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_ms(99.0)
+    }
+
+    /// Merges `other` into `self` (element-wise add; order-independent).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+
+    /// JSON object: `count`, `p50_ms`/`p95_ms`/`p99_ms`, and the non-zero
+    /// buckets as `[bucket_index, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("count", self.total)
+            .set("p50_ms", self.p50_ms())
+            .set("p95_ms", self.p95_ms())
+            .set("p99_ms", self.p99_ms());
+        let buckets: Vec<Json> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| Json::Arr(vec![Json::Int(b as i64), Json::Int(c as i64)]))
+            .collect();
+        o.set("buckets", Json::Arr(buckets));
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatonic_math::Rng64;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(LogHistogram::bucket_of_us(0), 0);
+        assert_eq!(LogHistogram::bucket_of_us(1), 1);
+        assert_eq!(LogHistogram::bucket_of_us(2), 2);
+        assert_eq!(LogHistogram::bucket_of_us(3), 2);
+        assert_eq!(LogHistogram::bucket_of_us(4), 3);
+        assert_eq!(LogHistogram::bucket_of_us(1023), 10);
+        assert_eq!(LogHistogram::bucket_of_us(1024), 11);
+        // Overflow clamps into the top bucket.
+        assert_eq!(LogHistogram::bucket_of_us(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50_ms(), 0.0);
+        assert_eq!(h.p95_ms(), 0.0);
+        assert_eq!(h.p99_ms(), 0.0);
+    }
+
+    #[test]
+    fn one_sample_sets_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record_ms(1.0); // 1000 µs → bucket 10, upper edge 1.024 ms
+        assert_eq!(h.count(), 1);
+        let edge = LogHistogram::bucket_upper_ms(10);
+        assert_eq!(h.p50_ms(), edge);
+        assert_eq!(h.p95_ms(), edge);
+        assert_eq!(h.p99_ms(), edge);
+    }
+
+    #[test]
+    fn percentile_is_conservative_upper_edge() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record_us(100); // bucket 7, upper edge 0.128 ms
+        }
+        h.record_us(100_000); // bucket 17, upper edge 131.072 ms
+        assert_eq!(h.p50_ms(), LogHistogram::bucket_upper_ms(7));
+        assert_eq!(h.p95_ms(), LogHistogram::bucket_upper_ms(7));
+        assert!(h.p50_ms() >= 0.1, "upper edge never underestimates");
+        assert_eq!(h.p99_ms(), LogHistogram::bucket_upper_ms(7));
+        assert_eq!(h.percentile_ms(100.0), LogHistogram::bucket_upper_ms(17));
+    }
+
+    #[test]
+    fn overflow_samples_land_in_the_top_bucket() {
+        let mut h = LogHistogram::new();
+        h.record_ms(f64::INFINITY); // non-finite → 0 µs
+        h.record_ms(-5.0); // negative → 0 µs
+        h.record_us(u64::MAX);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[HIST_BUCKETS - 1], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = LogHistogram::new();
+        a.record_us(1);
+        a.record_us(1000);
+        let mut b = LogHistogram::new();
+        b.record_us(1);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.counts()[1], 2);
+    }
+
+    /// Property: merging per-worker histograms is order-independent —
+    /// any permutation of the same parts yields an identical histogram.
+    #[test]
+    fn prop_merge_is_order_independent() {
+        let mut rng = Rng64::seed_from_u64(0x5EED_0B5E);
+        for _case in 0..64 {
+            let parts: Vec<LogHistogram> = (0..8)
+                .map(|_| {
+                    let mut h = LogHistogram::new();
+                    let n = (rng.next_u64() % 32) as usize;
+                    for _ in 0..n {
+                        // Spread samples across the full bucket range.
+                        let shift = rng.next_u64() % 40;
+                        h.record_us(rng.next_u64() >> (24 + shift.min(39)));
+                    }
+                    h
+                })
+                .collect();
+
+            let merge_in = |order: &[usize]| {
+                let mut acc = LogHistogram::new();
+                for &i in order {
+                    acc.merge(&parts[i]);
+                }
+                acc
+            };
+            let forward = merge_in(&[0, 1, 2, 3, 4, 5, 6, 7]);
+            let reverse = merge_in(&[7, 6, 5, 4, 3, 2, 1, 0]);
+            // A random shuffle (Fisher–Yates on the index array).
+            let mut shuffled: Vec<usize> = (0..8).collect();
+            for i in (1..8).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            let random = merge_in(&shuffled);
+            assert_eq!(forward, reverse);
+            assert_eq!(forward, random, "order {shuffled:?} diverged");
+        }
+    }
+
+    #[test]
+    fn json_has_summary_and_sparse_buckets() {
+        let mut h = LogHistogram::new();
+        h.record_us(3);
+        h.record_us(3);
+        h.record_us(4096);
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_f64(), Some(3.0));
+        assert!(j.get("p99_ms").unwrap().as_f64().is_some());
+        let buckets = j.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 2); // only non-zero buckets serialize
+    }
+}

@@ -62,6 +62,14 @@ impl Json {
         }
     }
 
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// The value as an array, if it is one.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {

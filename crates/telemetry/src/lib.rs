@@ -4,50 +4,91 @@
 //!
 //! * **Spans** — RAII wall-clock timers ([`Telemetry::span`]) that nest; a
 //!   guard created while another is live records under the `/`-joined path
-//!   (`tracking/forward`). Each path keeps count/total/min/max/p50/p95
-//!   ([`SpanStats`]).
+//!   (`tracking/forward`). Each path keeps count/total/min/max/p50/p95/p99
+//!   ([`SpanStats`]) plus a fixed-bucket log2 latency histogram
+//!   ([`LogHistogram`]). Every completed guard additionally emits one
+//!   hierarchical [`SpanEvent`] carrying its parent span id, trace lane,
+//!   and window on the shared monotonic timebase
+//!   ([`splatonic_math::timebase`]).
 //! * **Counters and gauges** — monotonic `u64` counters and point-in-time
-//!   `f64` gauges. [`Telemetry::record_trace`] exports every field of a
-//!   renderer [`RenderTrace`] as counters (exhaustively destructured, so a
-//!   new trace field is a compile error here until it is exported).
+//!   `f64` gauges, named `subsystem/name` ([`validate_metric_name`]).
+//!   [`Telemetry::record_trace`] exports every field of a renderer
+//!   [`RenderTrace`] as counters (exhaustively destructured, so a new trace
+//!   field is a compile error here until it is exported).
 //! * **Frames** — per-frame SLAM records ([`FrameRecord`]) forming the
-//!   accuracy/workload trajectory of a run.
+//!   accuracy/workload trajectory of a run; `finish` folds their track/map
+//!   latencies into the report's histogram section.
 //! * **Reports** — [`Telemetry::finish`] snapshots everything into a
 //!   [`RunReport`] that serializes to JSON ([`json::Json`]) or renders as
 //!   aligned text.
+//! * **Exports** — [`Telemetry::write_chrome_trace`] merges span events
+//!   with the pool and render-phase side-band buffers into a
+//!   Perfetto-loadable Chrome trace ([`trace::TraceSession`]);
+//!   [`Telemetry::stream_events_to`] attaches an incrementally-flushed
+//!   JSONL event stream a live run can tail.
 //!
 //! The handle is deliberately cheap to thread everywhere: a disabled handle
 //! ([`Telemetry::disabled`]) holds no state and every operation on it —
 //! including [`Telemetry::span`] — returns without allocating, so hot render
 //! loops can take `&Telemetry` unconditionally.
 //!
-//! Everything here is hand-rolled on `std` only: the suite builds offline,
-//! so no `tracing`, no `serde` (DESIGN.md "Telemetry & run reports").
+//! Timings are wall-clock and therefore non-deterministic; they stay
+//! outside the snapshot fingerprint and the bit-exactness suites
+//! (DESIGN.md §14). Everything here is hand-rolled on `std` only: the
+//! suite builds offline, so no `tracing`, no `serde` (DESIGN.md
+//! "Telemetry & run reports").
 
+// Every public item must carry a doc comment; config knobs additionally
+// document their default and bit-exactness contract (DESIGN.md §13).
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
 pub mod frame;
+pub mod hist;
 pub mod json;
 pub mod report;
 pub mod span;
+pub mod trace;
 
+pub use clock::TestClock;
+pub use event::SpanEvent;
 pub use frame::FrameRecord;
+pub use hist::LogHistogram;
 pub use json::Json;
 pub use report::{utc_date, AccuracySummary, RunReport};
 pub use span::SpanStats;
+pub use trace::TraceSession;
 
-use splatonic_math::pool;
+use clock::Clock;
+use event::EventSink;
+use splatonic_math::{pool, timebase};
 use splatonic_render::trace::{BackwardStats, ForwardStats, RenderTrace};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::time::Instant;
+
+/// Upper bound on retained [`SpanEvent`]s per handle; beyond it events are
+/// dropped (aggregates still record) so long runs stay bounded.
+const MAX_SPAN_EVENTS: usize = 1 << 20;
 
 #[derive(Debug, Default)]
 struct Inner {
     /// Live span names, innermost last; joined with `/` to form paths.
     stack: Vec<String>,
+    /// Ids of all open spans (including flat ones), innermost last —
+    /// the parent-attribution stack for hierarchical events.
+    event_stack: Vec<u32>,
     spans: BTreeMap<String, SpanStats>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     frames: Vec<FrameRecord>,
+    /// Completed hierarchical span events, in completion order.
+    events: Vec<SpanEvent>,
+    next_event_id: u32,
+    events_dropped: u64,
+    clock: Clock,
+    /// Attached JSONL event stream, if any.
+    sink: Option<EventSink>,
 }
 
 /// Telemetry sink for one run.
@@ -65,6 +106,18 @@ impl Telemetry {
     pub fn enabled() -> Self {
         Telemetry {
             inner: Some(RefCell::new(Inner::default())),
+        }
+    }
+
+    /// An enabled sink stamping spans on an injected [`TestClock`] instead
+    /// of the process monotonic clock — nesting windows, durations, and
+    /// histogram buckets become exact and assertable in tests.
+    pub fn with_clock(clock: TestClock) -> Self {
+        Telemetry {
+            inner: Some(RefCell::new(Inner {
+                clock: Clock::Test(clock),
+                ..Inner::default()
+            })),
         }
     }
 
@@ -92,18 +145,49 @@ impl Telemetry {
     /// ```
     #[must_use = "dropping the guard immediately records a ~0 ms span"]
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.span_impl(name, false)
+    }
+
+    /// Starts a timed span that aggregates under the **verbatim** `name`,
+    /// without joining (or extending) the nesting path.
+    ///
+    /// Spans opened while a flat span is live keep their own paths —
+    /// `span_flat("frame")` wrapping `span("tracking")` still aggregates
+    /// the inner one as `"tracking"`, keeping report span paths stable —
+    /// but the hierarchical [`SpanEvent`]s do record the flat span as the
+    /// parent, so trace exports show the true tree.
+    #[must_use = "dropping the guard immediately records a ~0 ms span"]
+    pub fn span_flat(&self, name: &str) -> SpanGuard<'_> {
+        self.span_impl(name, true)
+    }
+
+    fn span_impl(&self, name: &str, flat: bool) -> SpanGuard<'_> {
         let Some(cell) = &self.inner else {
             return SpanGuard { live: None };
         };
         let mut inner = cell.borrow_mut();
-        inner.stack.push(name.to_string());
-        let path = inner.stack.join("/");
+        let path = if flat {
+            name.to_string()
+        } else {
+            inner.stack.push(name.to_string());
+            inner.stack.join("/")
+        };
+        let id = inner.next_event_id;
+        inner.next_event_id += 1;
+        let parent = inner.event_stack.last().copied();
+        inner.event_stack.push(id);
+        let start_ns = inner.clock.now_ns();
         drop(inner);
         SpanGuard {
             live: Some(LiveSpan {
                 telemetry: self,
                 path,
-                start: Instant::now(),
+                name: name.to_string(),
+                id,
+                parent,
+                flat,
+                lane: timebase::lane_id(),
+                start_ns,
             }),
         }
     }
@@ -123,10 +207,15 @@ impl Telemetry {
         }
     }
 
-    /// Appends one per-frame SLAM record.
+    /// Appends one per-frame SLAM record (also streamed to an attached
+    /// JSONL sink).
     pub fn record_frame(&self, record: FrameRecord) {
         if let Some(cell) = &self.inner {
-            cell.borrow_mut().frames.push(record);
+            let mut inner = cell.borrow_mut();
+            if let Some(sink) = &mut inner.sink {
+                sink.frame(&record);
+            }
+            inner.frames.push(record);
         }
     }
 
@@ -283,10 +372,15 @@ impl Telemetry {
         );
     }
 
-    /// Snapshots everything recorded so far into a [`RunReport`].
+    /// Snapshots everything recorded so far into a [`RunReport`],
+    /// including the per-frame track/map latency histograms
+    /// (`frame/track_ms` counts every non-anchor frame, `frame/map_ms`
+    /// only frames where mapping ran).
     ///
     /// The handle stays usable afterwards (the report is a copy), so a
-    /// caller can emit intermediate reports from a long run.
+    /// caller can emit intermediate reports from a long run. If a JSONL
+    /// stream is attached, counter/gauge totals and a `run_end` record are
+    /// written on every `finish` call.
     pub fn finish(&self, name: &str, accuracy: AccuracySummary) -> RunReport {
         let unix_time = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
@@ -300,10 +394,11 @@ impl Telemetry {
             spans: Vec::new(),
             counters: Vec::new(),
             gauges: Vec::new(),
+            latency: Vec::new(),
             accuracy,
         };
         if let Some(cell) = &self.inner {
-            let inner = cell.borrow();
+            let mut inner = cell.borrow_mut();
             report.frames = inner.frames.clone();
             report.spans = inner
                 .spans
@@ -316,27 +411,120 @@ impl Telemetry {
                 .map(|(k, v)| (k.clone(), *v))
                 .collect();
             report.gauges = inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect();
+
+            let mut track = LogHistogram::new();
+            let mut map = LogHistogram::new();
+            for f in &report.frames {
+                if f.track_iters > 0 {
+                    track.record_ms(f.track_ms);
+                }
+                if f.map_invoked {
+                    map.record_ms(f.map_ms);
+                }
+            }
+            report.latency = vec![
+                ("frame/track_ms".to_string(), track),
+                ("frame/map_ms".to_string(), map),
+            ];
+
+            let counters: Vec<(String, u64)> = report.counters.clone();
+            let gauges: Vec<(String, f64)> = report.gauges.clone();
+            let end_ns = inner.clock.now_ns();
+            if let Some(sink) = &mut inner.sink {
+                for (k, v) in &counters {
+                    sink.counter(k, *v);
+                }
+                for (k, v) in &gauges {
+                    sink.gauge(k, *v);
+                }
+                sink.run_end(name, end_ns);
+            }
         }
         report
     }
 
-    fn end_span(&self, path: &str, elapsed_ms: f64) {
+    fn end_span(&self, live: LiveSpan<'_>) {
         if let Some(cell) = &self.inner {
             let mut inner = cell.borrow_mut();
-            inner.stack.pop();
+            let dur_ns = inner.clock.now_ns().saturating_sub(live.start_ns);
+            if !live.flat {
+                inner.stack.pop();
+            }
+            inner.event_stack.pop();
             inner
                 .spans
-                .entry(path.to_string())
+                .entry(live.path.clone())
                 .or_default()
-                .record(elapsed_ms);
+                .record(dur_ns as f64 / 1e6);
+            let event = SpanEvent {
+                id: live.id,
+                parent: live.parent,
+                path: live.path,
+                name: live.name,
+                lane: live.lane,
+                start_ns: live.start_ns,
+                dur_ns,
+            };
+            if let Some(sink) = &mut inner.sink {
+                sink.span(&event);
+            }
+            if inner.events.len() < MAX_SPAN_EVENTS {
+                inner.events.push(event);
+            } else {
+                inner.events_dropped += 1;
+            }
         }
+    }
+
+    /// Attaches an incrementally-flushed JSONL event stream: a `run_start`
+    /// record immediately, one record per completed span and frame as they
+    /// happen, and counter/gauge totals plus `run_end` at
+    /// [`Telemetry::finish`]. Each record is one compact JSON object per
+    /// line, flushed as written, so `tail -f` on the file follows the run
+    /// live. A later call replaces the previous stream.
+    pub fn stream_events_to(&self, out: Box<dyn std::io::Write>) {
+        if let Some(cell) = &self.inner {
+            let mut inner = cell.borrow_mut();
+            let ts = inner.clock.now_ns();
+            let mut sink = EventSink::new(out);
+            sink.run_start(ts);
+            inner.sink = Some(sink);
+        }
+    }
+
+    /// Snapshot of the hierarchical span events completed so far.
+    pub fn span_events(&self) -> Vec<SpanEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |cell| cell.borrow().events.clone())
+    }
+
+    /// Writes a Chrome trace-event JSON file merging this handle's span
+    /// events with the pool and render-phase activity captured since
+    /// `session` began (see [`TraceSession`]). Loadable in Perfetto /
+    /// `chrome://tracing`; validated by `scripts/check_trace.py`.
+    pub fn write_chrome_trace(
+        &self,
+        session: &TraceSession,
+        path: &std::path::Path,
+    ) -> std::io::Result<()> {
+        let events = self.span_events();
+        let doc = trace::chrome_trace_json(&events, session);
+        let mut text = doc.to_string_pretty();
+        text.push('\n');
+        std::fs::write(path, text)
     }
 }
 
 struct LiveSpan<'a> {
     telemetry: &'a Telemetry,
     path: String,
-    start: Instant,
+    name: String,
+    id: u32,
+    parent: Option<u32>,
+    flat: bool,
+    lane: u32,
+    start_ns: u64,
 }
 
 /// RAII guard returned by [`Telemetry::span`]; records on drop.
@@ -348,10 +536,43 @@ pub struct SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(live) = self.live.take() {
-            let ms = live.start.elapsed().as_secs_f64() * 1e3;
-            live.telemetry.end_span(&live.path, ms);
+            let telemetry: &Telemetry = live.telemetry;
+            telemetry.end_span(live);
         }
     }
+}
+
+/// Checks a counter/gauge name against the `subsystem/name` convention:
+/// at least two non-empty `/`-separated segments of
+/// `[a-z0-9_-]` characters.
+///
+/// ```
+/// use splatonic_telemetry::validate_metric_name as v;
+/// assert!(v("slam/checkpoints_written").is_ok());
+/// assert!(v("unprefixed").is_err());
+/// assert!(v("Bad/Case").is_err());
+/// ```
+pub fn validate_metric_name(name: &str) -> Result<(), String> {
+    let segments: Vec<&str> = name.split('/').collect();
+    if segments.len() < 2 {
+        return Err(format!(
+            "metric {name:?} lacks a subsystem prefix (want subsystem/name)"
+        ));
+    }
+    for seg in &segments {
+        if seg.is_empty() {
+            return Err(format!("metric {name:?} has an empty path segment"));
+        }
+        if !seg
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+        {
+            return Err(format!(
+                "metric {name:?} has characters outside [a-z0-9_-] in segment {seg:?}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -506,6 +727,174 @@ mod tests {
             .map(|(_, v)| *v)
             .unwrap();
         assert!((util - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_events_record_hierarchy_and_exact_durations() {
+        let clock = TestClock::new();
+        let t = Telemetry::with_clock(clock.clone());
+        {
+            let _frame = t.span_flat("frame");
+            clock.advance_ns(1_000);
+            {
+                let _track = t.span("tracking");
+                clock.advance_ns(2_000_000); // 2 ms
+                {
+                    let _fwd = t.span("forward");
+                    clock.advance_ns(500_000); // 0.5 ms
+                }
+            }
+            clock.advance_ns(1_000);
+        }
+        let events = t.span_events();
+        // Completion order: innermost first.
+        assert_eq!(events.len(), 3);
+        let fwd = &events[0];
+        let track = &events[1];
+        let frame = &events[2];
+        assert_eq!(frame.path, "frame");
+        assert_eq!(frame.parent, None);
+        assert_eq!(track.path, "tracking"); // flat parent does not extend paths
+        assert_eq!(track.parent, Some(frame.id));
+        assert_eq!(fwd.path, "tracking/forward");
+        assert_eq!(fwd.parent, Some(track.id));
+        // Durations are exact on the test clock.
+        assert_eq!(fwd.dur_ns, 500_000);
+        assert_eq!(track.dur_ns, 2_500_000);
+        assert_eq!(frame.dur_ns, 2_502_000);
+        // Windows nest: child inside parent.
+        assert!(track.start_ns >= frame.start_ns);
+        assert!(track.start_ns + track.dur_ns <= frame.start_ns + frame.dur_ns);
+        // All on this thread's lane.
+        let lane = splatonic_math::timebase::lane_id();
+        assert!(events.iter().all(|e| e.lane == lane));
+        // Aggregates: "frame" recorded verbatim, inner paths unchanged.
+        let report = t.finish("r", AccuracySummary::default());
+        let paths: Vec<&str> = report.spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["frame", "tracking", "tracking/forward"]);
+    }
+
+    #[test]
+    fn spans_record_the_recording_threads_lane() {
+        // The handle is !Sync, so each thread owns its own handle; lanes
+        // attribute events to threads across handles.
+        let here = {
+            let t = Telemetry::enabled();
+            let _s = t.span("a");
+            drop(_s);
+            t.span_events()[0].lane
+        };
+        let there = std::thread::spawn(|| {
+            let t = Telemetry::enabled();
+            let _s = t.span("a");
+            drop(_s);
+            t.span_events()[0].lane
+        })
+        .join()
+        .unwrap();
+        assert_ne!(here, there);
+    }
+
+    #[test]
+    fn frame_latency_histograms_land_in_the_report() {
+        let clock = TestClock::new();
+        let t = Telemetry::with_clock(clock);
+        let frame = |idx: usize, track_ms: f64, map: Option<f64>| FrameRecord {
+            frame_idx: idx,
+            track_iters: 10,
+            map_invoked: map.is_some(),
+            sampled_pixels: 1,
+            map_sampled_pixels: 0,
+            gaussian_count: 1,
+            cache_hits: 0,
+            cache_invalidations: 0,
+            psnr_db: f64::NAN,
+            ate_so_far_cm: 0.0,
+            track_ms,
+            map_ms: map.unwrap_or(0.0),
+        };
+        t.record_frame(frame(1, 1.0, None));
+        t.record_frame(frame(2, 1.0, Some(8.0)));
+        t.record_frame(frame(3, 30.0, None));
+        let report = t.finish("r", AccuracySummary::default());
+        let track = &report
+            .latency
+            .iter()
+            .find(|(n, _)| n == "frame/track_ms")
+            .unwrap()
+            .1;
+        let map = &report
+            .latency
+            .iter()
+            .find(|(n, _)| n == "frame/map_ms")
+            .unwrap()
+            .1;
+        assert_eq!(track.count(), 3);
+        assert_eq!(map.count(), 1, "map histogram only counts mapping frames");
+        // 1 ms = 1000 µs → bucket 10 (upper edge 1.024 ms).
+        assert_eq!(track.p50_ms(), LogHistogram::bucket_upper_ms(10));
+        // 30 ms = 30000 µs → bucket 15 (upper edge 32.768 ms).
+        assert_eq!(track.p99_ms(), LogHistogram::bucket_upper_ms(15));
+    }
+
+    #[test]
+    fn jsonl_stream_is_tailable_line_by_line() {
+        use std::io::Write;
+        use std::rc::Rc;
+        #[derive(Clone, Default)]
+        struct Buf(Rc<RefCell<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let clock = TestClock::new();
+        let t = Telemetry::with_clock(clock.clone());
+        let buf = Buf::default();
+        t.stream_events_to(Box::new(buf.clone()));
+        {
+            let _s = t.span("tracking");
+            clock.advance_ns(1_000_000);
+        }
+        t.counter_add("slam/frames", 1);
+        let _ = t.finish("stream-unit", AccuracySummary::default());
+
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let types: Vec<String> = text
+            .lines()
+            .map(|l| {
+                let doc = json::parse(l).expect("each line parses standalone");
+                match doc.get("type").unwrap() {
+                    Json::Str(s) => s.clone(),
+                    other => panic!("bad type field {other:?}"),
+                }
+            })
+            .collect();
+        assert_eq!(types[0], "run_start");
+        assert!(types.contains(&"span".to_string()));
+        assert!(types.contains(&"counter".to_string()));
+        assert_eq!(types.last().unwrap(), "run_end");
+        // Span lines appear before run_end (incremental, not batched).
+        let span_pos = types.iter().position(|t| t == "span").unwrap();
+        let end_pos = types.iter().position(|t| t == "run_end").unwrap();
+        assert!(span_pos < end_pos);
+    }
+
+    #[test]
+    fn metric_name_validation_enforces_subsystem_prefix() {
+        assert!(validate_metric_name("slam/checkpoints_written").is_ok());
+        assert!(validate_metric_name("hw/splatonic-hw/seconds").is_ok());
+        assert!(validate_metric_name("pool/worker0").is_ok());
+        assert!(validate_metric_name("unprefixed").is_err());
+        assert!(validate_metric_name("trailing/").is_err());
+        assert!(validate_metric_name("/leading").is_err());
+        assert!(validate_metric_name("Upper/case").is_err());
+        assert!(validate_metric_name("spa ce/x").is_err());
     }
 
     #[test]

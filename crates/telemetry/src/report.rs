@@ -7,6 +7,7 @@
 //! perf-trajectory schema) or rendered as aligned-column text.
 
 use crate::frame::FrameRecord;
+use crate::hist::LogHistogram;
 use crate::json::Json;
 use crate::span::SpanStats;
 
@@ -52,6 +53,9 @@ pub struct RunReport {
     pub counters: Vec<(String, u64)>,
     /// Point-in-time gauges (hardware model outputs etc.) by name, sorted.
     pub gauges: Vec<(String, f64)>,
+    /// Log2 latency histograms by name (`frame/track_ms`, `frame/map_ms`),
+    /// with deterministic-width buckets and p50/p95/p99.
+    pub latency: Vec<(String, LogHistogram)>,
     /// Final accuracy.
     pub accuracy: AccuracySummary,
 }
@@ -71,6 +75,10 @@ impl RunReport {
         for (name, value) in &self.gauges {
             gauges.set(name, *value);
         }
+        let mut latency = Json::obj();
+        for (name, hist) in &self.latency {
+            latency.set(name, hist.to_json());
+        }
         let mut o = Json::obj();
         o.set("name", self.name.as_str())
             .set("date", self.date.as_str())
@@ -82,6 +90,7 @@ impl RunReport {
             .set("spans", spans)
             .set("counters", counters)
             .set("gauges", gauges)
+            .set("latency", latency)
             .set("accuracy", self.accuracy.to_json());
         o
     }
@@ -156,6 +165,25 @@ impl RunReport {
             }
         }
 
+        let shown_latency: Vec<&(String, LogHistogram)> =
+            self.latency.iter().filter(|(_, h)| h.count() > 0).collect();
+        if !shown_latency.is_empty() {
+            out.push_str("-- latency (log2 histogram upper edges) --\n");
+            let w = shown_latency
+                .iter()
+                .map(|(n, _)| n.chars().count())
+                .max()
+                .unwrap_or(0);
+            for (name, h) in &shown_latency {
+                out.push_str(&format!(
+                    "{name:<w$}  n={:<5} p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms\n",
+                    h.count(),
+                    h.p50_ms(),
+                    h.p95_ms(),
+                    h.p99_ms()
+                ));
+            }
+        }
         if !self.counters.is_empty() {
             out.push_str("-- counters --\n");
             let w = self
@@ -243,6 +271,11 @@ mod tests {
             ],
             counters: vec![("tracking/forward/pixels_shaded".into(), 480)],
             gauges: vec![("hw/splatonic/total_s".into(), 1.25e-4)],
+            latency: vec![("frame/track_ms".into(), {
+                let mut h = LogHistogram::new();
+                h.record_ms(5.0);
+                h
+            })],
             accuracy: AccuracySummary {
                 ate_cm: 0.4,
                 psnr_db: 20.0,
@@ -280,6 +313,19 @@ mod tests {
         assert!(text.contains("\n  forward") || text.contains("  forward  "));
         assert!(text.contains("accuracy: ATE 0.40 cm"));
         assert!(text.contains("pixels_shaded"));
+        assert!(text.contains("-- latency"));
+        assert!(text.contains("frame/track_ms"));
+    }
+
+    #[test]
+    fn latency_section_serializes_histograms() {
+        let doc = parse(&sample_report().to_json_string()).unwrap();
+        let lat = doc.get("latency").expect("latency section");
+        let track = lat.get("frame/track_ms").expect("track histogram");
+        assert_eq!(track.get("count").unwrap().as_f64(), Some(1.0));
+        for key in ["p50_ms", "p95_ms", "p99_ms", "buckets"] {
+            assert!(track.get(key).is_some(), "missing {key}");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! accumulates a [`Summary`] (count/total/min/max/mean) plus the raw sample
 //! list so report time can compute order statistics (p50/p95).
 
+use crate::hist::LogHistogram;
 use crate::json::Json;
 use splatonic_math::stats::{percentile, Summary};
 
@@ -13,6 +14,7 @@ use splatonic_math::stats::{percentile, Summary};
 pub struct SpanStats {
     summary: Summary,
     samples: Vec<f64>,
+    hist: LogHistogram,
 }
 
 impl SpanStats {
@@ -20,6 +22,7 @@ impl SpanStats {
     pub fn record(&mut self, ms: f64) {
         self.summary.push(ms);
         self.samples.push(ms);
+        self.hist.record_ms(ms);
     }
 
     /// Number of recorded executions.
@@ -57,18 +60,30 @@ impl SpanStats {
         self.percentile(95.0)
     }
 
+    /// 99th-percentile execution time (nearest rank).
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
     fn percentile(&self, p: f64) -> f64 {
         let mut v = self.samples.clone();
         percentile(&mut v, p)
+    }
+
+    /// The fixed-bucket log2 duration histogram for this path.
+    pub fn hist(&self) -> &LogHistogram {
+        &self.hist
     }
 
     /// Merges another path's statistics into this one.
     pub fn merge(&mut self, other: &SpanStats) {
         self.summary.merge(&other.summary);
         self.samples.extend_from_slice(&other.samples);
+        self.hist.merge(&other.hist);
     }
 
-    /// JSON object with the stats fields (`count`, `total_ms`, …).
+    /// JSON object with the stats fields (`count`, `total_ms`, …) plus the
+    /// log2 histogram under `hist`.
     pub fn to_json(&self) -> Json {
         let mut o = Json::obj();
         o.set("count", self.count())
@@ -77,7 +92,9 @@ impl SpanStats {
             .set("min_ms", self.min_ms())
             .set("max_ms", self.max_ms())
             .set("p50_ms", self.p50_ms())
-            .set("p95_ms", self.p95_ms());
+            .set("p95_ms", self.p95_ms())
+            .set("p99_ms", self.p99_ms())
+            .set("hist", self.hist.to_json());
         o
     }
 }

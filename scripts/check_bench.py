@@ -17,11 +17,19 @@ through:
 * anything under pool/ (worker count, per-worker busy time): skipped,
   machine-dependent by nature.
 
+The span (and latency-histogram) comparison is delegated to the Rust
+`report_diff` binary when one is built (`$REPORT_DIFF_BIN`, then
+`target/release/report_diff`), so the policy lives in one place
+(`crates/bench/src/diff.rs`); without the binary an equivalent Python
+fallback below covers the span section.
+
 Only the Python standard library is used. Exit code 0 = pass, 1 = fail
 (all violations are listed, not just the first).
 """
 
 import json
+import os
+import subprocess
 import sys
 
 # Tolerances. Accuracy metrics are deterministic in principle, but keep a
@@ -58,7 +66,82 @@ def machine_dependent(name):
     return any(name.startswith(p) for p in SKIP_PREFIXES)
 
 
-def check(report, baseline):
+def report_diff_binary():
+    """Path to a usable report_diff binary, or None for the Python fallback."""
+    explicit = os.environ.get("REPORT_DIFF_BIN")
+    if explicit:
+        return explicit if os.access(explicit, os.X_OK) else None
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    default = os.path.join(repo, "target", "release", "report_diff")
+    return default if os.access(default, os.X_OK) else None
+
+
+def delegated_span_errors(report_path, baseline_path):
+    """Span/latency violations from `report_diff --spans-only`, or None when
+    no binary is available (callers fall back to the Python span check)."""
+    binary = report_diff_binary()
+    if binary is None:
+        return None
+    proc = subprocess.run(
+        [binary, report_path, baseline_path, "--spans-only"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode == 0:
+        return []
+    if proc.returncode == 1:
+        return [
+            line[len("  - "):]
+            for line in proc.stderr.splitlines()
+            if line.startswith("  - ")
+        ] or [f"report_diff failed without violations: {proc.stderr.strip()}"]
+    # Usage error or crash: surface it rather than silently passing.
+    return [f"report_diff exited {proc.returncode}: {proc.stderr.strip()}"]
+
+
+def python_span_errors(report, baseline):
+    """Span-section fallback mirroring `report_diff --spans-only`."""
+    errors = []
+    err = errors.append
+    spans_r = {
+        k: v for k, v in report.get("spans", {}).items() if not machine_dependent(k)
+    }
+    spans_b = {
+        k: v for k, v in baseline.get("spans", {}).items() if not machine_dependent(k)
+    }
+    for name in sorted(set(spans_b) - set(spans_r)):
+        err(f"spans.{name}: missing from report")
+    # A span only the report carries is just as suspicious as one only the
+    # baseline carries: it means instrumentation changed without the
+    # baseline being regenerated, and its timing would go ungated.
+    for name in sorted(set(spans_r) - set(spans_b)):
+        err(f"spans.{name}: not in baseline; "
+            "regenerate scripts/bench_baseline.json")
+    for name in sorted(set(spans_r) & set(spans_b)):
+        r, b = spans_r[name], spans_b[name]
+        if r.get("count") != b.get("count"):
+            err(
+                f"spans.{name}.count: report {r.get('count')} "
+                f"!= baseline {b.get('count')}"
+            )
+        # A span record without total_ms must hard-fail, not default to a
+        # value that trivially passes the timing bound.
+        for side, rec in (("report", r), ("baseline", b)):
+            if "total_ms" not in rec:
+                err(f"spans.{name}.total_ms: missing from {side}")
+        if "total_ms" not in r or "total_ms" not in b:
+            continue
+        limit = max(b["total_ms"] * TIMING_MULT, TIMING_FLOOR_MS)
+        if r["total_ms"] > limit:
+            err(
+                f"spans.{name}.total_ms: report {r['total_ms']:.2f} ms "
+                f"exceeds {TIMING_MULT}x baseline "
+                f"({b['total_ms']:.2f} ms, limit {limit:.2f} ms)"
+            )
+    return errors
+
+
+def check(report, baseline, span_errors=None):
     errors = []
 
     def err(msg):
@@ -131,42 +214,12 @@ def check(report, baseline):
             err(f"counters.{name}: required to be nonzero (checkpointing ran)")
 
     # Spans: invocation counts are deterministic; wall time is not, so only
-    # an upper bound (generous multiplier, floored) is enforced.
-    spans_r = {
-        k: v for k, v in report.get("spans", {}).items() if not machine_dependent(k)
-    }
-    spans_b = {
-        k: v for k, v in baseline.get("spans", {}).items() if not machine_dependent(k)
-    }
-    for name in sorted(set(spans_b) - set(spans_r)):
-        err(f"spans.{name}: missing from report")
-    # A span only the report carries is just as suspicious as one only the
-    # baseline carries: it means instrumentation changed without the
-    # baseline being regenerated, and its timing would go ungated.
-    for name in sorted(set(spans_r) - set(spans_b)):
-        err(f"spans.{name}: not in baseline; "
-            "regenerate scripts/bench_baseline.json")
-    for name in sorted(set(spans_r) & set(spans_b)):
-        r, b = spans_r[name], spans_b[name]
-        if r.get("count") != b.get("count"):
-            err(
-                f"spans.{name}.count: report {r.get('count')} "
-                f"!= baseline {b.get('count')}"
-            )
-        # A span record without total_ms must hard-fail, not default to a
-        # value that trivially passes the timing bound.
-        for side, rec in (("report", r), ("baseline", b)):
-            if "total_ms" not in rec:
-                err(f"spans.{name}.total_ms: missing from {side}")
-        if "total_ms" not in r or "total_ms" not in b:
-            continue
-        limit = max(b["total_ms"] * TIMING_MULT, TIMING_FLOOR_MS)
-        if r["total_ms"] > limit:
-            err(
-                f"spans.{name}.total_ms: report {r['total_ms']:.2f} ms "
-                f"exceeds {TIMING_MULT}x baseline "
-                f"({b['total_ms']:.2f} ms, limit {limit:.2f} ms)"
-            )
+    # an upper bound (generous multiplier, floored) is enforced. When the
+    # Rust report_diff ran (span_errors is a list), its verdict replaces
+    # the Python fallback.
+    if span_errors is None:
+        span_errors = python_span_errors(report, baseline)
+    errors.extend(span_errors)
 
     # Gauges: hardware-model outputs are deterministic functions of the
     # (deterministic) traces; compare with a relative tolerance.
@@ -204,7 +257,10 @@ def main(argv):
         report = json.load(f)
     with open(argv[2]) as f:
         baseline = json.load(f)
-    errors = check(report, baseline)
+    span_errors = delegated_span_errors(argv[1], argv[2])
+    if span_errors is not None:
+        print("check_bench: span comparison via report_diff", file=sys.stderr)
+    errors = check(report, baseline, span_errors)
     if errors:
         print(f"check_bench: FAIL ({len(errors)} violation(s))", file=sys.stderr)
         for e in errors:

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Chrome trace-event schema gate for `figures --trace-out` output.
+
+Usage: check_trace.py TRACE.json [--min-threads N]
+
+Validates the trace the bench binaries export (and that Perfetto /
+chrome://tracing will load):
+
+* top level is `{"traceEvents": [...]}`;
+* every event has a known phase (`M` metadata, `X` complete, or a matched
+  `B`/`E` pair), an integer pid, and an integer tid >= 0;
+* `X` events carry numeric `ts` and `dur >= 0`, and appear in
+  non-decreasing `ts` order (the exporter sorts; a violation means the
+  producers disagree on the timebase);
+* `B`/`E` events nest properly per (pid, tid): every `E` matches the name
+  of the innermost open `B`, and nothing is left open at the end;
+* per (pid, tid), `X` events nest by time containment: walking them in
+  (ts asc, dur desc) order, each event must lie within the still-open
+  enclosing event (small epsilon for float microseconds);
+* with `--min-threads N`, at least N distinct tids carry timed events —
+  the multi-lane check (pool workers trace on their own lanes).
+
+Only the Python standard library is used. Exit 0 = pass, 1 = fail (all
+violations listed), 2 = usage.
+"""
+
+import json
+import sys
+
+# Duration events are f64 microseconds; allow sub-microsecond slack when
+# checking containment so rounding at the ns -> us conversion cannot flake.
+EPSILON_US = 0.5
+
+
+def check(doc, min_threads):
+    errors = []
+
+    def err(msg):
+        if len(errors) < 100:
+            errors.append(msg)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents: missing or not an array"], 0, 0
+    if not events:
+        err("traceEvents: empty")
+
+    open_durations = {}  # (pid, tid) -> [names] for B/E matching
+    x_by_lane = {}  # (pid, tid) -> [(ts, dur, name)]
+    last_ts = None
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ("M", "X", "B", "E"):
+            err(f"events[{i}]: unknown phase {ph!r}")
+            continue
+        for field in ("pid", "tid"):
+            v = e.get(field)
+            if not isinstance(v, int) or isinstance(v, bool):
+                err(f"events[{i}]: {field} must be an integer, got {v!r}")
+        if not isinstance(e.get("tid"), bool) and isinstance(e.get("tid"), int):
+            if e["tid"] < 0:
+                err(f"events[{i}]: tid must be >= 0, got {e['tid']}")
+        if ph == "M":
+            continue
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            err(f"events[{i}]: timed event without a name")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            err(f"events[{i}]: ts must be a non-negative number, got {ts!r}")
+            continue
+        lane = (e.get("pid"), e.get("tid"))
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                err(f"events[{i}]: dur must be a non-negative number, got {dur!r}")
+                continue
+            if last_ts is not None and ts < last_ts - EPSILON_US:
+                err(
+                    f"events[{i}]: ts {ts} is before the previous timed "
+                    f"event ({last_ts}); X events must be start-sorted"
+                )
+            last_ts = ts
+            x_by_lane.setdefault(lane, []).append((ts, dur, name))
+        elif ph == "B":
+            open_durations.setdefault(lane, []).append(name)
+        elif ph == "E":
+            stack = open_durations.get(lane, [])
+            if not stack:
+                err(f"events[{i}]: E {name!r} on {lane} with no open B")
+            else:
+                opened = stack.pop()
+                # Trace-event E records may omit the name; match when given.
+                if name and opened != name:
+                    err(
+                        f"events[{i}]: E {name!r} does not match "
+                        f"innermost B {opened!r} on {lane}"
+                    )
+    for lane, stack in open_durations.items():
+        for name in stack:
+            err(f"unclosed B {name!r} on {lane}")
+
+    # Per-lane time-containment nesting of complete events.
+    for lane, rows in x_by_lane.items():
+        rows.sort(key=lambda r: (r[0], -r[1]))
+        stack = []  # (end_ts, name)
+        for ts, dur, name in rows:
+            while stack and ts >= stack[-1][0] - EPSILON_US:
+                stack.pop()
+            if stack and ts + dur > stack[-1][0] + EPSILON_US:
+                err(
+                    f"lane {lane}: {name!r} [{ts}, {ts + dur}] overlaps the "
+                    f"end of enclosing {stack[-1][1]!r} ({stack[-1][0]}) "
+                    "without nesting inside it"
+                )
+            stack.append((ts + dur, name))
+
+    lanes = len(x_by_lane)
+    if lanes < min_threads:
+        err(f"only {lanes} thread(s) carry timed events; need >= {min_threads}")
+
+    return errors, lanes, sum(len(v) for v in x_by_lane.values())
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    min_threads = 1
+    if "--min-threads" in argv:
+        i = argv.index("--min-threads")
+        if i + 1 >= len(argv):
+            print("--min-threads requires an argument", file=sys.stderr)
+            return 2
+        min_threads = int(argv[i + 1])
+        args = [a for a in args if a != argv[i + 1]]
+    if len(args) != 1:
+        print("usage: check_trace.py TRACE.json [--min-threads N]", file=sys.stderr)
+        return 2
+    with open(args[0]) as f:
+        doc = json.load(f)
+    errors, lanes, count = check(doc, min_threads)
+    if errors:
+        print(f"check_trace: FAIL ({len(errors)} violation(s))", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    print(f"check_trace: OK ({count} timed events on {lanes} thread(s) in {args[0]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,11 +28,36 @@ SPLATONIC_THREADS=4 cargo test --workspace --release -q
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo doc --no-deps (math, scene, render; warnings are errors) =="
-# The three crates with #![warn(missing_docs)]: every public item must be
-# documented and every intra-doc link must resolve (DESIGN.md §13).
+echo "== cargo doc --no-deps (documented crates; warnings are errors) =="
+# The crates with #![warn(missing_docs)]: every public item must be
+# documented and every intra-doc link must resolve (DESIGN.md §13, §14).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
-  -p splatonic-math -p splatonic-scene -p splatonic-render
+  -p splatonic-math -p splatonic-scene -p splatonic-render \
+  -p splatonic-telemetry -p splatonic-slam -p splatonic-bench
+
+echo "== traced instrumented run + trace/report gates (DESIGN.md §14) =="
+# One quick instrumented pass exporting all three artifacts, then the
+# schema gates: the Chrome trace must nest per-lane and span >= 2 threads
+# (pool workers trace on their own lanes at SPLATONIC_THREADS=4), the JSONL
+# stream must be one valid record per line, and report_diff must pass a
+# self-compare (a report always matches itself).
+VERIFY_TMP="$(mktemp -d)"
+trap 'rm -rf "$VERIFY_TMP"' EXIT
+SPLATONIC_THREADS=4 cargo run --release -p splatonic-bench --bin figures -- --quick \
+  --report "$VERIFY_TMP/report.json" \
+  --trace-out "$VERIFY_TMP/trace.json" \
+  --events-out "$VERIFY_TMP/events.jsonl"
+python3 scripts/check_trace.py "$VERIFY_TMP/trace.json" --min-threads 2
+python3 - "$VERIFY_TMP/events.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+types = [json.loads(l)["type"] for l in lines]
+assert types[0] == "run_start" and types[-1] == "run_end", types[:1] + types[-1:]
+assert "span" in types and "frame" in types, "stream missing span/frame records"
+print(f"events stream: OK ({len(lines)} records)")
+EOF
+cargo run --release -p splatonic-bench --bin report_diff -- \
+  "$VERIFY_TMP/report.json" "$VERIFY_TMP/report.json"
 
 echo "== scripts/fault_inject.sh (kill/resume bitwise + corruption gate) =="
 # Cross-process checkpoint/resume: kill mid-run, resume from the snapshot,
