@@ -123,6 +123,11 @@ fn record_worker(worker: usize, nanos: u64, chunks: u64) {
 pub struct PoolEvent {
     /// Worker slot index; traces on lane [`timebase::POOL_LANE_BASE`]` + worker`.
     pub worker: usize,
+    /// Run/session id ambient on the *calling* thread when the invocation
+    /// started ([`timebase::run_id`]; 0 when no session scope is active).
+    /// Spawned workers inherit the caller's id — the ephemeral worker
+    /// threads themselves never carry one.
+    pub run: u32,
     /// Invocation start, nanoseconds on [`timebase::monotonic_ns`].
     pub start_ns: u64,
     /// Busy duration of this worker within the invocation, nanoseconds.
@@ -163,11 +168,22 @@ pub fn trace_events_since(cursor: usize) -> Vec<PoolEvent> {
     events.get(cursor..).map_or_else(Vec::new, <[_]>::to_vec)
 }
 
-fn record_trace_event(worker: usize, start_ns: u64, dur_ns: u64, chunks: u64) {
+/// Like [`trace_events_since`], but keeps only events attributed to `run`
+/// ([`PoolEvent::run`]). Concurrent sessions sharing the process-global
+/// buffer use this so one session's drain cannot steal another's events.
+pub fn trace_events_since_for_run(cursor: usize, run: u32) -> Vec<PoolEvent> {
+    let events = TRACE_EVENTS.lock().expect("pool trace lock");
+    events.get(cursor..).map_or_else(Vec::new, |tail| {
+        tail.iter().filter(|e| e.run == run).copied().collect()
+    })
+}
+
+fn record_trace_event(worker: usize, run: u32, start_ns: u64, dur_ns: u64, chunks: u64) {
     let mut events = TRACE_EVENTS.lock().expect("pool trace lock");
     if events.len() < MAX_POOL_EVENTS {
         events.push(PoolEvent {
             worker,
+            run,
             start_ns,
             dur_ns,
             chunks,
@@ -203,6 +219,10 @@ where
     }
     let threads = threads.clamp(1, MAX_WORKERS).min(n_chunks);
     let tracing = trace_enabled();
+    // Run attribution comes from the caller: the ambient id is thread-local
+    // and the spawned workers are fresh threads (default id 0), so it must
+    // be captured here and forwarded into each worker's trace record.
+    let run = if tracing { timebase::run_id() } else { 0 };
     if threads <= 1 || n_chunks == 1 {
         let start_ns = if tracing { timebase::monotonic_ns() } else { 0 };
         let start = Instant::now();
@@ -216,7 +236,7 @@ where
         let nanos = start.elapsed().as_nanos() as u64;
         record_worker(0, nanos, n_chunks as u64);
         if tracing {
-            record_trace_event(0, start_ns, nanos, n_chunks as u64);
+            record_trace_event(0, run, start_ns, nanos, n_chunks as u64);
         }
         return out;
     }
@@ -244,7 +264,7 @@ where
                     let nanos = start.elapsed().as_nanos() as u64;
                     record_worker(worker, nanos, local.len() as u64);
                     if tracing {
-                        record_trace_event(worker, start_ns, nanos, local.len() as u64);
+                        record_trace_event(worker, run, start_ns, nanos, local.len() as u64);
                     }
                     local
                 })
@@ -330,8 +350,12 @@ mod tests {
         let _ = par_chunks_indexed(1, &[1u8], 0, |_, _, _| ());
     }
 
+    /// Serializes the tests that toggle the process-global trace gate.
+    static TRACE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn trace_events_capture_worker_activity_when_enabled() {
+        let _serial = TRACE_TEST_LOCK.lock().unwrap();
         let items: Vec<u32> = (0..512).collect();
 
         // Disabled (the default): no events appear.
@@ -353,5 +377,31 @@ mod tests {
             assert!(e.worker < MAX_WORKERS);
         }
         let _ = before;
+    }
+
+    #[test]
+    fn trace_events_carry_the_callers_run_id() {
+        let _serial = TRACE_TEST_LOCK.lock().unwrap();
+        let items: Vec<u32> = (0..256).collect();
+        trace_enable(true);
+        let cursor = trace_cursor();
+        {
+            let _scope = timebase::run_scope(7701);
+            let _ = par_chunks_indexed(2, &items, 16, |_, _, c| c.len());
+        }
+        {
+            let _scope = timebase::run_scope(7702);
+            let _ = par_chunks_indexed(2, &items, 16, |_, _, c| c.len());
+        }
+        let only_a = trace_events_since_for_run(cursor, 7701);
+        let only_b = trace_events_since_for_run(cursor, 7702);
+        trace_enable(false);
+
+        assert!(!only_a.is_empty() && !only_b.is_empty());
+        assert!(only_a.iter().all(|e| e.run == 7701));
+        assert!(only_b.iter().all(|e| e.run == 7702));
+        // Each scoped drain sees its own chunks in full.
+        assert_eq!(only_a.iter().map(|e| e.chunks).sum::<u64>(), 16);
+        assert_eq!(only_b.iter().map(|e| e.chunks).sum::<u64>(), 16);
     }
 }

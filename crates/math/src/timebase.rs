@@ -19,6 +19,7 @@
 //! and the clock are trace-only concepts and never feed the bit-exactness
 //! suites (DESIGN.md §14).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -48,6 +49,54 @@ pub fn lane_id() -> u32 {
         static LANE: u32 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
     }
     LANE.with(|l| *l)
+}
+
+thread_local! {
+    /// Run/session id ambient on this thread; see [`run_id`].
+    static RUN_ID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The run/session id currently ambient on the calling thread.
+///
+/// `0` (the default) means "not attributed to any particular session" — the
+/// single-run bench binaries never set it, so their traces are unchanged.
+/// A multi-session driver (the SLAM serving layer) brackets each session's
+/// work with [`run_scope`]; every trace producer — the worker pool, the
+/// render phase buffer, the telemetry span guards — stamps the ambient id
+/// into its events so concurrent sessions stop cross-attributing each
+/// other's activity.
+///
+/// Like [`lane_id`] this is a trace-only concept: it never feeds the
+/// bit-exactness suites.
+pub fn run_id() -> u32 {
+    RUN_ID.with(|r| r.get())
+}
+
+/// Sets the calling thread's ambient run id, returning the previous value.
+/// Prefer the RAII [`run_scope`] so the previous id is always restored.
+pub fn set_run_id(run: u32) -> u32 {
+    RUN_ID.with(|r| r.replace(run))
+}
+
+/// RAII guard restoring the previous ambient run id on drop (see
+/// [`run_scope`]).
+#[must_use = "dropping the guard immediately restores the previous run id"]
+pub struct RunScope {
+    prev: u32,
+}
+
+/// Makes `run` the ambient run id for the calling thread until the returned
+/// guard drops, then restores whatever was ambient before (scopes nest).
+pub fn run_scope(run: u32) -> RunScope {
+    RunScope {
+        prev: set_run_id(run),
+    }
+}
+
+impl Drop for RunScope {
+    fn drop(&mut self) {
+        set_run_id(self.prev);
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,9 @@ pub struct PhaseEvent {
     pub name: &'static str,
     /// Trace lane of the recording thread.
     pub lane: u32,
+    /// Run/session id ambient on the recording thread when the phase ended
+    /// ([`timebase::run_id`]; 0 when no session scope is active).
+    pub run: u32,
     /// Start, nanoseconds on [`timebase::monotonic_ns`].
     pub start_ns: u64,
     /// Duration in nanoseconds.
@@ -60,6 +63,16 @@ pub fn events_since(cursor: usize) -> Vec<PhaseEvent> {
     events.get(cursor..).map_or_else(Vec::new, <[_]>::to_vec)
 }
 
+/// Like [`events_since`], but keeps only events attributed to `run`
+/// ([`PhaseEvent::run`]). Concurrent sessions sharing the process-global
+/// buffer use this so one session's drain cannot steal another's phases.
+pub fn events_since_for_run(cursor: usize, run: u32) -> Vec<PhaseEvent> {
+    let events = EVENTS.lock().expect("phase trace lock");
+    events.get(cursor..).map_or_else(Vec::new, |tail| {
+        tail.iter().filter(|e| e.run == run).copied().collect()
+    })
+}
+
 /// Starts a phase; the returned guard records on drop. No-op (one atomic
 /// load) while capture is disabled.
 #[must_use = "dropping the guard immediately records a ~0 ns phase"]
@@ -87,6 +100,7 @@ impl Drop for PhaseGuard {
                 events.push(PhaseEvent {
                     name,
                     lane: timebase::lane_id(),
+                    run: timebase::run_id(),
                     start_ns,
                     dur_ns,
                 });
@@ -99,8 +113,12 @@ impl Drop for PhaseGuard {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that toggle the process-global capture gate.
+    static GATE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn guard_records_only_while_enabled() {
+        let _serial = GATE_TEST_LOCK.lock().unwrap();
         // Disabled path: guard must be free and record nothing from here.
         {
             let _g = begin("render/unit_disabled");
@@ -124,5 +142,28 @@ mod tests {
             .find(|e| e.name == "render/unit_enabled")
             .expect("enabled guard records");
         assert!(e.lane >= 1);
+    }
+
+    #[test]
+    fn scoped_drain_filters_by_run_id() {
+        let _serial = GATE_TEST_LOCK.lock().unwrap();
+        enable(true);
+        let cursor = cursor();
+        {
+            let _scope = timebase::run_scope(8801);
+            let _g = begin("render/unit_run_a");
+        }
+        {
+            let _scope = timebase::run_scope(8802);
+            let _g = begin("render/unit_run_b");
+        }
+        let only_a = events_since_for_run(cursor, 8801);
+        let only_b = events_since_for_run(cursor, 8802);
+        enable(false);
+
+        assert!(only_a.iter().any(|e| e.name == "render/unit_run_a"));
+        assert!(only_a.iter().all(|e| e.run == 8801));
+        assert!(only_b.iter().any(|e| e.name == "render/unit_run_b"));
+        assert!(only_b.iter().all(|e| e.run == 8802));
     }
 }

@@ -1,14 +1,28 @@
-//! Cross-iteration projection cache (thread-local, single entry).
+//! Cross-iteration projection cache (thread-local, small keyed LRU).
 //!
 //! Tracking and mapping call the renderer many times per frame — one
 //! forward and one backward pass per Adam iteration — and every call starts
 //! by projecting the whole scene ([`crate::kernel::project_scene`]). Within
 //! one iteration the backward pass projects at *exactly* the pose the
 //! forward pass just used, so half of all projection work is verbatim
-//! recomputation. This module caches the most recent projection result
-//! (projected means, conics, depths, and the α-filter cull verdicts —
-//! culled Gaussians are simply absent from the list) and replays it when
-//! the next render is provably identical.
+//! recomputation. This module caches recent projection results (projected
+//! means, conics, depths, and the α-filter cull verdicts — culled Gaussians
+//! are simply absent from the list) and replays one when the next render is
+//! provably identical.
+//!
+//! # Why more than one entry
+//!
+//! The cache held a single entry through PR 7, which is exactly right for
+//! one SLAM session: renders alternate forward/backward at one pose. But a
+//! multi-session manager interleaves K sessions on the *same* thread, and
+//! with one slot every session switch evicted the previous session's entry
+//! — K interleaved sessions drove the hit rate to zero while K sequential
+//! runs enjoyed ~50%. The cache is therefore a small LRU
+//! ([`CACHE_CAPACITY`] entries, most-recent-first) keyed by scene revision
+//! plus pose bits: each session's scene has a distinct revision, so K ≤
+//! [`CACHE_CAPACITY`] interleaved sessions each keep their own entry and
+//! the per-session hit pattern matches the sequential run exactly (the
+//! cross-session thrash regression test below pins this down).
 //!
 //! # Invalidation bound
 //!
@@ -34,7 +48,7 @@
 //! any output), so the statistics live here and are exported to telemetry
 //! as side-band counters instead.
 //!
-//! The cache is thread-local and the entry is keyed on process-unique
+//! The cache is thread-local and entries are keyed on process-unique
 //! revisions, so worker threads never observe each other's entries and
 //! results stay bit-identical at every `SPLATONIC_THREADS` width (renders
 //! are issued from the caller's thread; the pool only fans out *inside*
@@ -137,7 +151,22 @@ impl CacheStats {
             invalidations: self.invalidations - earlier.invalidations,
         }
     }
+
+    /// Counter-wise accumulation `self += delta` — the inverse of
+    /// [`CacheStats::since`], used by session accounting that sums many
+    /// bracketed windows into one per-session total.
+    pub fn add(&mut self, delta: &CacheStats) {
+        self.hits += delta.hits;
+        self.misses += delta.misses;
+        self.invalidations += delta.invalidations;
+    }
 }
+
+/// Entries retained per thread. Sized for a small fleet of interleaved
+/// sessions (each live session occupies one slot via its unique scene
+/// revision); deliberately tiny because each entry pins a full projection
+/// list (`Rc<Vec<ProjectedGaussian>>`).
+pub const CACHE_CAPACITY: usize = 8;
 
 struct Entry {
     key: Key,
@@ -147,15 +176,13 @@ struct Entry {
 
 #[derive(Default)]
 struct CacheState {
-    entry: Option<Entry>,
+    /// Most-recently-used first, at most [`CACHE_CAPACITY`] entries.
+    entries: Vec<Entry>,
     stats: CacheStats,
 }
 
 thread_local! {
-    static CACHE: RefCell<CacheState> = RefCell::new(CacheState {
-        entry: None,
-        stats: CacheStats::default(),
-    });
+    static CACHE: RefCell<CacheState> = RefCell::new(CacheState::default());
 }
 
 /// Projects the scene through the cache: returns the shared projection
@@ -177,27 +204,42 @@ pub fn project_scene_cached(
     let key = Key::new(scene, camera, config);
     CACHE.with(|cell| {
         let mut state = cell.borrow_mut();
-        if let Some(entry) = &state.entry {
-            if entry.key == key {
-                let _p = crate::phase::begin("render/projcache_hit");
-                let projected = Rc::clone(&entry.projected);
-                let culled = entry.culled;
-                state.stats.hits += 1;
-                return (projected, culled);
-            }
-            if entry.key.pose_only_delta(&key) {
-                state.stats.invalidations += 1;
-            }
+        if let Some(pos) = state.entries.iter().position(|e| e.key == key) {
+            let _p = crate::phase::begin("render/projcache_hit");
+            state.stats.hits += 1;
+            let entry = state.entries.remove(pos);
+            let projected = Rc::clone(&entry.projected);
+            let culled = entry.culled;
+            state.entries.insert(0, entry);
+            return (projected, culled);
+        }
+        // A pose-only delta supersedes its entry in place: at most one
+        // entry per non-pose context ever exists, so single-session stats
+        // are identical to the old single-slot cache (one invalidation per
+        // pose step) and a stale pose can never pad the LRU.
+        let pose_slot = state
+            .entries
+            .iter()
+            .position(|e| e.key.pose_only_delta(&key));
+        if pose_slot.is_some() {
+            state.stats.invalidations += 1;
         }
         state.stats.misses += 1;
         let _p = crate::phase::begin("render/project");
         let (projected, culled) = project_scene(scene, camera, config);
         let projected = Rc::new(projected);
-        state.entry = Some(Entry {
-            key,
-            projected: Rc::clone(&projected),
-            culled,
-        });
+        if let Some(pos) = pose_slot {
+            state.entries.remove(pos);
+        }
+        state.entries.insert(
+            0,
+            Entry {
+                key,
+                projected: Rc::clone(&projected),
+                culled,
+            },
+        );
+        state.entries.truncate(CACHE_CAPACITY);
         (projected, culled)
     })
 }
@@ -207,11 +249,12 @@ pub fn stats() -> CacheStats {
     CACHE.with(|cell| cell.borrow().stats)
 }
 
-/// Drops the cached entry and zeroes the statistics (tests and benchmarks).
+/// Drops all cached entries and zeroes the statistics (tests and
+/// benchmarks).
 pub fn clear() {
     CACHE.with(|cell| {
         let mut state = cell.borrow_mut();
-        state.entry = None;
+        state.entries.clear();
         state.stats = CacheStats::default();
     });
 }
@@ -310,6 +353,58 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_sessions_do_not_thrash() {
+        // Regression for the single-slot cache: two "sessions" (distinct
+        // scenes, so distinct revisions) alternating on one thread used to
+        // evict each other on every switch, driving hits to zero. The LRU
+        // must serve both: after each session's first projection, every
+        // repeat is a hit — 2N renders → 2N − 2 hits, and crucially zero
+        // invalidations (a session switch is not a pose step).
+        clear();
+        let (scene_a, cam_a) = setup();
+        let world_b = WorldBuilder::new(21)
+            .gaussian_spacing(0.4)
+            .furniture(2)
+            .build();
+        let scene_b = world_b.scene;
+        let cam_b = Camera::new(Intrinsics::with_fov(64, 48, 1.2), Pose::identity());
+        let cfg = RenderConfig::default();
+
+        let n = 5u64;
+        for _ in 0..n {
+            let (got_a, _) = project_scene_cached(&scene_a, &cam_a, &cfg);
+            let (got_b, _) = project_scene_cached(&scene_b, &cam_b, &cfg);
+            let (fresh_a, _) = project_scene(&scene_a, &cam_a, &cfg);
+            let (fresh_b, _) = project_scene(&scene_b, &cam_b, &cfg);
+            assert_eq!(*got_a, fresh_a);
+            assert_eq!(*got_b, fresh_b);
+        }
+        let s = stats();
+        assert_eq!(s.misses, 2, "one cold miss per session");
+        assert_eq!(s.hits, 2 * n - 2, "every later render is a hit");
+        assert_eq!(s.invalidations, 0, "session switches are not pose steps");
+        clear();
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_entry_past_capacity() {
+        clear();
+        let (mut scene, cam) = setup();
+        let cfg = RenderConfig::default();
+        // Fill past capacity with distinct scene revisions.
+        for _ in 0..=CACHE_CAPACITY {
+            scene.update(0, |g| g.opacity_logit += 0.01);
+            let _ = project_scene_cached(&scene, &cam, &cfg);
+        }
+        let full = stats();
+        assert_eq!(full.misses as usize, CACHE_CAPACITY + 1);
+        // The newest revision is still cached ...
+        let _ = project_scene_cached(&scene, &cam, &cfg);
+        assert_eq!(stats().hits, full.hits + 1);
+        clear();
+    }
+
+    #[test]
     fn stats_since_subtracts() {
         let early = CacheStats {
             hits: 2,
@@ -325,5 +420,9 @@ mod tests {
         assert_eq!(d.hits, 8);
         assert_eq!(d.misses, 4);
         assert_eq!(d.invalidations, 1);
+        // add() inverts since(): early + d == late.
+        let mut roundtrip = early;
+        roundtrip.add(&d);
+        assert_eq!(roundtrip, late);
     }
 }

@@ -14,7 +14,10 @@
 //! * [`metrics`] — ATE (Umeyama-aligned RMSE) and PSNR,
 //! * [`adam`] — the Adam optimizer used by both processes,
 //! * [`snapshot`] — versioned, bit-exact checkpoint/resume wire format
-//!   (DESIGN.md §12).
+//!   (DESIGN.md §12),
+//! * [`serve`] — the multi-session serving layer: a [`serve::SessionManager`]
+//!   that interleaves K independent sessions fairly, with bounded ingest
+//!   queues and snapshot-backed eviction/resume (DESIGN.md §15).
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@ pub mod algorithm;
 pub mod dataset;
 pub mod mapping;
 pub mod metrics;
+pub mod serve;
 pub mod snapshot;
 pub mod system;
 pub mod tracking;
@@ -41,6 +45,7 @@ pub mod tracking;
 pub use algorithm::{AlgorithmConfig, AlgorithmPreset};
 pub use dataset::{Dataset, DatasetConfig};
 pub use metrics::{ate_rmse_cm, psnr_db};
+pub use serve::{ServeConfig, ServeError, SessionManager, SessionOutcome, StepReport};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use system::{SlamConfig, SlamResult, SlamSystem};
 

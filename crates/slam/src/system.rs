@@ -222,10 +222,40 @@ struct RunState {
     tracking_iters: usize,
     mapping_iters: usize,
     mapping_invocations: usize,
-    /// Pool busy-time baseline captured at run start (telemetry only).
-    pool_stats_before: Vec<WorkerStats>,
-    /// Projection-cache baseline captured at run start (telemetry only).
-    cache_run_start: projcache::CacheStats,
+    /// Per-worker pool activity attributed to *this* run so far (telemetry
+    /// only). The pool registry is process-global, so a run-start/run-end
+    /// subtraction would absorb every other session's activity when runs
+    /// interleave; instead each frame brackets its own window and the
+    /// deltas accumulate here.
+    pool_accum: Vec<WorkerStats>,
+    /// Projection-cache activity attributed to this run, accumulated the
+    /// same bracket-by-bracket way (telemetry side-band only).
+    cache_accum: projcache::CacheStats,
+}
+
+/// Adds the per-worker activity since `before` (a
+/// [`splatonic_math::pool::worker_stats_snapshot`]) into `accum`,
+/// merging by worker slot.
+fn accumulate_pool(accum: &mut Vec<WorkerStats>, before: &[WorkerStats]) {
+    let after = splatonic_math::pool::worker_stats_snapshot();
+    for w in &after {
+        let prev = before.iter().find(|b| b.worker == w.worker);
+        let delta_ms = w.busy_ms - prev.map_or(0.0, |b| b.busy_ms);
+        let delta_chunks = w.chunks.saturating_sub(prev.map_or(0, |b| b.chunks));
+        if delta_ms <= 0.0 && delta_chunks == 0 {
+            continue;
+        }
+        if let Some(slot) = accum.iter_mut().find(|a| a.worker == w.worker) {
+            slot.busy_ms += delta_ms;
+            slot.chunks += delta_chunks;
+        } else {
+            accum.push(WorkerStats {
+                worker: w.worker,
+                busy_ms: delta_ms,
+                chunks: delta_chunks,
+            });
+        }
+    }
 }
 
 /// The SLAM system state.
@@ -348,22 +378,37 @@ impl SlamSystem {
     /// finalize called twice).
     pub fn finalize(&mut self, dataset: &Dataset, telemetry: &Telemetry) -> SlamResult {
         let _finalize = telemetry.span_flat("finalize");
-        let state = self.run.take().expect("finalize requires an active run");
+        let mut state = self.run.take().expect("finalize requires an active run");
         let n = state.next_frame;
         assert_eq!(n, dataset.len(), "finalize requires a completed run");
         let ate_cm = ate_rmse_cm(&state.est_poses, &dataset.gt_poses[..n]);
         let psnr = {
             let _span = telemetry.span_flat("psnr_eval");
-            self.evaluate_psnr(
+            // The evaluation renders go through the same pool and cache;
+            // bracket them so they attribute to this run too.
+            let pool_before = if telemetry.is_enabled() {
+                splatonic_math::pool::worker_stats_snapshot()
+            } else {
+                Vec::new()
+            };
+            let cache_before = projcache::stats();
+            let v = self.evaluate_psnr(
                 dataset,
                 &state.est_poses,
                 self.config.algorithm.mapping_every,
-            )
+            );
+            state
+                .cache_accum
+                .add(&projcache::stats().since(&cache_before));
+            if telemetry.is_enabled() {
+                accumulate_pool(&mut state.pool_accum, &pool_before);
+            }
+            v
         };
 
         telemetry.record_trace("tracking", &state.tracking_trace);
         telemetry.record_trace("mapping", &state.mapping_trace);
-        let cache_run = projcache::stats().since(&state.cache_run_start);
+        let cache_run = state.cache_accum;
         telemetry.counter_add("render/cache_hits", cache_run.hits);
         telemetry.counter_add("render/cache_misses", cache_run.misses);
         telemetry.counter_add("render/cache_invalidations", cache_run.invalidations);
@@ -371,7 +416,7 @@ impl SlamSystem {
         telemetry.counter_add("slam/mapping_iters", state.mapping_iters as u64);
         telemetry.counter_add("slam/mapping_invocations", state.mapping_invocations as u64);
         telemetry.gauge_set("slam/scene_size", self.scene.len() as f64);
-        telemetry.record_pool_workers(&state.pool_stats_before);
+        telemetry.record_pool_worker_deltas(&state.pool_accum);
 
         SlamResult {
             est_poses: state.est_poses,
@@ -385,6 +430,28 @@ impl SlamSystem {
             mapping_invocations: state.mapping_invocations,
             scene_size: self.scene.len(),
         }
+    }
+
+    /// Flushes the session-scoped cache/pool telemetry accumulators into
+    /// `telemetry` and resets them.
+    ///
+    /// Snapshots deliberately exclude execution telemetry (DESIGN.md §12),
+    /// so the accumulators would be lost when a serving layer evicts this
+    /// system to disk and later resumes it. Evicting callers flush first;
+    /// counters are additive, so the flushed amounts plus whatever
+    /// [`Self::finalize`] exports after the last resume still cover the
+    /// session's whole life. A no-op between runs.
+    pub fn flush_counters(&mut self, telemetry: &Telemetry) {
+        let Some(state) = self.run.as_mut() else {
+            return;
+        };
+        let cache = state.cache_accum;
+        state.cache_accum = projcache::CacheStats::default();
+        telemetry.counter_add("render/cache_hits", cache.hits);
+        telemetry.counter_add("render/cache_misses", cache.misses);
+        telemetry.counter_add("render/cache_invalidations", cache.invalidations);
+        let pool = std::mem::take(&mut state.pool_accum);
+        telemetry.record_pool_worker_deltas(&pool);
     }
 
     /// Serializes the current run state into a [`Snapshot`].
@@ -526,8 +593,8 @@ impl SlamSystem {
                 tracking_iters: snapshot.tracking_iters,
                 mapping_iters: snapshot.mapping_iters,
                 mapping_invocations: snapshot.mapping_invocations,
-                pool_stats_before: Vec::new(),
-                cache_run_start: projcache::stats(),
+                pool_accum: Vec::new(),
+                cache_accum: projcache::CacheStats::default(),
             })
         };
         Ok(SlamSystem {
@@ -546,17 +613,18 @@ impl SlamSystem {
         // per processed frame, anchor included) without nesting the
         // tracking/mapping paths beneath it.
         let _frame = telemetry.span_flat("frame");
-        // Bracket the run so the render pool's per-worker busy time lands
-        // in the report as pool/worker<i> spans.
-        let pool_stats_before = if telemetry.is_enabled() {
+        // Bracket this frame's window so the pool's per-worker busy time
+        // and the projection-cache deltas attribute to *this* run even when
+        // a session manager interleaves several runs on one thread.
+        let pool_before = if telemetry.is_enabled() {
             splatonic_math::pool::worker_stats_snapshot()
         } else {
             Vec::new()
         };
         // Projection-cache statistics are thread-local side-band state (not
-        // part of the render trace — see `projcache`); bracket the run and
-        // each frame with snapshots to report deltas.
-        let cache_run_start = projcache::stats();
+        // part of the render trace — see `projcache`); bracket each frame
+        // with snapshots to accumulate this run's deltas.
+        let cache_before = projcache::stats();
         let cfg = self.config;
         let algo = cfg.algorithm;
 
@@ -582,8 +650,8 @@ impl SlamSystem {
             tracking_iters: 0,
             mapping_iters: 0,
             mapping_invocations: 0,
-            pool_stats_before,
-            cache_run_start,
+            pool_accum: Vec::new(),
+            cache_accum: projcache::CacheStats::default(),
         };
         let sampler = MappingSampler::new(cfg.mapping_tile, cfg.mapping_strategy);
 
@@ -625,6 +693,12 @@ impl SlamSystem {
                 map_ms: map0_start.elapsed().as_secs_f64() * 1e3,
             });
         }
+        state
+            .cache_accum
+            .add(&projcache::stats().since(&cache_before));
+        if telemetry.is_enabled() {
+            accumulate_pool(&mut state.pool_accum, &pool_before);
+        }
         self.run = Some(state);
     }
 
@@ -632,6 +706,14 @@ impl SlamSystem {
     /// `mapping_every` cadence, record the frame.
     fn process_frame(&mut self, dataset: &Dataset, t: usize, telemetry: &Telemetry) {
         let _frame = telemetry.span_flat("frame");
+        // Frame-wide attribution window (see `init_run`): deltas taken at
+        // the end of this function accumulate into this run's own totals.
+        let pool_before = if telemetry.is_enabled() {
+            splatonic_math::pool::worker_stats_snapshot()
+        } else {
+            Vec::new()
+        };
+        let cache_before = projcache::stats();
         let cfg = self.config;
         let algo = cfg.algorithm;
         let mut state = self.run.take().expect("active run");
@@ -720,6 +802,12 @@ impl SlamSystem {
                 track_ms,
                 map_ms,
             });
+        }
+        state
+            .cache_accum
+            .add(&projcache::stats().since(&cache_before));
+        if telemetry.is_enabled() {
+            accumulate_pool(&mut state.pool_accum, &pool_before);
         }
         state.next_frame = t + 1;
         self.run = Some(state);

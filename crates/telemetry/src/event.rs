@@ -27,6 +27,9 @@ pub struct SpanEvent {
     pub name: String,
     /// Trace lane of the recording thread ([`splatonic_math::timebase`]).
     pub lane: u32,
+    /// Run/session id ambient when the span started
+    /// ([`splatonic_math::timebase::run_id`]; 0 outside any session scope).
+    pub run: u32,
     /// Start, nanoseconds on the telemetry handle's clock.
     pub start_ns: u64,
     /// Duration in nanoseconds.
@@ -49,6 +52,7 @@ impl SpanEvent {
             .set("path", self.path.as_str())
             .set("name", self.name.as_str())
             .set("lane", self.lane as i64)
+            .set("run", self.run as i64)
             .set("start_ns", self.start_ns)
             .set("dur_ns", self.dur_ns);
         o
@@ -186,6 +190,7 @@ mod tests {
             path: "tracking".into(),
             name: "tracking".into(),
             lane: 1,
+            run: 0,
             start_ns: 5,
             dur_ns: 10,
         };

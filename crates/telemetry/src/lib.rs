@@ -187,6 +187,7 @@ impl Telemetry {
                 parent,
                 flat,
                 lane: timebase::lane_id(),
+                run: timebase::run_id(),
                 start_ns,
             }),
         }
@@ -246,16 +247,44 @@ impl Telemetry {
             return;
         }
         let after = pool::worker_stats_snapshot();
+        let deltas: Vec<pool::WorkerStats> = after
+            .iter()
+            .map(|w| {
+                let prev_ms = before
+                    .iter()
+                    .find(|b| b.worker == w.worker)
+                    .map_or(0.0, |b| b.busy_ms);
+                let prev_chunks = before
+                    .iter()
+                    .find(|b| b.worker == w.worker)
+                    .map_or(0, |b| b.chunks);
+                pool::WorkerStats {
+                    worker: w.worker,
+                    busy_ms: w.busy_ms - prev_ms,
+                    chunks: w.chunks.saturating_sub(prev_chunks),
+                }
+            })
+            .collect();
+        self.record_pool_worker_deltas(&deltas);
+    }
+
+    /// Imports pre-computed per-worker activity deltas as `pool/worker<i>`
+    /// spans plus the `pool/workers` gauge.
+    ///
+    /// Used when the caller cannot bracket one contiguous window — e.g. a
+    /// multi-session manager interleaving sessions must accumulate each
+    /// session's own before/after deltas across its scheduling slices and
+    /// import the sum here, so one session's report never absorbs another
+    /// session's pool activity.
+    pub fn record_pool_worker_deltas(&self, deltas: &[pool::WorkerStats]) {
+        if self.inner.is_none() {
+            return;
+        }
         let mut active = 0u64;
-        for w in &after {
-            let prev_ms = before
-                .iter()
-                .find(|b| b.worker == w.worker)
-                .map_or(0.0, |b| b.busy_ms);
-            let delta = w.busy_ms - prev_ms;
-            if delta > 0.0 {
+        for w in deltas {
+            if w.busy_ms > 0.0 {
                 active += 1;
-                self.record_span_ms(&format!("pool/worker{}", w.worker), delta);
+                self.record_span_ms(&format!("pool/worker{}", w.worker), w.busy_ms);
             }
         }
         if active > 0 {
@@ -462,6 +491,7 @@ impl Telemetry {
                 path: live.path,
                 name: live.name,
                 lane: live.lane,
+                run: live.run,
                 start_ns: live.start_ns,
                 dur_ns,
             };
@@ -508,7 +538,25 @@ impl Telemetry {
         session: &TraceSession,
         path: &std::path::Path,
     ) -> std::io::Result<()> {
-        let events = self.span_events();
+        self.write_chrome_trace_merged(session, &[], path)
+    }
+
+    /// Like [`Telemetry::write_chrome_trace`], but additionally merges
+    /// `extra_spans` — span events collected on *other* telemetry handles —
+    /// into the same timeline.
+    ///
+    /// A multi-session driver owns one telemetry handle per session (the
+    /// handle is `!Sync`); this export lets it emit one fleet-wide trace
+    /// where each session's spans land in that session's process group
+    /// (sessions are distinguished by [`SpanEvent::run`]).
+    pub fn write_chrome_trace_merged(
+        &self,
+        session: &TraceSession,
+        extra_spans: &[SpanEvent],
+        path: &std::path::Path,
+    ) -> std::io::Result<()> {
+        let mut events = self.span_events();
+        events.extend_from_slice(extra_spans);
         let doc = trace::chrome_trace_json(&events, session);
         let mut text = doc.to_string_pretty();
         text.push('\n');
@@ -524,6 +572,7 @@ struct LiveSpan<'a> {
     parent: Option<u32>,
     flat: bool,
     lane: u32,
+    run: u32,
     start_ns: u64,
 }
 

@@ -59,6 +59,18 @@ EOF
 cargo run --release -p splatonic-bench --bin report_diff -- \
   "$VERIFY_TMP/report.json" "$VERIFY_TMP/report.json"
 
+echo "== fleet smoke: 3 interleaved sessions, bitwise vs sequential (DESIGN.md §15) =="
+# The serving layer's contract end to end: K sessions interleaved through
+# one SessionManager (with snapshot eviction/resume forced by the default
+# max-resident of K-1) must be bitwise identical to K sequential runs —
+# the fleet binary exits nonzero on any divergence or if no eviction
+# cycle happened. The merged trace must carry one process group per
+# session and still pass the per-lane nesting gate.
+SPLATONIC_THREADS=4 cargo run --release -p splatonic-bench --bin fleet -- --quick --sessions 3 \
+  --report "$VERIFY_TMP/fleet_report.json" \
+  --trace-out "$VERIFY_TMP/fleet_trace.json"
+python3 scripts/check_trace.py "$VERIFY_TMP/fleet_trace.json" --min-threads 2
+
 echo "== scripts/fault_inject.sh (kill/resume bitwise + corruption gate) =="
 # Cross-process checkpoint/resume: kill mid-run, resume from the snapshot,
 # assert bitwise-identical results at widths 1, 4, and auto (DESIGN.md §12).
