@@ -91,6 +91,11 @@ impl GsArchModel {
     ///
     /// `tile_warp_steps` count 32-slot steps of the tile schedule; GSArch
     /// runs the same slot-granular work on `pe_lanes` dedicated lanes.
+    /// Sorting is charged per tile–Gaussian pair (`tile_pairs /
+    /// sort_per_cycle`): the prior architectures sort each tile's list
+    /// independently, so the grouped-schedule counters (`sort_elems`,
+    /// `sort_lists`, `sort_group_reuse`) are deliberately ignored here —
+    /// only SPLATONIC's hierarchical sorters model the grouping ablation.
     pub fn price(&self, w: &FrameWorkload) -> BaselineReport {
         let slots = w.tile_warp_steps as f64 * 32.0;
         let fwd_bytes = w.fwd_bytes as f64 * self.dram_traffic_factor;
@@ -226,6 +231,9 @@ mod tests {
                         .collect()
                 })
                 .collect(),
+            sort_elems: 40_000,
+            sort_lists: 48,
+            sort_group_reuse: 0,
             tile_warp_steps: steps,
             fwd_bytes: 4_000_000,
             bwd_bytes: 2_000_000,
@@ -261,6 +269,20 @@ mod tests {
         let gpu_time = gpu_side.forward.projection + gpu_side.forward.sorting;
         assert!(r.forward_s >= gpu_time);
         assert!(gpu_time > 0.0);
+    }
+
+    #[test]
+    fn gsarch_pricing_ignores_grouped_sort_counters() {
+        // Prior tile architectures sort per tile; a trace produced with
+        // tile grouping (different sort_elems/sort_lists) must price
+        // identically — they only see tile_pairs.
+        let m = GsArchModel::edge();
+        let per_tile = tile_workload(true);
+        let mut grouped = tile_workload(true);
+        grouped.sort_elems = 16_000;
+        grouped.sort_lists = 12;
+        grouped.sort_group_reuse = 36;
+        assert_eq!(m.price(&per_tile), m.price(&grouped));
     }
 
     #[test]

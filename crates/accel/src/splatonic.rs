@@ -16,6 +16,7 @@ use crate::aggregation::{simulate, AggregationConfig, AggregationResult};
 use crate::config::SplatonicConfig;
 use crate::dram::DramModel;
 use crate::workload::FrameWorkload;
+use splatonic_render::Pipeline;
 
 /// Per-stage cycle breakdown of one pass on SPLATONIC.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -152,19 +153,35 @@ impl SplatonicAccel {
         let alpha = checks / c.alpha_check_rate();
         let projection_cycles = transform + alpha;
 
-        // Sorting: per-pixel lists over the hierarchical sorters.
-        let sort_work: f64 = w
-            .pixel_lists
-            .iter()
-            .map(|&l| {
-                let l = l as f64;
-                if l > 1.0 {
-                    l * l.log2()
-                } else {
-                    l
+        // Sorting on the hierarchical sorters. Pixel workloads (the
+        // architecture's native schedule) sort per-pixel lists. Tile
+        // workloads carry the schedule's own sort accounting — per-tile
+        // lists, or fewer/larger shared group lists when the trace was
+        // produced with tile grouping; with `tile_grouping` the model also
+        // charges one mask/scatter stream pass over the tile–Gaussian
+        // pairs to derive per-tile lists from the shared group sorts.
+        let sort_work: f64 = match w.pipeline {
+            Some(Pipeline::TileBased) if w.sort_lists > 0 => {
+                let mean_len = (w.sort_elems as f64 / w.sort_lists as f64).max(2.0);
+                let mut work = w.sort_elems as f64 * mean_len.log2();
+                if c.tile_grouping {
+                    work += w.tile_pairs as f64;
                 }
-            })
-            .sum();
+                work
+            }
+            _ => w
+                .pixel_lists
+                .iter()
+                .map(|&l| {
+                    let l = l as f64;
+                    if l > 1.0 {
+                        l * l.log2()
+                    } else {
+                        l
+                    }
+                })
+                .sum(),
+        };
         let sorting_cycles = sort_work / (c.sorting_units as f64 * c.sort_elems_per_unit_cycle);
 
         // Rasterization: render units blend pre-filtered pairs; one
@@ -243,6 +260,9 @@ mod tests {
             tile_pairs: 0,
             pixel_lists,
             grad_stream,
+            sort_elems: 0,
+            sort_lists: 0,
+            sort_group_reuse: 0,
             tile_warp_steps: 0,
             fwd_bytes: 4000 * 64 + 960 * 12,
             bwd_bytes: 960 * 48,
@@ -303,6 +323,55 @@ mod tests {
         }
         .price(&w);
         assert!(big.projection_cycles < base.projection_cycles * 0.6);
+    }
+
+    #[test]
+    fn grouped_tile_workload_sorts_cheaper() {
+        // Same tile pipeline, two schedules: per-tile sorts vs. grouped
+        // shared sorts (4× fewer lists, ~2.5× fewer compared elements, as
+        // the render-side ablation measures). Grouping must cut sorting
+        // cycles on the base config, and the grouping-aware config's
+        // mask/scatter surcharge must not erase the win.
+        let mut per_tile = sparse_workload();
+        per_tile.pipeline = Some(Pipeline::TileBased);
+        per_tile.tile_pairs = 40_000;
+        per_tile.sort_elems = 100_000;
+        per_tile.sort_lists = 192;
+        let mut grouped = per_tile.clone();
+        grouped.sort_elems = 40_000;
+        grouped.sort_lists = 48;
+        grouped.sort_group_reuse = 144;
+
+        let base = SplatonicAccel::paper();
+        let baseline = base.price(&per_tile).sorting_cycles;
+        let mut with_grouping = SplatonicAccel::paper();
+        with_grouping.config = with_grouping.config.with_tile_grouping(true);
+        let ablation = with_grouping.price(&grouped).sorting_cycles;
+        assert!(baseline > 0.0);
+        assert!(
+            ablation < baseline,
+            "grouped sorting {ablation} should beat per-tile {baseline}"
+        );
+        // The mask/scatter pass is charged: grouping-aware pricing of the
+        // grouped schedule costs more than naively pricing its sorts alone.
+        let naive = base.price(&grouped).sorting_cycles;
+        assert!(ablation > naive);
+    }
+
+    #[test]
+    fn pixel_workloads_ignore_tile_sort_counters() {
+        // The architecture's native pixel schedule prices per-pixel lists;
+        // stray tile counters (or the grouping knob) must not change it.
+        let mut w = sparse_workload();
+        w.sort_elems = 123_456;
+        w.sort_lists = 7;
+        let base = SplatonicAccel::paper().price(&sparse_workload());
+        let noisy = SplatonicAccel::paper().price(&w);
+        let mut grouped = SplatonicAccel::paper();
+        grouped.config = grouped.config.with_tile_grouping(true);
+        let knob = grouped.price(&w);
+        assert_eq!(base.sorting_cycles, noisy.sorting_cycles);
+        assert_eq!(base.sorting_cycles, knob.sorting_cycles);
     }
 
     #[test]

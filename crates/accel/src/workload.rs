@@ -28,6 +28,16 @@ pub struct FrameWorkload {
     /// Gradient stream: per pixel, the Gaussian ids receiving partial
     /// gradients (in reverse integration order).
     pub grad_stream: Vec<Vec<u32>>,
+    /// Depth-compared elements across the schedule's sorted lists (tile
+    /// pipeline: per-tile or per-group lists depending on the grouping
+    /// knob that produced the trace; pixel pipeline: per-pixel lists).
+    pub sort_elems: u64,
+    /// Number of depth sorts the schedule executed (tile pipeline with
+    /// grouping: one shared sort per non-empty group).
+    pub sort_lists: u64,
+    /// Per-tile sorts avoided by deriving tile lists from a shared group
+    /// sort by masking. Zero when grouping was off or for pixel workloads.
+    pub sort_group_reuse: u64,
     /// Warp-steps the GPU tile schedule would issue (for baselines that
     /// inherit tile-granular work).
     pub tile_warp_steps: u64,
@@ -67,6 +77,9 @@ impl FrameWorkload {
             tile_pairs: f.tile_pairs,
             pixel_lists: forward.trace.pixel_lists.clone(),
             grad_stream,
+            sort_elems: f.sort_elems,
+            sort_lists: f.sort_lists,
+            sort_group_reuse: f.sort_group_reuse,
             tile_warp_steps: f.warp_steps,
             fwd_bytes: f.bytes_read + f.bytes_written,
             bwd_bytes: backward.backward.bytes_read + backward.backward.bytes_written,

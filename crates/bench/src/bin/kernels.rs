@@ -10,6 +10,7 @@
 //! Usage:
 //!   kernels [--iters N] [--threads N] [--report out.json]
 //!           [--no-binning] [--no-cache] [--scalar | --simd]
+//!           [--tile-grouping | --no-tile-grouping] [--no-sort-cache]
 //!           [--trace-out trace.json] [--events-out events.jsonl]
 //!
 //! `--trace-out` writes a Chrome trace-event JSON (Perfetto-loadable) of
@@ -24,6 +25,14 @@
 //! the cross-iteration projection cache for A/B comparison — rendered
 //! output is bit-identical either way, so only the timing spans and the
 //! `binning/` / `cache/` gauges move.
+//!
+//! `--no-tile-grouping` / `--no-sort-cache` disable the tile pipeline's
+//! GS-TG-style grouped depth sort and the frame-coherent sorted-list cache
+//! (`--tile-grouping` re-enables grouping explicitly, for symmetric CI
+//! invocations). Output is again bit-identical; the run's `sort/*` gauges
+//! record the compared-element counts of a short tracking burst under the
+//! selected schedule against the per-tile uncached baseline, so an A/B pair
+//! of runs (or a single default run) quantifies the sort-work reduction.
 //!
 //! `--scalar` / `--simd` select the kernel mode (DESIGN.md §13). The SIMD
 //! kernels are bit-identical to the scalar oracles, so this is a pure A/B
@@ -103,6 +112,8 @@ fn main() {
         .unwrap_or(0);
     let binning = !args.iter().any(|a| a == "--no-binning");
     let cache = !args.iter().any(|a| a == "--no-cache");
+    let tile_grouping = !args.iter().any(|a| a == "--no-tile-grouping");
+    let sort_cache = !args.iter().any(|a| a == "--no-sort-cache");
     let mode = if args.iter().any(|a| a == "--scalar") {
         splatonic_render::KernelMode::Scalar
     } else {
@@ -135,6 +146,8 @@ fn main() {
         threads,
         binning,
         cache,
+        tile_grouping,
+        sort_cache,
         kernels: mode,
         ..RenderConfig::default()
     };
@@ -188,6 +201,96 @@ fn main() {
         t.gauge_set("cache/hits", cache_stats.hits as f64);
         t.gauge_set("cache/misses", cache_stats.misses as f64);
         t.gauge_set("cache/invalidations", cache_stats.invalidations as f64);
+    }
+
+    // A/B sorted-tile-list accounting on the tile schedule: a short
+    // tracking burst (4 nearby poses × 2 Adam iterations, forward +
+    // backward) under the selected grouping/sort-cache knobs, against the
+    // per-tile uncached baseline. The backward pass rebuilds the identical
+    // sorted lists, so every uncached pass is charged twice (fwd + bwd);
+    // with the frame-coherent cache the backward (and repeat iterations)
+    // replay the forward result, so `sort/realized_elems` counts only the
+    // elements actually scattered cold or adaptively re-merged. Output is
+    // bit-identical across all four knob combinations.
+    {
+        const POSES: usize = 4;
+        const ITERS_PER_POSE: usize = 2;
+        let pose_cam = |i: usize| {
+            Camera::look_at(
+                Intrinsics::with_fov(W, H, 1.25),
+                splatonic_math::Vec3::new(0.6 + 0.01 * i as f64, -0.1, -0.4),
+                splatonic_math::Vec3::new(0.0, 0.0, 2.2),
+                splatonic_math::Vec3::Y,
+            )
+        };
+        let grads = vec![
+            loss::LossGrad {
+                d_color: splatonic_math::Vec3::splat(0.1),
+                d_depth: 0.05,
+            };
+            sparse.len()
+        ];
+
+        // Baseline schedule: per-tile sorts, no reuse — each of the
+        // 2 × POSES × ITERS_PER_POSE passes sorts every tile list cold.
+        let naive_cfg = RenderConfig {
+            tile_grouping: false,
+            sort_cache: false,
+            ..cfg
+        };
+        let mut naive_elems = 0u64;
+        for p in 0..POSES {
+            let camp = pose_cam(p);
+            let out = render_forward(&scene, &camp, &sparse, Pipeline::TileBased, &naive_cfg);
+            naive_elems += out.trace.forward.sort_elems * 2 * ITERS_PER_POSE as u64;
+        }
+
+        // Selected schedule, realized: run the full burst and read the
+        // side-band cache stats.
+        splatonic_render::tilesort::clear();
+        let sort_before = splatonic_render::tilesort::stats();
+        let mut sched_elems = 0u64;
+        let mut group_reuse = 0u64;
+        let _outer = t.span("sort_ab");
+        for p in 0..POSES {
+            let camp = pose_cam(p);
+            for _ in 0..ITERS_PER_POSE {
+                let _span = t.span("tile_sparse16_iter");
+                let out = render_forward(&scene, &camp, &sparse, Pipeline::TileBased, &cfg);
+                sched_elems += out.trace.forward.sort_elems * 2;
+                group_reuse += out.trace.forward.sort_group_reuse;
+                std::hint::black_box(render_backward(
+                    &scene,
+                    &camp,
+                    &sparse,
+                    &out,
+                    &grads,
+                    Pipeline::TileBased,
+                    &cfg,
+                ));
+            }
+        }
+        let s = splatonic_render::tilesort::stats().since(&sort_before);
+        let realized = if sort_cache {
+            s.cold_elems + s.merged_elems
+        } else {
+            sched_elems
+        };
+        t.gauge_set("sort/naive_elems", naive_elems as f64);
+        t.gauge_set("sort/sched_elems", sched_elems as f64);
+        t.gauge_set("sort/realized_elems", realized as f64);
+        t.gauge_set("sort/group_reuse", group_reuse as f64);
+        t.gauge_set("sort/hits", s.hits as f64);
+        t.gauge_set("sort/misses", s.misses as f64);
+        t.gauge_set("sort/merges", s.merges as f64);
+        let reduction = naive_elems as f64 / realized.max(1) as f64;
+        t.gauge_set("sort/elems_reduction", reduction);
+        eprintln!(
+            "[kernels] tile sort burst: per-tile uncached {naive_elems} elems \
+             vs realized {realized} ({reduction:.1}x reduction; grouping {}, cache {})",
+            if tile_grouping { "on" } else { "off" },
+            if sort_cache { "on" } else { "off" },
+        );
     }
 
     // Backward kernel on the sparse pixel-based schedule.

@@ -32,8 +32,26 @@ pub const TIMING_MULT: f64 = 25.0;
 pub const TIMING_FLOOR_MS: f64 = 5.0;
 /// Machine-dependent metric prefixes, value-skipped on both sides.
 pub const SKIP_PREFIXES: &[&str] = &["pool/", "render/simd_lanes"];
-/// Counters the report must carry (and be nonzero) regardless of baseline.
-pub const REQUIRED_COUNTERS: &[&str] = &["slam/checkpoints_written"];
+/// Counters the report must carry regardless of what the baseline holds —
+/// a dropped checkpoint subsystem (or a silently disabled sorted-tile-list
+/// cache) must fail the gate even if both sides lost the keys together.
+pub const REQUIRED_COUNTERS: &[&str] = &[
+    "slam/checkpoints_written",
+    "render/sort_hits",
+    "render/sort_misses",
+    "render/sort_merges",
+    "render/sort_cold_elems",
+    "render/sort_merged_elems",
+];
+/// The [`REQUIRED_COUNTERS`] subset that must additionally be nonzero: any
+/// instrumented run checkpoints and performs at least one cold tile-sort
+/// build (the per-frame PSNR evaluation renders the tile schedule). Exact
+/// hits/merges depend on the run shape, so the rest are presence-only.
+pub const REQUIRED_NONZERO: &[&str] = &[
+    "slam/checkpoints_written",
+    "render/sort_misses",
+    "render/sort_cold_elems",
+];
 /// Gauges that must be present on both sides (values may be skipped).
 pub const REQUIRED_GAUGES: &[&str] = &["slam/snapshot_bytes", "render/simd_lanes"];
 
@@ -185,18 +203,18 @@ fn diff_counters(errors: &mut Vec<String>, report: &Json, baseline: &Json) {
         }
     }
     for name in REQUIRED_COUNTERS {
-        match lookup(&counters_r, name).and_then(Json::as_f64) {
-            None => errors.push(format!("counters.{name}: required, missing from report")),
-            Some(v) => {
-                if v == 0.0 {
-                    errors.push(format!(
-                        "counters.{name}: required to be nonzero (checkpointing ran)"
-                    ));
-                }
-            }
+        if lookup(&counters_r, name).is_none() {
+            errors.push(format!("counters.{name}: required, missing from report"));
         }
         if lookup(&counters_b, name).is_none() {
             errors.push(format!("counters.{name}: required, missing from baseline"));
+        }
+    }
+    for name in REQUIRED_NONZERO {
+        if let Some(0.0) = lookup(&counters_r, name).and_then(Json::as_f64) {
+            errors.push(format!(
+                "counters.{name}: required to be nonzero (its subsystem must have run)"
+            ));
         }
     }
 }
@@ -351,7 +369,12 @@ mod tests {
                 "pool/worker0": {"count": 9, "total_ms": 1.0}
               },
               "counters": {"slam/checkpoints_written": 2,
-                           "tracking/forward/pixels_shaded": 400},
+                           "tracking/forward/pixels_shaded": 400,
+                           "render/sort_hits": 0,
+                           "render/sort_misses": 3,
+                           "render/sort_merges": 12,
+                           "render/sort_cold_elems": 28025,
+                           "render/sort_merged_elems": 111349},
               "gauges": {"slam/snapshot_bytes": 1000.0,
                          "render/simd_lanes": 4.0},
               "latency": {
@@ -464,7 +487,12 @@ mod tests {
                 .unwrap();
             *counters = parse(
                 r#"{"slam/checkpoints_written": 0,
-                     "tracking/forward/pixels_shaded": 400}"#,
+                     "tracking/forward/pixels_shaded": 400,
+                     "render/sort_hits": 0,
+                     "render/sort_misses": 3,
+                     "render/sort_merges": 12,
+                     "render/sort_cold_elems": 28025,
+                     "render/sort_merged_elems": 111349}"#,
             )
             .unwrap();
         }
@@ -473,6 +501,64 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("slam/checkpoints_written") && e.contains("nonzero")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn sort_counter_regression_fails() {
+        // The 6th injected regression class: the sorted-tile-list cache
+        // silently disabled. Its realized stats go to zero (and the keys
+        // would vanish from a run that never exports them) — both the
+        // exact-value diff and the required-nonzero check must fire.
+        let mut report = report_fixture();
+        if let Json::Obj(fields) = &mut report {
+            let counters = fields
+                .iter_mut()
+                .find(|(k, _)| k == "counters")
+                .map(|(_, v)| v)
+                .unwrap();
+            *counters = parse(
+                r#"{"slam/checkpoints_written": 2,
+                     "tracking/forward/pixels_shaded": 400,
+                     "render/sort_hits": 0,
+                     "render/sort_misses": 0,
+                     "render/sort_merges": 0,
+                     "render/sort_cold_elems": 0,
+                     "render/sort_merged_elems": 0}"#,
+            )
+            .unwrap();
+        }
+        let errors = diff_reports(&report, &report_fixture(), DiffScope::Full);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("render/sort_cold_elems") && e.contains("nonzero")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("counters.render/sort_misses: report")),
+            "exact-value diff must also flag the regression: {errors:?}"
+        );
+
+        // Keys dropped entirely must fail even if the baseline dropped
+        // them too (the required-presence check, not the key-set diff).
+        let mut stripped = report_fixture();
+        if let Json::Obj(fields) = &mut stripped {
+            let counters = fields
+                .iter_mut()
+                .find(|(k, _)| k == "counters")
+                .map(|(_, v)| v)
+                .unwrap();
+            *counters = parse(r#"{"slam/checkpoints_written": 2}"#).unwrap();
+        }
+        let errors = diff_reports(&stripped, &stripped, DiffScope::Full);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("render/sort_hits") && e.contains("required")),
             "{errors:?}"
         );
     }

@@ -92,13 +92,49 @@ pub struct IterationMeasurement {
     pub pixels: usize,
 }
 
+/// The reference render configuration used by the measurement harness.
+///
+/// Tile grouping and the sorted-list cache are pinned **off** so measured
+/// traces/workloads reflect the conventional per-tile schedule regardless
+/// of the runtime defaults — hardware gauges derived from the harness stay
+/// comparable across releases, and ablation experiments switch schedules
+/// explicitly via the `_with_config` variants.
+pub fn reference_render_config() -> RenderConfig {
+    RenderConfig {
+        tile_grouping: false,
+        sort_cache: false,
+        ..RenderConfig::default()
+    }
+}
+
 /// Renders one tracking iteration under the given schedule and sampling,
 /// with a real loss/backward pass, and returns its measurement.
+///
+/// Uses [`reference_render_config`]; pass an explicit configuration via
+/// [`measure_tracking_iteration_with_config`] for schedule ablations.
 pub fn measure_tracking_iteration(
     scenario: &TrackingScenario,
     pipeline: Pipeline,
     sampling: SamplingStrategy,
     seed: u64,
+) -> IterationMeasurement {
+    measure_tracking_iteration_with_config(
+        scenario,
+        pipeline,
+        sampling,
+        seed,
+        &reference_render_config(),
+    )
+}
+
+/// [`measure_tracking_iteration`] with an explicit render configuration
+/// (e.g. tile grouping on/off for the sort ablation).
+pub fn measure_tracking_iteration_with_config(
+    scenario: &TrackingScenario,
+    pipeline: Pipeline,
+    sampling: SamplingStrategy,
+    seed: u64,
+    config: &RenderConfig,
 ) -> IterationMeasurement {
     let plan = tracking_plan(sampling, &scenario.frame, seed, None);
     let (cam, pixels, frame_owned);
@@ -116,23 +152,42 @@ pub fn measure_tracking_iteration(
             &frame_owned
         }
     };
-    measure_iteration(&scenario.scene, &cam, frame, &pixels, pipeline)
+    measure_iteration(&scenario.scene, &cam, frame, &pixels, pipeline, config)
 }
 
 /// Renders one mapping iteration (the paper's `w_m`-tile combined sampler,
 /// plus the unseen set from a dense Γ pass) and returns its measurement.
+///
+/// Uses [`reference_render_config`]; pass an explicit configuration via
+/// [`measure_mapping_iteration_with_config`] for schedule ablations.
 pub fn measure_mapping_iteration(
     scenario: &TrackingScenario,
     pipeline: Pipeline,
     mapping_tile: usize,
     seed: u64,
 ) -> IterationMeasurement {
+    measure_mapping_iteration_with_config(
+        scenario,
+        pipeline,
+        mapping_tile,
+        seed,
+        &reference_render_config(),
+    )
+}
+
+/// [`measure_mapping_iteration`] with an explicit render configuration.
+pub fn measure_mapping_iteration_with_config(
+    scenario: &TrackingScenario,
+    pipeline: Pipeline,
+    mapping_tile: usize,
+    seed: u64,
+    config: &RenderConfig,
+) -> IterationMeasurement {
     let cam = Camera::new(scenario.intrinsics, scenario.pose);
     // Dense Γ pass feeds the unseen classification (priced separately by
     // callers if desired; here it only shapes the pixel set).
     let dense = PixelSet::dense(scenario.intrinsics.width, scenario.intrinsics.height);
-    let cfg = RenderConfig::default();
-    let dense_out = render_forward(&scenario.scene, &cam, &dense, pipeline, &cfg);
+    let dense_out = render_forward(&scenario.scene, &cam, &dense, pipeline, config);
     let mut transmittance =
         splatonic_math::Image::filled(scenario.intrinsics.width, scenario.intrinsics.height, 1.0);
     for (i, p) in dense.iter_all().enumerate() {
@@ -140,17 +195,43 @@ pub fn measure_mapping_iteration(
     }
     let sampler = MappingSampler::new(mapping_tile, MappingStrategy::Combined);
     let pixels = sampler.build(&scenario.frame, &transmittance, seed);
-    measure_iteration(&scenario.scene, &cam, &scenario.frame, &pixels, pipeline)
+    measure_iteration(
+        &scenario.scene,
+        &cam,
+        &scenario.frame,
+        &pixels,
+        pipeline,
+        config,
+    )
 }
 
 /// Renders a dense iteration (the dense-mapping / dense-baseline case).
+///
+/// Uses [`reference_render_config`]; pass an explicit configuration via
+/// [`measure_dense_iteration_with_config`] for schedule ablations.
 pub fn measure_dense_iteration(
     scenario: &TrackingScenario,
     pipeline: Pipeline,
 ) -> IterationMeasurement {
+    measure_dense_iteration_with_config(scenario, pipeline, &reference_render_config())
+}
+
+/// [`measure_dense_iteration`] with an explicit render configuration.
+pub fn measure_dense_iteration_with_config(
+    scenario: &TrackingScenario,
+    pipeline: Pipeline,
+    config: &RenderConfig,
+) -> IterationMeasurement {
     let cam = Camera::new(scenario.intrinsics, scenario.pose);
     let pixels = PixelSet::dense(scenario.intrinsics.width, scenario.intrinsics.height);
-    measure_iteration(&scenario.scene, &cam, &scenario.frame, &pixels, pipeline)
+    measure_iteration(
+        &scenario.scene,
+        &cam,
+        &scenario.frame,
+        &pixels,
+        pipeline,
+        config,
+    )
 }
 
 fn measure_iteration(
@@ -159,16 +240,16 @@ fn measure_iteration(
     frame: &Frame,
     pixels: &PixelSet,
     pipeline: Pipeline,
+    cfg: &RenderConfig,
 ) -> IterationMeasurement {
-    let cfg = RenderConfig::default();
-    let out = render_forward(scene, cam, pixels, pipeline, &cfg);
+    let out = render_forward(scene, cam, pixels, pipeline, cfg);
     let l = loss::evaluate_loss(
         &out,
         frame,
         pixels,
         &splatonic_render::LossConfig::default(),
     );
-    let (_, _, bwd) = render_backward(scene, cam, pixels, &out, &l.grads, pipeline, &cfg);
+    let (_, _, bwd) = render_backward(scene, cam, pixels, &out, &l.grads, pipeline, cfg);
     let workload = FrameWorkload::from_render(&out, &bwd, pipeline);
     let mut trace = out.trace.clone();
     trace.merge(&bwd);
@@ -232,6 +313,32 @@ mod tests {
         // One sample per 4×4 tile = 192 samples at 64×48, plus any unseen.
         assert!(m.pixels >= 192);
         assert!(m.pixels < 64 * 48);
+    }
+
+    #[test]
+    fn grouping_ablation_changes_only_sort_counters() {
+        let s = scenario();
+        // Default harness calls pin the reference per-tile schedule…
+        let reference = measure_dense_iteration(&s, Pipeline::TileBased);
+        assert_eq!(reference.trace.forward.sort_group_reuse, 0);
+        // …while the runtime default (grouping + sort cache on) is reached
+        // through the explicit-config variant for ablation rows.
+        let grouped =
+            measure_dense_iteration_with_config(&s, Pipeline::TileBased, &RenderConfig::default());
+        assert!(grouped.trace.forward.sort_group_reuse > 0);
+        assert!(grouped.trace.forward.sort_elems < reference.trace.forward.sort_elems);
+        assert!(grouped.trace.forward.sort_lists < reference.trace.forward.sort_lists);
+        // The schedule change is sort-only: the tile lists (and hence every
+        // downstream counter the baselines price) are bit-identical.
+        assert_eq!(grouped.workload.tile_pairs, reference.workload.tile_pairs);
+        assert_eq!(
+            grouped.workload.total_pairs(),
+            reference.workload.total_pairs()
+        );
+        assert_eq!(
+            grouped.workload.tile_warp_steps,
+            reference.workload.tile_warp_steps
+        );
     }
 
     #[test]

@@ -72,6 +72,30 @@ pub struct RenderConfig {
     /// `available_parallelism()`). Results are bit-identical for every
     /// value (see `splatonic_math::pool`).
     pub threads: usize,
+    /// GS-TG-style tile grouping for the tile pipeline (default `true`):
+    /// 16×16 tiles are partitioned into `group_size`×`group_size` groups,
+    /// one shared depth sort runs per group over the union candidate list,
+    /// and each tile's list is derived by masking the shared order. Because
+    /// the depth comparator (`depth` ascending, id tie-break) is a total
+    /// order over unique ids, the masked per-tile lists are bit-identical
+    /// to independently sorted ones — enforced against the per-tile oracle
+    /// by the determinism suite. The `sort_lists`/`sort_elems`/
+    /// `sort_group_reuse` trace counters record the schedule that ran.
+    pub tile_grouping: bool,
+    /// Tile-group edge length in tiles (default `2`, i.e. 2×2 tiles = one
+    /// 32×32-pixel group; `0` also resolves to 2). Output-transparent: any
+    /// group size yields bit-identical renders, only the sort accounting
+    /// changes.
+    pub group_size: usize,
+    /// Frame-coherent sorted-list cache (default `true`): sorted tile/group
+    /// lists are keyed on the scene-revision counter + pose bits (the
+    /// `projcache` key extended with the grid/grouping context). An exact
+    /// key match replays the previous lists; a pose-only delta re-merges
+    /// the nearly-sorted previous order instead of sorting cold. Output is
+    /// bit-identical either way (the comparator's total order makes the
+    /// sorted result unique); realized hit/merge statistics are exported as
+    /// side-band `render/sort_*` counters, never through the trace.
+    pub sort_cache: bool,
     /// Kernel implementation selector (default [`crate::simd::KernelMode::Simd`]).
     ///
     /// `Simd` uses the runtime-detected vector paths in [`crate::simd`] and
@@ -97,6 +121,9 @@ impl Default for RenderConfig {
             binning: true,
             bin_size: crate::binning::DEFAULT_BIN_SIZE,
             cache: true,
+            tile_grouping: true,
+            group_size: crate::tilesort::DEFAULT_GROUP_SIZE,
+            sort_cache: true,
             threads: 0,
             kernels: crate::simd::KernelMode::Simd,
         }

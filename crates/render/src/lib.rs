@@ -19,6 +19,9 @@
 //!   candidate discovery on sparse pixel sets (bit-identical output),
 //! * [`projcache`] — the cross-iteration projection cache reusing
 //!   per-Gaussian projection results across Adam iterations,
+//! * [`tilesort`] — GS-TG-style tile grouping (one shared depth sort per
+//!   tile group, per-tile lists derived by masking) plus the frame-coherent
+//!   sorted-list cache keyed like `projcache` (bit-identical output),
 //! * [`phase`] — gated side-band phase tracing feeding the Chrome trace
 //!   export (trace-only; never perturbs reports),
 //! * [`sampling`] — the adaptive sparse pixel samplers of Sec. IV-A plus the
@@ -61,6 +64,7 @@ pub mod projcache;
 pub mod sampling;
 pub mod simd;
 pub mod tile;
+pub mod tilesort;
 pub mod trace;
 
 pub use binning::BinIndex;

@@ -69,7 +69,7 @@ pub const POSE_REUSE_BOUND: f64 = 0.0;
 /// Gaussian itself, as bit patterns (f64 compared by `to_bits` so that the
 /// key is `Eq` and NaN-safe).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Key {
+pub(crate) struct Key {
     scene_revision: u64,
     scene_len: usize,
     rotation: [u64; 9],
@@ -86,7 +86,7 @@ struct Key {
 }
 
 impl Key {
-    fn new(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> Key {
+    pub(crate) fn new(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> Key {
         let mut rotation = [0u64; 9];
         for (i, slot) in rotation.iter_mut().enumerate() {
             *slot = camera.pose.rotation.m[i].to_bits();
@@ -113,7 +113,7 @@ impl Key {
     /// True when the two keys differ *only* in the pose — the signature of
     /// an iteration-to-iteration pose step (tracking) as opposed to a scene
     /// edit or a camera/config swap.
-    fn pose_only_delta(&self, other: &Key) -> bool {
+    pub(crate) fn pose_only_delta(&self, other: &Key) -> bool {
         self.scene_revision == other.scene_revision
             && self.scene_len == other.scene_len
             && self.fx == other.fx

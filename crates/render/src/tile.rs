@@ -31,32 +31,6 @@ pub const WARP: usize = 32;
 /// worker count, see `splatonic_math::pool`).
 const TILE_CHUNK: usize = 4;
 
-/// Builds the tile→Gaussian intersection lists (projection stage output).
-fn build_tile_lists(
-    projected: &[ProjectedGaussian],
-    width: usize,
-    height: usize,
-) -> (Vec<Vec<u32>>, u64) {
-    let tiles_x = width.div_ceil(TILE);
-    let tiles_y = height.div_ceil(TILE);
-    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); tiles_x * tiles_y];
-    let mut pairs = 0u64;
-    for (pi, pg) in projected.iter().enumerate() {
-        let (lo, hi) = pg.bbox();
-        let tx0 = ((lo.x.floor() as isize) / TILE as isize).clamp(0, tiles_x as isize - 1) as usize;
-        let ty0 = ((lo.y.floor() as isize) / TILE as isize).clamp(0, tiles_y as isize - 1) as usize;
-        let tx1 = ((hi.x.ceil() as isize) / TILE as isize).clamp(0, tiles_x as isize - 1) as usize;
-        let ty1 = ((hi.y.ceil() as isize) / TILE as isize).clamp(0, tiles_y as isize - 1) as usize;
-        for ty in ty0..=ty1 {
-            for tx in tx0..=tx1 {
-                lists[ty * tiles_x + tx].push(pi as u32);
-                pairs += 1;
-            }
-        }
-    }
-    (lists, pairs)
-}
-
 /// Groups the requested pixels by tile, keeping their output indices.
 fn group_pixels_by_tile(
     pixels: &PixelSet,
@@ -88,32 +62,27 @@ pub fn forward(
     f.bytes_read += scene.len() as u64 * bytes::GAUSSIAN;
 
     // Projection (tile granularity: one projection per Gaussian, shared by
-    // all pixels of every covered tile). The cache hands back a shared
-    // list ordered by scene index; the sort below needs to mutate, so the
-    // cached Vec is cloned — still far cheaper than reprojecting.
-    let (projected_shared, culled) = crate::projcache::project_scene_cached(scene, camera, config);
-    let mut projected = (*projected_shared).clone();
-    drop(projected_shared);
-    f.gaussians_culled = culled;
-    f.gaussians_projected = projected.len() as u64;
-    f.bytes_written += projected.len() as u64 * bytes::PROJECTED;
-
-    // Depth-sort the projected set once, so each tile list (built in that
-    // order) is already depth-sorted — this mirrors the global
-    // radix-sort-by-(tile,depth) of the reference implementation.
-    crate::kernel::sort_by_depth(&mut projected);
-    let (tile_lists, tile_pairs) = build_tile_lists(&projected, width, height);
-    f.tile_pairs = tile_pairs;
-    f.bytes_written += tile_pairs * bytes::PAIR_ENTRY;
-    let tiles_x = width.div_ceil(TILE);
-    let tiles_y = height.div_ceil(TILE);
-    for list in &tile_lists {
-        if !list.is_empty() {
-            f.sort_lists += 1;
-            f.sort_elems += list.len() as u64;
-        }
-    }
-    f.bytes_read += tile_pairs * bytes::PAIR_ENTRY;
+    // all pixels of every covered tile) plus depth-sorted tile lists, both
+    // served through the caches in `projcache`/`tilesort`: one shared sort
+    // per tile group, per-tile lists derived by masking, reused across the
+    // forward/backward pair of each iteration. The lists hold indices into
+    // the shared scene-index-ordered projection — no clone, no global sort.
+    let prepared = crate::tilesort::prepare_tiles(scene, camera, width, height, config);
+    f.gaussians_culled = prepared.culled;
+    f.gaussians_projected = prepared.projected.len() as u64;
+    f.bytes_written += prepared.projected.len() as u64 * bytes::PROJECTED;
+    f.tile_pairs = prepared.tile_pairs;
+    f.bytes_written += prepared.tile_pairs * bytes::PAIR_ENTRY;
+    f.sort_lists = prepared.sort_lists;
+    f.sort_elems = prepared.sort_elems;
+    f.sort_group_reuse = prepared.sort_group_reuse;
+    f.bytes_read += prepared.tile_pairs * bytes::PAIR_ENTRY;
+    let tiles_x = prepared.tiles_x;
+    let tiles_y = prepared.tiles_y;
+    // Plain slices for the pool closure (`PreparedTiles` holds an `Rc` and
+    // is not `Sync`; the slices are).
+    let projected: &[ProjectedGaussian] = &prepared.projected;
+    let tile_lists: &[Vec<u32>] = &prepared.tile_lists;
 
     // Rasterization, warp by warp, fanned out over fixed chunks of tiles.
     // Each chunk shades its tiles into scatter lists applied in chunk order
@@ -289,20 +258,20 @@ pub fn backward(
     let height = pixels.height();
     let mut trace = RenderTrace::new();
 
-    // The projected set, read back from the forward pass: the backward
-    // pass runs at the exact pose the forward just used, so this is a
-    // guaranteed cache hit whenever the cache is enabled.
-    let (projected_shared, _) = crate::projcache::project_scene_cached(scene, camera, config);
-    let mut projected = (*projected_shared).clone();
-    drop(projected_shared);
-    crate::kernel::sort_by_depth(&mut projected);
+    // The projected set and sorted tile lists, read back from the forward
+    // pass: the backward pass runs at the exact pose the forward just
+    // used, so this is a guaranteed hit in both the projection and the
+    // sorted-list cache whenever they are enabled.
+    let prepared = crate::tilesort::prepare_tiles(scene, camera, width, height, config);
+    let projected: &[ProjectedGaussian] = &prepared.projected;
+    let tile_lists: &[Vec<u32>] = &prepared.tile_lists;
+    let tile_pairs = prepared.tile_pairs;
     let mut proj_of_id: Vec<u32> = vec![u32::MAX; scene.len()];
     for (pi, pg) in projected.iter().enumerate() {
         proj_of_id[pg.id as usize] = pi as u32;
     }
-    let (tile_lists, tile_pairs) = build_tile_lists(&projected, width, height);
-    let tiles_x = width.div_ceil(TILE);
-    let tiles_y = height.div_ceil(TILE);
+    let tiles_x = prepared.tiles_x;
+    let tiles_y = prepared.tiles_y;
 
     {
         let b = &mut trace.backward;
@@ -322,7 +291,7 @@ pub fn backward(
     // `pixel_backward`; see `simd`).
     let soa = (config.kernels.simd_active()
         && crate::simd::soa_pays_off(pixels.len(), projected.len()))
-    .then(|| crate::simd::ProjectedSoA::build(&projected));
+    .then(|| crate::simd::ProjectedSoA::build(projected));
     let soa = soa.as_ref();
     let threads = pool::resolve_threads(config.threads);
     let acc_pool: Mutex<Vec<CamGradAccumulator>> = Mutex::new(Vec::new());
@@ -605,15 +574,26 @@ mod tests {
     #[test]
     fn bbox_to_tiles_covers_projection() {
         let (scene, cam) = small_scene();
-        let cfg = RenderConfig::default();
-        let (projected, _) = project_scene(&scene, &cam, &cfg);
-        let (lists, pairs) = build_tile_lists(&projected, 64, 48);
-        assert_eq!(pairs, lists.iter().map(|l| l.len() as u64).sum::<u64>());
-        // The tile containing each Gaussian's center must list it.
-        for (pi, pg) in projected.iter().enumerate() {
+        let cfg = RenderConfig {
+            sort_cache: false,
+            ..RenderConfig::default()
+        };
+        let prepared = crate::tilesort::prepare_tiles(&scene, &cam, 64, 48, &cfg);
+        assert_eq!(
+            prepared.tile_pairs,
+            prepared
+                .tile_lists
+                .iter()
+                .map(|l| l.len() as u64)
+                .sum::<u64>()
+        );
+        // The tile containing each Gaussian's center must list it (the
+        // prepared projection is in scene-index order, so enumeration
+        // indices are the list entries).
+        for (pi, pg) in prepared.projected.iter().enumerate() {
             let tx = (pg.mean2d.x as usize / TILE).min(64usize.div_ceil(TILE) - 1);
             let ty = (pg.mean2d.y as usize / TILE).min(48usize.div_ceil(TILE) - 1);
-            assert!(lists[ty * 64usize.div_ceil(TILE) + tx].contains(&(pi as u32)));
+            assert!(prepared.tile_lists[ty * 64usize.div_ceil(TILE) + tx].contains(&(pi as u32)));
         }
     }
 

@@ -31,10 +31,18 @@ pub struct ForwardStats {
     pub bin_candidates: u64,
     /// Pixel-based: candidate pairs that passed preemptive α-checking.
     pub proj_pairs_kept: u64,
-    /// Total elements passed through sorting (sum of list lengths).
+    /// Total elements passed through sorting (sum of list lengths). For the
+    /// tile pipeline this reflects the schedule that actually ran: per-tile
+    /// list lengths when tile grouping is off, shared group-union list
+    /// lengths when it is on (see `RenderConfig::tile_grouping`).
     pub sort_elems: u64,
-    /// Number of sorted lists (tiles or pixels).
+    /// Number of sorted lists (tiles, tile groups, or pixels).
     pub sort_lists: u64,
+    /// Tile-based with grouping: tiles whose depth-sorted list was derived
+    /// by masking a shared group sort instead of being sorted independently
+    /// (the per-tile sorts avoided by GS-TG-style grouping). Zero when
+    /// grouping is disabled and for the pixel pipeline.
+    pub sort_group_reuse: u64,
     /// α-checks performed inside rasterization (tile-based only; the
     /// pixel-based pipeline has none by construction).
     pub raster_alpha_checks: u64,
@@ -160,6 +168,7 @@ impl RenderTrace {
             proj_pairs_kept,
             sort_elems,
             sort_lists,
+            sort_group_reuse,
             raster_alpha_checks,
             pairs_integrated,
             pixels_shaded,
@@ -179,6 +188,7 @@ impl RenderTrace {
         f.proj_pairs_kept += proj_pairs_kept;
         f.sort_elems += sort_elems;
         f.sort_lists += sort_lists;
+        f.sort_group_reuse += sort_group_reuse;
         f.raster_alpha_checks += raster_alpha_checks;
         f.pairs_integrated += pairs_integrated;
         f.pixels_shaded += pixels_shaded;

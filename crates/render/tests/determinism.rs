@@ -264,9 +264,11 @@ fn cached_render_sequence_matches_uncached() {
     for pipeline in [Pipeline::PixelBased, Pipeline::TileBased] {
         for threads in EQUALITY_WIDTHS {
             splatonic_render::projcache::clear();
+            splatonic_render::tilesort::clear();
             let on = cfg(threads);
             let off = RenderConfig {
                 cache: false,
+                sort_cache: false,
                 ..cfg(threads)
             };
             let run = |c: &RenderConfig| {
@@ -276,13 +278,33 @@ fn cached_render_sequence_matches_uncached() {
                 (f, bwd, f2)
             };
             let (fa, ba, fa2) = run(&on);
-            let stats = splatonic_render::projcache::stats();
-            assert!(stats.hits >= 1, "{pipeline:?}: backward must hit the cache");
-            assert!(
-                stats.invalidations >= 1,
-                "{pipeline:?}: the pose step must invalidate"
-            );
+            match pipeline {
+                Pipeline::PixelBased => {
+                    // The pixel pipeline reuses projections directly.
+                    let stats = splatonic_render::projcache::stats();
+                    assert!(stats.hits >= 1, "{pipeline:?}: backward must hit the cache");
+                    assert!(
+                        stats.invalidations >= 1,
+                        "{pipeline:?}: the pose step must invalidate"
+                    );
+                }
+                Pipeline::TileBased => {
+                    // The tile pipeline reuses whole sorted tile lists: the
+                    // backward pass is an exact hit, the pose step at B a
+                    // coherent re-merge of the pose-A order.
+                    let stats = splatonic_render::tilesort::stats();
+                    assert!(
+                        stats.hits >= 1,
+                        "{pipeline:?}: backward must hit the sort cache"
+                    );
+                    assert!(
+                        stats.merges >= 1,
+                        "{pipeline:?}: the pose step must re-merge"
+                    );
+                }
+            }
             splatonic_render::projcache::clear();
+            splatonic_render::tilesort::clear();
             let (fb, bb, fb2) = run(&off);
             assert_eq!(
                 fa.color, fb.color,
@@ -306,6 +328,171 @@ fn cached_render_sequence_matches_uncached() {
         }
     }
     splatonic_render::projcache::clear();
+    splatonic_render::tilesort::clear();
+}
+
+/// Runs the tile pipeline forward+backward under `c` and returns every
+/// output that must be bit-stable across sort-schedule knobs.
+fn tile_round(
+    scene: &GaussianScene,
+    cam: &Camera,
+    pixels: &PixelSet,
+    lg: &[LossGrad],
+    c: &RenderConfig,
+) -> (
+    splatonic_render::ForwardResult,
+    (
+        splatonic_render::SceneGrads,
+        splatonic_render::PoseGrad,
+        splatonic_render::RenderTrace,
+    ),
+) {
+    splatonic_render::projcache::clear();
+    splatonic_render::tilesort::clear();
+    let f = render_forward(scene, cam, pixels, Pipeline::TileBased, c);
+    let b = render_backward(scene, cam, pixels, &f, lg, Pipeline::TileBased, c);
+    (f, b)
+}
+
+/// Zeroes the sorting-schedule counters, which legitimately differ between
+/// grouped and ungrouped runs (the same pattern as `bin_candidates`).
+fn zero_sort_counters(t: &mut splatonic_render::RenderTrace) {
+    t.forward.sort_lists = 0;
+    t.forward.sort_elems = 0;
+    t.forward.sort_group_reuse = 0;
+}
+
+#[test]
+fn grouped_sort_matches_per_tile_oracle() {
+    // The default grouped schedule (shared sort per 2×2-tile group, masked
+    // per-tile lists) must be bit-identical to the per-tile oracle —
+    // images, contributions, gradients, and the trace up to the sort
+    // counters — at every width, for forward and backward passes.
+    let scene = random_scene(113, 400);
+    let cam = camera();
+    for pixels in [PixelSet::dense(96, 72), sparse_set()] {
+        let lg = loss_grads(pixels.len());
+        for threads in EQUALITY_WIDTHS {
+            let grouped = RenderConfig {
+                tile_grouping: true,
+                sort_cache: false,
+                ..cfg(threads)
+            };
+            let oracle = RenderConfig {
+                tile_grouping: false,
+                sort_cache: false,
+                ..cfg(threads)
+            };
+            let (fg, bg) = tile_round(&scene, &cam, &pixels, &lg, &grouped);
+            let (fo, bo) = tile_round(&scene, &cam, &pixels, &lg, &oracle);
+            assert_eq!(fg.color, fo.color, "color, {threads} workers");
+            assert_eq!(fg.depth, fo.depth, "depth, {threads} workers");
+            assert_eq!(
+                fg.final_transmittance, fo.final_transmittance,
+                "Γ_final, {threads} workers"
+            );
+            assert_eq!(fg.contributions, fo.contributions, "contribs, {threads}");
+            assert!(
+                fg.trace.forward.sort_elems < fo.trace.forward.sort_elems,
+                "grouping must shrink the sorted-element stream"
+            );
+            assert!(fg.trace.forward.sort_group_reuse > 0);
+            assert_eq!(fo.trace.forward.sort_group_reuse, 0);
+            let (mut tg, mut to) = (fg.trace.clone(), fo.trace.clone());
+            zero_sort_counters(&mut tg);
+            zero_sort_counters(&mut to);
+            assert_eq!(tg, to, "trace (sort counters zeroed), {threads} workers");
+            assert_eq!(bg.0, bo.0, "scene grads, {threads} workers");
+            assert_eq!(bg.1, bo.1, "pose grad, {threads} workers");
+            assert_eq!(bg.2, bo.2, "backward trace, {threads} workers");
+        }
+    }
+    splatonic_render::projcache::clear();
+    splatonic_render::tilesort::clear();
+}
+
+#[test]
+fn cached_sort_matches_cold_sort() {
+    // A tracking-shaped pose walk (A, A-backward, then three small pose
+    // steps exercising the coherent re-merge) with the sort cache on must
+    // be bit-identical — outputs *and* traces — to the same walk built
+    // cold, at every width.
+    let scene = random_scene(127, 400);
+    let pixels = PixelSet::dense(96, 72);
+    let lg = loss_grads(pixels.len());
+    let poses: Vec<Camera> = (0..4)
+        .map(|i| {
+            Camera::look_at(
+                Intrinsics::with_fov(96, 72, 1.2),
+                Vec3::new(0.3 + 0.01 * i as f64, -0.2, -0.5),
+                Vec3::new(0.0, 0.0, 2.0),
+                Vec3::Y,
+            )
+        })
+        .collect();
+    for threads in EQUALITY_WIDTHS {
+        let walk = |c: &RenderConfig| {
+            splatonic_render::projcache::clear();
+            splatonic_render::tilesort::clear();
+            let mut outs = Vec::new();
+            for cam in &poses {
+                let f = render_forward(&scene, cam, &pixels, Pipeline::TileBased, c);
+                let b = render_backward(&scene, cam, &pixels, &f, &lg, Pipeline::TileBased, c);
+                outs.push((f, b));
+            }
+            outs
+        };
+        let cached = walk(&cfg(threads));
+        let stats = splatonic_render::tilesort::stats();
+        assert_eq!(stats.misses, 1, "only the first pose builds cold");
+        assert_eq!(stats.merges as usize, poses.len() - 1, "pose steps merge");
+        assert_eq!(stats.hits as usize, poses.len(), "every backward hits");
+        let cold = walk(&RenderConfig {
+            cache: false,
+            sort_cache: false,
+            ..cfg(threads)
+        });
+        for (i, ((fc, bc), (fx, bx))) in cached.iter().zip(&cold).enumerate() {
+            assert_eq!(fc.color, fx.color, "pose {i} color, {threads} workers");
+            assert_eq!(
+                fc.contributions, fx.contributions,
+                "pose {i} contribs, {threads} workers"
+            );
+            assert_eq!(fc.trace, fx.trace, "pose {i} trace, {threads} workers");
+            assert_eq!(bc.0, bx.0, "pose {i} scene grads, {threads} workers");
+            assert_eq!(bc.1, bx.1, "pose {i} pose grad, {threads} workers");
+            assert_eq!(bc.2, bx.2, "pose {i} bwd trace, {threads} workers");
+        }
+    }
+    splatonic_render::projcache::clear();
+    splatonic_render::tilesort::clear();
+}
+
+#[test]
+fn group_size_does_not_change_output() {
+    let scene = random_scene(131, 400);
+    let cam = camera();
+    let pixels = sparse_set();
+    let base = render_forward(&scene, &cam, &pixels, Pipeline::TileBased, &cfg(1));
+    for group_size in [1usize, 3, 4, 8] {
+        let c = RenderConfig {
+            group_size,
+            ..cfg(1)
+        };
+        let out = render_forward(&scene, &cam, &pixels, Pipeline::TileBased, &c);
+        assert_eq!(base.color, out.color, "group_size {group_size}");
+        assert_eq!(
+            base.contributions, out.contributions,
+            "group_size {group_size}"
+        );
+        let mut t = out.trace.clone();
+        zero_sort_counters(&mut t);
+        let mut tb = base.trace.clone();
+        zero_sort_counters(&mut tb);
+        assert_eq!(tb, t, "group_size {group_size} trace");
+    }
+    splatonic_render::projcache::clear();
+    splatonic_render::tilesort::clear();
 }
 
 #[test]

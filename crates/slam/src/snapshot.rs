@@ -36,7 +36,7 @@ pub const MAGIC: [u8; 8] = *b"SPLTSNAP";
 
 /// Current snapshot format version. Bump on any wire-format change; old
 /// readers reject newer versions with [`SnapshotError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Fixed header size: magic (8) + version (4) + payload length (8) +
 /// checksum (8).
@@ -408,6 +408,7 @@ fn put_trace(w: &mut Vec<u8>, t: &RenderTrace) {
         proj_pairs_kept,
         sort_elems,
         sort_lists,
+        sort_group_reuse,
         raster_alpha_checks,
         pairs_integrated,
         pixels_shaded,
@@ -428,6 +429,7 @@ fn put_trace(w: &mut Vec<u8>, t: &RenderTrace) {
         proj_pairs_kept,
         sort_elems,
         sort_lists,
+        sort_group_reuse,
         raster_alpha_checks,
         pairs_integrated,
         pixels_shaded,
@@ -594,6 +596,7 @@ impl<'a> Cursor<'a> {
             f.proj_pairs_kept = self.u64()?;
             f.sort_elems = self.u64()?;
             f.sort_lists = self.u64()?;
+            f.sort_group_reuse = self.u64()?;
             f.raster_alpha_checks = self.u64()?;
             f.pairs_integrated = self.u64()?;
             f.pixels_shaded = self.u64()?;

@@ -23,6 +23,7 @@ use splatonic_math::pool::WorkerStats;
 use splatonic_math::{Image, Pose, Vec3};
 use splatonic_render::projcache;
 use splatonic_render::sampling::MappingStrategy;
+use splatonic_render::tilesort;
 use splatonic_render::{
     render_forward, MappingSampler, Pipeline, PixelSet, RenderConfig, RenderTrace, SamplingStrategy,
 };
@@ -231,6 +232,9 @@ struct RunState {
     /// Projection-cache activity attributed to this run, accumulated the
     /// same bracket-by-bracket way (telemetry side-band only).
     cache_accum: projcache::CacheStats,
+    /// Sorted-tile-list cache activity attributed to this run (hits,
+    /// merges, cold/merged element counts), accumulated like `cache_accum`.
+    sort_accum: tilesort::SortStats,
 }
 
 /// Adds the per-worker activity since `before` (a
@@ -392,6 +396,7 @@ impl SlamSystem {
                 Vec::new()
             };
             let cache_before = projcache::stats();
+            let sort_before = tilesort::stats();
             let v = self.evaluate_psnr(
                 dataset,
                 &state.est_poses,
@@ -400,6 +405,7 @@ impl SlamSystem {
             state
                 .cache_accum
                 .add(&projcache::stats().since(&cache_before));
+            state.sort_accum.add(&tilesort::stats().since(&sort_before));
             if telemetry.is_enabled() {
                 accumulate_pool(&mut state.pool_accum, &pool_before);
             }
@@ -412,6 +418,12 @@ impl SlamSystem {
         telemetry.counter_add("render/cache_hits", cache_run.hits);
         telemetry.counter_add("render/cache_misses", cache_run.misses);
         telemetry.counter_add("render/cache_invalidations", cache_run.invalidations);
+        let sort_run = state.sort_accum;
+        telemetry.counter_add("render/sort_hits", sort_run.hits);
+        telemetry.counter_add("render/sort_misses", sort_run.misses);
+        telemetry.counter_add("render/sort_merges", sort_run.merges);
+        telemetry.counter_add("render/sort_cold_elems", sort_run.cold_elems);
+        telemetry.counter_add("render/sort_merged_elems", sort_run.merged_elems);
         telemetry.counter_add("slam/tracking_iters", state.tracking_iters as u64);
         telemetry.counter_add("slam/mapping_iters", state.mapping_iters as u64);
         telemetry.counter_add("slam/mapping_invocations", state.mapping_invocations as u64);
@@ -450,6 +462,13 @@ impl SlamSystem {
         telemetry.counter_add("render/cache_hits", cache.hits);
         telemetry.counter_add("render/cache_misses", cache.misses);
         telemetry.counter_add("render/cache_invalidations", cache.invalidations);
+        let sort = state.sort_accum;
+        state.sort_accum = tilesort::SortStats::default();
+        telemetry.counter_add("render/sort_hits", sort.hits);
+        telemetry.counter_add("render/sort_misses", sort.misses);
+        telemetry.counter_add("render/sort_merges", sort.merges);
+        telemetry.counter_add("render/sort_cold_elems", sort.cold_elems);
+        telemetry.counter_add("render/sort_merged_elems", sort.merged_elems);
         let pool = std::mem::take(&mut state.pool_accum);
         telemetry.record_pool_worker_deltas(&pool);
     }
@@ -595,6 +614,7 @@ impl SlamSystem {
                 mapping_invocations: snapshot.mapping_invocations,
                 pool_accum: Vec::new(),
                 cache_accum: projcache::CacheStats::default(),
+                sort_accum: tilesort::SortStats::default(),
             })
         };
         Ok(SlamSystem {
@@ -625,6 +645,7 @@ impl SlamSystem {
         // part of the render trace — see `projcache`); bracket each frame
         // with snapshots to accumulate this run's deltas.
         let cache_before = projcache::stats();
+        let sort_before = tilesort::stats();
         let cfg = self.config;
         let algo = cfg.algorithm;
 
@@ -652,6 +673,7 @@ impl SlamSystem {
             mapping_invocations: 0,
             pool_accum: Vec::new(),
             cache_accum: projcache::CacheStats::default(),
+            sort_accum: tilesort::SortStats::default(),
         };
         let sampler = MappingSampler::new(cfg.mapping_tile, cfg.mapping_strategy);
 
@@ -696,6 +718,7 @@ impl SlamSystem {
         state
             .cache_accum
             .add(&projcache::stats().since(&cache_before));
+        state.sort_accum.add(&tilesort::stats().since(&sort_before));
         if telemetry.is_enabled() {
             accumulate_pool(&mut state.pool_accum, &pool_before);
         }
@@ -714,6 +737,7 @@ impl SlamSystem {
             Vec::new()
         };
         let cache_before = projcache::stats();
+        let sort_before = tilesort::stats();
         let cfg = self.config;
         let algo = cfg.algorithm;
         let mut state = self.run.take().expect("active run");
@@ -806,6 +830,7 @@ impl SlamSystem {
         state
             .cache_accum
             .add(&projcache::stats().since(&cache_before));
+        state.sort_accum.add(&tilesort::stats().since(&sort_before));
         if telemetry.is_enabled() {
             accumulate_pool(&mut state.pool_accum, &pool_before);
         }

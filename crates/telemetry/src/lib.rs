@@ -320,6 +320,7 @@ impl Telemetry {
             proj_pairs_kept,
             sort_elems,
             sort_lists,
+            sort_group_reuse,
             raster_alpha_checks,
             pairs_integrated,
             pixels_shaded,
@@ -340,6 +341,7 @@ impl Telemetry {
             ("proj_pairs_kept", *proj_pairs_kept),
             ("sort_elems", *sort_elems),
             ("sort_lists", *sort_lists),
+            ("sort_group_reuse", *sort_group_reuse),
             ("raster_alpha_checks", *raster_alpha_checks),
             ("pairs_integrated", *pairs_integrated),
             ("pixels_shaded", *pixels_shaded),

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Records a scalar-vs-SIMD kernel benchmark pair into BENCH_kernels.json.
+# Records a scalar-vs-SIMD kernel benchmark pair into BENCH_kernels.json
+# and a tile-sort ablation pair into BENCH_sort.json.
 #
 # Runs the `kernels` micro-benchmark binary twice — once with `--scalar`
 # (the bit-exactness oracle) and once with `--simd` (the vector kernels,
@@ -8,16 +9,26 @@
 # each commit that touches the hot kernels should append an entry so the
 # history of the scalar/SIMD gap stays reviewable in-repo.
 #
+# It then runs the sort A/B pair — `--no-tile-grouping --no-sort-cache`
+# (the per-tile uncached baseline) versus the default grouped + cached
+# schedule (DESIGN.md §16) — and appends the compared-element counts and
+# the realized reduction to the BENCH_sort.json trajectory. The sort
+# counts are deterministic workload counters, not timings, so entries are
+# comparable across hosts; the acceptance bar is reduction >= 2x.
+#
 # Usage: bench_record.sh [--iters N] [--out BENCH_kernels.json]
+#                        [--sort-out BENCH_sort.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ITERS=50
 OUT=BENCH_kernels.json
+SORT_OUT=BENCH_sort.json
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --iters) ITERS="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
+    --sort-out) SORT_OUT="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -108,4 +119,97 @@ for name in SPANS:
     s = entry["speedup"][name]
     print(f"  {name:24s} scalar {scalar_ms[name]:9.2f} ms  "
           f"simd {simd_ms[name]:9.2f} ms  speedup {s if s else 'n/a'}x")
+EOF
+
+# Tile-sort ablation pair: per-tile uncached baseline vs the default
+# grouped + frame-coherent-cached schedule. The burst shape is fixed
+# inside the binary (4 poses x 2 iterations, forward + backward), so
+# --iters only affects the unrelated timing spans; keep it small.
+echo "[bench_record] sort baseline pass (per-tile, uncached)..."
+./target/release/kernels --iters 2 --no-tile-grouping --no-sort-cache \
+  --report "$TMP/sort_baseline.json" >/dev/null
+echo "[bench_record] sort grouped pass (grouping + cache on)..."
+./target/release/kernels --iters 2 --tile-grouping \
+  --report "$TMP/sort_grouped.json" >/dev/null
+
+python3 - "$TMP/sort_baseline.json" "$TMP/sort_grouped.json" "$SORT_OUT" <<'EOF'
+import json
+import sys
+import time
+
+baseline = json.load(open(sys.argv[1]))
+grouped = json.load(open(sys.argv[2]))
+out_path = sys.argv[3]
+
+GAUGES = [
+    "sort/naive_elems",
+    "sort/sched_elems",
+    "sort/realized_elems",
+    "sort/elems_reduction",
+    "sort/group_reuse",
+    "sort/hits",
+    "sort/misses",
+    "sort/merges",
+]
+
+
+def gauges(report, which):
+    out = {}
+    for name in GAUGES:
+        value = report["gauges"].get(name)
+        if value is None:
+            sys.exit(f"bench_record: gauge {name} missing from {which} report")
+        out[name.split("/", 1)[1]] = round(value, 3)
+    return out
+
+
+base = gauges(baseline, "baseline")
+grp = gauges(grouped, "grouped")
+if base["naive_elems"] != grp["naive_elems"]:
+    sys.exit(
+        "bench_record: A/B runs disagree on the per-tile baseline "
+        f"({base['naive_elems']} vs {grp['naive_elems']})"
+    )
+reduction = grp["elems_reduction"]
+if reduction < 2.0:
+    sys.exit(
+        f"bench_record: grouped+cached sort reduction {reduction}x is below "
+        "the 2x acceptance bar (DESIGN.md §16)"
+    )
+entry = {
+    "date": time.strftime("%Y-%m-%d", time.gmtime()),
+    "per_tile_uncached": base,
+    "grouped_cached": grp,
+    "elems_reduction": reduction,
+}
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {
+        "description": (
+            "Tile-sort ablation trajectory (scripts/bench_record.sh): the "
+            "kernels binary's 4-pose x 2-iteration tracking burst, forward "
+            "+ backward, per-tile uncached vs grouped + frame-coherent "
+            "cache (DESIGN.md §16). All values are deterministic "
+            "compared-element counts from the sort/* gauges — "
+            "machine-independent, unlike the timing trajectories. "
+            "elems_reduction = naive_elems / realized_elems and must stay "
+            ">= 2x; rendered output is bit-identical in both schedules."
+        ),
+        "entries": [],
+    }
+doc["entries"].append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"bench_record: appended entry {len(doc['entries'])} to {out_path}")
+print(
+    f"  per-tile uncached {int(base['naive_elems'])} elems vs realized "
+    f"{int(grp['realized_elems'])} ({reduction}x reduction, "
+    f"group reuse {int(grp['group_reuse'])}, "
+    f"hits {int(grp['hits'])}, merges {int(grp['merges'])})"
+)
 EOF

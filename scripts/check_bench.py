@@ -56,9 +56,26 @@ FRAME_FLOAT_FIELDS = ["psnr_db", "ate_so_far_cm"]
 SKIP_PREFIXES = ("pool/", "render/simd_lanes")
 
 # Instrumentation the report run must carry regardless of what the baseline
-# happens to contain — a dropped checkpoint subsystem must fail the gate
-# even if both sides lost the keys together.
-REQUIRED_COUNTERS = ["slam/checkpoints_written"]
+# happens to contain — a dropped checkpoint subsystem (or a silently
+# disabled sorted-tile-list cache) must fail the gate even if both sides
+# lost the keys together.
+REQUIRED_COUNTERS = [
+    "slam/checkpoints_written",
+    "render/sort_hits",
+    "render/sort_misses",
+    "render/sort_merges",
+    "render/sort_cold_elems",
+    "render/sort_merged_elems",
+]
+# The subset that must additionally be nonzero: any instrumented run
+# checkpoints and performs at least one cold tile-sort build (the per-frame
+# PSNR evaluation renders the tile schedule). Exact hits/merges depend on
+# the run shape, so the remaining sort counters are presence-only.
+REQUIRED_NONZERO = [
+    "slam/checkpoints_written",
+    "render/sort_misses",
+    "render/sort_cold_elems",
+]
 REQUIRED_GAUGES = ["slam/snapshot_bytes", "render/simd_lanes"]
 
 
@@ -210,8 +227,10 @@ def check(report, baseline, span_errors=None):
         for side, data in (("report", counters_r), ("baseline", counters_b)):
             if name not in data:
                 err(f"counters.{name}: required, missing from {side}")
+    for name in REQUIRED_NONZERO:
         if counters_r.get(name, 0) == 0 and name in counters_r:
-            err(f"counters.{name}: required to be nonzero (checkpointing ran)")
+            err(f"counters.{name}: required to be nonzero "
+                "(its subsystem must have run)")
 
     # Spans: invocation counts are deterministic; wall time is not, so only
     # an upper bound (generous multiplier, floored) is enforced. When the

@@ -336,6 +336,140 @@ fn projection_cache_is_transparent() {
     });
 }
 
+/// The grouped tile sort (one shared depth sort per tile group, per-tile
+/// lists recovered by masking, DESIGN.md §16) is schedule-only: for
+/// arbitrary scenes, poses, and group sizes it must reproduce the per-tile
+/// oracle's forward output and backward gradients bit-for-bit. Only the
+/// sorting-schedule counters may differ.
+#[test]
+fn grouped_sort_matches_per_tile_oracle() {
+    use splatonic::render::LossGrad;
+    for_each_case(0x6C0D_5027, |case, rng| {
+        let scene = arb_scene(rng, 8, 48);
+        let cam = Camera::new(Intrinsics::with_fov(48, 36, 1.2), arb_pose(rng));
+        let pixels = PixelSet::dense(48, 36);
+        let lg: Vec<LossGrad> = (0..pixels.len())
+            .map(|_| LossGrad {
+                d_color: small_vec3(rng),
+                d_depth: rng.gen_range(-0.5..0.5),
+            })
+            .collect();
+        let group_size = [2usize, 3, 4][rng.gen_range(0usize..3)];
+        let run = |tile_grouping: bool| {
+            splatonic::render::projcache::clear();
+            splatonic::render::tilesort::clear();
+            let cfg = RenderConfig {
+                tile_grouping,
+                group_size,
+                sort_cache: false,
+                ..RenderConfig::default()
+            };
+            let f = render_forward(&scene, &cam, &pixels, Pipeline::TileBased, &cfg);
+            let b = render_backward(&scene, &cam, &pixels, &f, &lg, Pipeline::TileBased, &cfg);
+            (f, b)
+        };
+        let (fg, bg) = run(true);
+        let (fo, bo) = run(false);
+        assert_eq!(fg.color, fo.color, "case {case}: forward color");
+        assert_eq!(fg.depth, fo.depth, "case {case}: forward depth");
+        assert_eq!(
+            fg.contributions, fo.contributions,
+            "case {case}: contribution lists"
+        );
+        assert_eq!(bg.0, bo.0, "case {case}: scene grads (group {group_size})");
+        assert_eq!(bg.1, bo.1, "case {case}: pose grad");
+        // The grouped schedule never sorts more than the per-tile oracle
+        // (shared group sorts subsume the per-tile ones).
+        assert!(
+            fg.trace.forward.sort_elems <= fo.trace.forward.sort_elems,
+            "case {case}: grouped sorted {} elems, oracle {}",
+            fg.trace.forward.sort_elems,
+            fo.trace.forward.sort_elems
+        );
+    });
+    splatonic::render::projcache::clear();
+    splatonic::render::tilesort::clear();
+}
+
+/// The frame-coherent sort cache never changes rendered output: repeated
+/// renders (exact hits), small pose steps (coherent re-merges), and scene
+/// mutations (revision invalidations) are all bit-identical to cache-off
+/// renders of the same inputs, forward and backward.
+#[test]
+fn sort_cache_is_transparent() {
+    use splatonic::render::LossGrad;
+    for_each_case(0x50CA_C4ED, |case, rng| {
+        let mut scene = arb_scene(rng, 8, 40);
+        let base = arb_pose(rng);
+        // A tracking-shaped walk: repeat pose, two small steps, then a
+        // scene mutation followed by one more render at the last pose.
+        let step = |p: &Pose, rng: &mut Rng64| {
+            p.compose(&Se3::new(small_vec3(rng) * 0.01, small_vec3(rng) * 0.004).exp())
+        };
+        let mut poses = vec![base, base];
+        let s1 = step(&base, rng);
+        poses.push(s1);
+        poses.push(step(&s1, rng));
+        let pixels = PixelSet::dense(48, 36);
+        let lg: Vec<LossGrad> = (0..pixels.len())
+            .map(|_| LossGrad {
+                d_color: small_vec3(rng),
+                d_depth: rng.gen_range(-0.5..0.5),
+            })
+            .collect();
+        let mutate = |scene: &mut GaussianScene, rng: &mut Rng64| {
+            let i = rng.gen_range(0usize..scene.len());
+            let nudge = small_vec3(rng) * 0.05;
+            scene.update(i, |g| g.mean += nudge);
+        };
+        let walk = |scene: &mut GaussianScene, rng: &mut Rng64, sort_cache: bool| {
+            splatonic::render::projcache::clear();
+            splatonic::render::tilesort::clear();
+            let cfg = RenderConfig {
+                cache: false,
+                sort_cache,
+                ..RenderConfig::default()
+            };
+            let mut outs = Vec::new();
+            for cam_pose in &poses {
+                let cam = Camera::new(Intrinsics::with_fov(48, 36, 1.2), *cam_pose);
+                let f = render_forward(scene, &cam, &pixels, Pipeline::TileBased, &cfg);
+                let b = render_backward(scene, &cam, &pixels, &f, &lg, Pipeline::TileBased, &cfg);
+                outs.push((f, b));
+            }
+            mutate(scene, rng);
+            let cam = Camera::new(Intrinsics::with_fov(48, 36, 1.2), *poses.last().unwrap());
+            let f = render_forward(scene, &cam, &pixels, Pipeline::TileBased, &cfg);
+            let b = render_backward(scene, &cam, &pixels, &f, &lg, Pipeline::TileBased, &cfg);
+            outs.push((f, b));
+            outs
+        };
+        // Both walks must see the same scene trajectory: clone the scene so
+        // each applies the identical mutation from an identical state.
+        let mut scene_cold = GaussianScene::from_vec(scene.to_vec());
+        let mut rng_cold = Rng64::seed_from_u64(0x50CA_C4ED ^ case as u64 ^ 0xFFFF);
+        let mut rng_cached = Rng64::seed_from_u64(0x50CA_C4ED ^ case as u64 ^ 0xFFFF);
+        let cached = walk(&mut scene, &mut rng_cached, true);
+        let stats = splatonic::render::tilesort::stats();
+        assert!(stats.hits >= 1, "case {case}: repeats/backward must hit");
+        assert!(stats.merges >= 1, "case {case}: pose steps must merge");
+        let cold = walk(&mut scene_cold, &mut rng_cold, false);
+        for (i, ((fc, bc), (fx, bx))) in cached.iter().zip(&cold).enumerate() {
+            assert_eq!(fc.color, fx.color, "case {case}: render {i} color");
+            assert_eq!(
+                fc.contributions, fx.contributions,
+                "case {case}: render {i} contributions"
+            );
+            assert_eq!(fc.trace, fx.trace, "case {case}: render {i} trace");
+            assert_eq!(bc.0, bx.0, "case {case}: render {i} scene grads");
+            assert_eq!(bc.1, bx.1, "case {case}: render {i} pose grad");
+            assert_eq!(bc.2, bx.2, "case {case}: render {i} bwd trace");
+        }
+    });
+    splatonic::render::projcache::clear();
+    splatonic::render::tilesort::clear();
+}
+
 /// Snapshot wire-format round trip: encode → decode → re-encode is the
 /// byte-identity for arbitrary run state, including non-finite floats
 /// (NaN payloads, ±∞, −0.0 travel via `to_bits`, DESIGN.md §12) — and any
