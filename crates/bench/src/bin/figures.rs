@@ -22,8 +22,15 @@
 //! `--events-out <path>` streams a JSONL event log (one record per span,
 //! frame, counter — flushed per line, so `tail -f` follows the run live).
 //! Either flag triggers the instrumented pass even without `--report`.
+//!
+//! `--plan <file>` executes a headless multi-step plan (run → checkpoint →
+//! export `.ply` → decimate → re-import → re-evaluate PSNR; see
+//! `crates/bench/src/plan.rs` for the schema and `plans/roundtrip.json`
+//! for the committed CI smoke plan). Artifacts land in `--plan-dir <dir>`
+//! (default: a per-process temp directory). Any failed plan assertion
+//! exits nonzero.
 
-use splatonic_bench::{report, run_experiment, Settings, EXPERIMENTS};
+use splatonic_bench::{plan, report, run_experiment, Settings, EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +66,8 @@ fn main() {
     let checkpoint_dir = flag_value("--checkpoint-dir").map(std::path::PathBuf::from);
     let trace_out = flag_value("--trace-out").map(std::path::PathBuf::from);
     let events_out = flag_value("--events-out").map(std::path::PathBuf::from);
+    let plan_path = flag_value("--plan").map(std::path::PathBuf::from);
+    let plan_dir = flag_value("--plan-dir").map(std::path::PathBuf::from);
     let instrument = report_path.is_some() || trace_out.is_some() || events_out.is_some();
     let mut ids: Vec<&str> = {
         let mut skip_next = false;
@@ -74,6 +83,8 @@ fn main() {
                     "--checkpoint-dir",
                     "--trace-out",
                     "--events-out",
+                    "--plan",
+                    "--plan-dir",
                 ]
                 .contains(&a.as_str())
                 {
@@ -85,7 +96,7 @@ fn main() {
             .map(String::as_str)
             .collect()
     };
-    if ids.contains(&"all") || (ids.is_empty() && !instrument) {
+    if ids.contains(&"all") || (ids.is_empty() && !instrument && plan_path.is_none()) {
         ids = EXPERIMENTS.to_vec();
     }
     for id in ids {
@@ -136,5 +147,36 @@ fn main() {
             "[figures] instrumented pass done in {:.1}s",
             start.elapsed().as_secs_f64()
         );
+    }
+    if let Some(path) = &plan_path {
+        let start = std::time::Instant::now();
+        let dir = plan_dir.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("splatonic-plan-{}", std::process::id()))
+        });
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("[figures] cannot create plan dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[figures] running plan {} (artifacts in {})...",
+            path.display(),
+            dir.display()
+        );
+        match plan::run_plan_file(path, &settings, &dir) {
+            Ok(outcome) => {
+                for line in &outcome.log {
+                    println!("[plan {}] {line}", outcome.name);
+                }
+                eprintln!(
+                    "[figures] plan {} done in {:.1}s",
+                    outcome.name,
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("[figures] plan failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

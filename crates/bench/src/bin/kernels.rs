@@ -87,6 +87,7 @@ fn bench_dataset(name: &str, frames: usize) -> Dataset {
             spacing: 0.3,
             fov: 1.25,
             furniture: 2,
+            depth_dropout_coverage: 0.9,
         },
     )
 }

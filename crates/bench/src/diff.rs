@@ -42,15 +42,23 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     "render/sort_merges",
     "render/sort_cold_elems",
     "render/sort_merged_elems",
+    "assets/ply_gaussians_written",
+    "assets/ply_gaussians_read",
+    "lod/pruned",
+    "mapping/densify_capped",
 ];
 /// The [`REQUIRED_COUNTERS`] subset that must additionally be nonzero: any
-/// instrumented run checkpoints and performs at least one cold tile-sort
-/// build (the per-frame PSNR evaluation renders the tile schedule). Exact
-/// hits/merges depend on the run shape, so the rest are presence-only.
+/// instrumented run checkpoints, performs at least one cold tile-sort
+/// build (the per-frame PSNR evaluation renders the tile schedule), and
+/// roundtrips the scene through the `.ply` codec. Exact hits/merges depend
+/// on the run shape — and `lod/pruned` / `mapping/densify_capped` are zero
+/// whenever their knobs are off — so those are presence-only.
 pub const REQUIRED_NONZERO: &[&str] = &[
     "slam/checkpoints_written",
     "render/sort_misses",
     "render/sort_cold_elems",
+    "assets/ply_gaussians_written",
+    "assets/ply_gaussians_read",
 ];
 /// Gauges that must be present on both sides (values may be skipped).
 pub const REQUIRED_GAUGES: &[&str] = &["slam/snapshot_bytes", "render/simd_lanes"];
@@ -374,7 +382,11 @@ mod tests {
                            "render/sort_misses": 3,
                            "render/sort_merges": 12,
                            "render/sort_cold_elems": 28025,
-                           "render/sort_merged_elems": 111349},
+                           "render/sort_merged_elems": 111349,
+                           "assets/ply_gaussians_written": 50,
+                           "assets/ply_gaussians_read": 50,
+                           "lod/pruned": 0,
+                           "mapping/densify_capped": 0},
               "gauges": {"slam/snapshot_bytes": 1000.0,
                          "render/simd_lanes": 4.0},
               "latency": {
@@ -503,6 +515,44 @@ mod tests {
                 .any(|e| e.contains("slam/checkpoints_written") && e.contains("nonzero")),
             "{errors:?}"
         );
+    }
+
+    #[test]
+    fn asset_counter_regression_fails() {
+        // A silently broken `.ply` path: the instrumented roundtrip stops
+        // counting. Zero values must trip the required-nonzero gate even
+        // when both sides agree.
+        let mut report = report_fixture();
+        if let Json::Obj(fields) = &mut report {
+            let counters = fields
+                .iter_mut()
+                .find(|(k, _)| k == "counters")
+                .map(|(_, v)| v)
+                .unwrap();
+            *counters = parse(
+                r#"{"slam/checkpoints_written": 2,
+                     "tracking/forward/pixels_shaded": 400,
+                     "render/sort_hits": 0,
+                     "render/sort_misses": 3,
+                     "render/sort_merges": 12,
+                     "render/sort_cold_elems": 28025,
+                     "render/sort_merged_elems": 111349,
+                     "assets/ply_gaussians_written": 0,
+                     "assets/ply_gaussians_read": 0,
+                     "lod/pruned": 0,
+                     "mapping/densify_capped": 0}"#,
+            )
+            .unwrap();
+        }
+        let errors = diff_reports(&report, &report, DiffScope::Full);
+        for name in ["assets/ply_gaussians_written", "assets/ply_gaussians_read"] {
+            assert!(
+                errors
+                    .iter()
+                    .any(|e| e.contains(name) && e.contains("nonzero")),
+                "{name} must be required nonzero: {errors:?}"
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 pub mod diff;
 pub mod experiments;
+pub mod plan;
 pub mod report;
 pub mod tables;
 
@@ -42,6 +43,7 @@ impl Settings {
                 spacing: 0.24,
                 fov: 1.25,
                 furniture: 3,
+                depth_dropout_coverage: 0.9,
             }
         } else {
             splatonic_slam::DatasetConfig {
@@ -51,6 +53,7 @@ impl Settings {
                 spacing: 0.2,
                 fov: 1.25,
                 furniture: 4,
+                depth_dropout_coverage: 0.9,
             }
         }
     }

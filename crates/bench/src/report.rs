@@ -123,6 +123,19 @@ pub fn instrumented_run_with_options(
         })
         .expect("checkpoint sink failed");
 
+    // Asset-path accounting: exercise the `.ply` export/import roundtrip
+    // in memory so every report carries the `assets/ply_gaussians_written`
+    // and `assets/ply_gaussians_read` counters (check_bench.py and
+    // report_diff require them nonzero — a silently broken splat codec
+    // must fail the gate, not vanish from the report).
+    {
+        let _span = telemetry.span("assets_roundtrip");
+        let ply = splatonic_slam::assets::encode_scene_ply(system.scene(), &telemetry);
+        let reimported = splatonic_slam::assets::decode_scene_ply(&ply, &telemetry)
+            .expect("freshly exported scene must re-import");
+        assert_eq!(reimported.len(), system.scene().len());
+    }
+
     // Price one representative tracking iteration on every target and
     // export the stage/energy breakdowns.
     let scenario = TrackingScenario::prepare(&dataset, 1);
@@ -190,6 +203,9 @@ mod tests {
             "tracking/backward/atomic_adds",
             "mapping/forward/pixels_shaded",
             "slam/checkpoints_written",
+            "assets/ply_gaussians_written",
+            "assets/ply_gaussians_read",
+            "lod/pruned",
         ] {
             assert!(counters.get(name).is_some(), "missing counter {name}");
         }

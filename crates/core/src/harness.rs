@@ -279,6 +279,7 @@ mod tests {
                 spacing: 0.3,
                 fov: 1.25,
                 furniture: 2,
+                depth_dropout_coverage: 0.9,
             },
         );
         TrackingScenario::prepare(&d, 4)

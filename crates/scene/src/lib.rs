@@ -9,7 +9,10 @@
 //! * [`world`] — procedural ground-truth worlds standing in for the Replica
 //!   and TUM RGB-D datasets (see DESIGN.md §2 for the substitution argument),
 //! * [`trajectory`] — smooth (Replica-like) and fast-motion (TUM-like)
-//!   camera trajectories.
+//!   camera trajectories,
+//! * [`ply`] — standard 3DGS `.ply` import/export (reconstructions become
+//!   inspectable artifacts, external captures become workloads),
+//! * [`lod`] — opacity/scale-aware level-of-detail decimation.
 //!
 //! # Examples
 //!
@@ -30,11 +33,15 @@
 pub mod camera;
 pub mod frame;
 pub mod gaussian;
+pub mod lod;
+pub mod ply;
 pub mod trajectory;
 pub mod world;
 
 pub use camera::{Camera, Intrinsics};
 pub use frame::{ColorImage, DepthImage, Frame};
 pub use gaussian::{Gaussian, GaussianScene};
+pub use lod::{decimate, decimate_fraction, LodStats};
+pub use ply::{decode_ply, encode_ply, read_ply_file, write_ply_file, PlyError};
 pub use trajectory::{Trajectory, TrajectoryKind};
 pub use world::{SyntheticWorld, WorldBuilder, WorldStyle};

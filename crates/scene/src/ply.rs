@@ -1,0 +1,713 @@
+//! Standard 3D Gaussian Splatting `.ply` import/export for
+//! [`GaussianScene`] (DESIGN.md §17).
+//!
+//! The wire format is the de-facto 3DGS interchange layout: a text header
+//! (`ply` magic, `format binary_little_endian 1.0`, one `element vertex N`)
+//! followed by `N` fixed-stride binary records. Each vertex carries the 14
+//! scalar properties every 3DGS tool reads, in this export order:
+//!
+//! | property            | scene field                           |
+//! |---------------------|---------------------------------------|
+//! | `x y z`             | [`Gaussian::mean`]                    |
+//! | `f_dc_0..2`         | [`Gaussian::color`] (RGB, `[0, 1]`)   |
+//! | `opacity`           | [`Gaussian::opacity_logit`]           |
+//! | `scale_0..2`        | [`Gaussian::log_scale`]               |
+//! | `rot_0..3`          | [`Gaussian::rotation`] (`w x y z`)    |
+//!
+//! Values are stored as the raw internal parameters cast `f64 → f32`
+//! (log-scales stay logs, opacity stays a logit, colors are plain `[0, 1]`
+//! RGB rather than SH DC coefficients — see DESIGN.md §17 for why the SH
+//! transform is deliberately skipped). That cast is the *only* lossy step:
+//! after one export→import round trip every parameter is exactly
+//! f32-representable, so a second round trip is a bitwise identity and
+//! `export ∘ import ∘ export` is byte-identical. Import resolves properties
+//! **by name** (any order, `float` or `double`, unknown scalar properties
+//! skipped), so files written by other 3DGS tools load as long as they
+//! carry the 14 standard names.
+//!
+//! External files are untrusted input: every malformed-input class maps to
+//! a typed [`PlyError`] (mirroring the snapshot codec's corruption
+//! taxonomy) and any NaN/∞ parameter is rejected — a scene decoded from a
+//! `.ply` never smuggles non-finite values into the render kernels.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use splatonic_math::{Quat, Vec3};
+
+use crate::gaussian::{Gaussian, GaussianScene};
+
+/// The 14 vertex properties of a 3DGS `.ply`, in export order. Import
+/// accepts them in any order and with `float` or `double` storage.
+pub const PROPERTIES: [&str; 14] = [
+    "x", "y", "z", "f_dc_0", "f_dc_1", "f_dc_2", "opacity", "scale_0", "scale_1", "scale_2",
+    "rot_0", "rot_1", "rot_2", "rot_3",
+];
+
+/// Typed failure modes of `.ply` decoding — one variant per
+/// malformed-input class, in the style of the snapshot codec's
+/// `SnapshotError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlyError {
+    /// The file does not start with the `ply` magic line — not a PLY at
+    /// all.
+    BadMagic,
+    /// The header is structurally invalid (missing `end_header`, bad
+    /// vertex count, non-UTF-8 line, property outside an element, …).
+    BadHeader(String),
+    /// A valid PLY feature this importer deliberately does not support:
+    /// ASCII or big-endian storage, list properties, non-vertex elements,
+    /// or a required property stored with a non-float type.
+    Unsupported(String),
+    /// One of the 14 standard 3DGS properties is absent from the vertex
+    /// element.
+    MissingProperty(&'static str),
+    /// The binary body ends before the announced vertex count does.
+    Truncated {
+        /// Bytes the vertex records require.
+        needed: usize,
+        /// Bytes actually available after the header.
+        available: usize,
+    },
+    /// Bytes remain after the last vertex record — the element count and
+    /// the body disagree.
+    TrailingBytes(usize),
+    /// A vertex carries a NaN or infinite value; external scenes must be
+    /// finite before they reach the render kernels.
+    NonFinite {
+        /// Index of the offending vertex record.
+        vertex: usize,
+        /// Name of the offending property.
+        property: &'static str,
+    },
+    /// Filesystem failure while reading or writing a `.ply` file.
+    Io(String),
+}
+
+impl fmt::Display for PlyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlyError::BadMagic => write!(f, "not a PLY file (missing 'ply' magic line)"),
+            PlyError::BadHeader(what) => write!(f, "malformed PLY header: {what}"),
+            PlyError::Unsupported(what) => write!(f, "unsupported PLY feature: {what}"),
+            PlyError::MissingProperty(name) => {
+                write!(f, "vertex element lacks required 3DGS property {name:?}")
+            }
+            PlyError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "PLY body truncated: needed {needed} bytes, have {available}"
+                )
+            }
+            PlyError::TrailingBytes(n) => {
+                write!(f, "PLY has {n} trailing bytes after the last vertex")
+            }
+            PlyError::NonFinite { vertex, property } => {
+                write!(
+                    f,
+                    "vertex {vertex} has a non-finite value in property {property:?}"
+                )
+            }
+            PlyError::Io(e) => write!(f, "PLY I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlyError {}
+
+/// How one vertex property is stored in the binary body.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PropKind {
+    /// 4-byte IEEE 754 little-endian float.
+    F32,
+    /// 8-byte IEEE 754 little-endian double.
+    F64,
+    /// A scalar we don't read; carries its byte width for stride math.
+    Skip(usize),
+}
+
+impl PropKind {
+    fn size(self) -> usize {
+        match self {
+            PropKind::F32 => 4,
+            PropKind::F64 => 8,
+            PropKind::Skip(n) => n,
+        }
+    }
+}
+
+struct Header {
+    vertex_count: usize,
+    props: Vec<(String, PropKind)>,
+    body_offset: usize,
+}
+
+/// Serializes a scene to standard 3DGS binary-little-endian `.ply` bytes.
+///
+/// Deterministic: the same scene always yields the same bytes. Parameters
+/// are cast `f64 → f32`; for scenes whose parameters are already
+/// f32-representable (e.g. anything previously imported from a `.ply`)
+/// the encoding is lossless.
+pub fn encode_ply(scene: &GaussianScene) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256 + scene.len() * PROPERTIES.len() * 4);
+    out.extend_from_slice(b"ply\nformat binary_little_endian 1.0\n");
+    out.extend_from_slice(b"comment splatonic gaussian scene\n");
+    out.extend_from_slice(format!("element vertex {}\n", scene.len()).as_bytes());
+    for name in PROPERTIES {
+        out.extend_from_slice(format!("property float {name}\n").as_bytes());
+    }
+    out.extend_from_slice(b"end_header\n");
+    for i in 0..scene.len() {
+        for v in vertex_values(&scene.gaussian(i)) {
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// The 14 raw parameters of one Gaussian in [`PROPERTIES`] order.
+fn vertex_values(g: &Gaussian) -> [f64; 14] {
+    [
+        g.mean.x,
+        g.mean.y,
+        g.mean.z,
+        g.color.x,
+        g.color.y,
+        g.color.z,
+        g.opacity_logit,
+        g.log_scale.x,
+        g.log_scale.y,
+        g.log_scale.z,
+        g.rotation.w,
+        g.rotation.x,
+        g.rotation.y,
+        g.rotation.z,
+    ]
+}
+
+fn parse_header(data: &[u8]) -> Result<Header, PlyError> {
+    let mut pos = 0usize;
+    let mut first = true;
+    let mut seen_format = false;
+    let mut vertex_count: Option<usize> = None;
+    let mut props: Vec<(String, PropKind)> = Vec::new();
+    loop {
+        let nl = data[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| PlyError::BadHeader("missing end_header".to_string()))?;
+        let raw = &data[pos..pos + nl];
+        pos += nl + 1;
+        let line = std::str::from_utf8(raw)
+            .map_err(|_| PlyError::BadHeader("non-UTF-8 header line".to_string()))?
+            .trim_end_matches('\r');
+        if first {
+            if line != "ply" {
+                return Err(PlyError::BadMagic);
+            }
+            first = false;
+            continue;
+        }
+        let mut tok = line.split_ascii_whitespace();
+        match tok.next() {
+            None | Some("comment") | Some("obj_info") => {}
+            Some("format") => {
+                let kind = tok.next().unwrap_or("");
+                if kind != "binary_little_endian" {
+                    return Err(PlyError::Unsupported(format!("format {kind:?}")));
+                }
+                seen_format = true;
+            }
+            Some("element") => {
+                let name = tok.next().unwrap_or("");
+                if name != "vertex" || vertex_count.is_some() {
+                    return Err(PlyError::Unsupported(format!("element {name:?}")));
+                }
+                let count = tok.next().unwrap_or("");
+                let n: usize = count
+                    .parse()
+                    .map_err(|_| PlyError::BadHeader(format!("bad vertex count {count:?}")))?;
+                vertex_count = Some(n);
+            }
+            Some("property") => {
+                if vertex_count.is_none() {
+                    return Err(PlyError::BadHeader(
+                        "property outside an element".to_string(),
+                    ));
+                }
+                let ty = tok.next().unwrap_or("");
+                let kind = match ty {
+                    "list" => return Err(PlyError::Unsupported("list property".to_string())),
+                    "float" | "float32" => PropKind::F32,
+                    "double" | "float64" => PropKind::F64,
+                    "char" | "uchar" | "int8" | "uint8" => PropKind::Skip(1),
+                    "short" | "ushort" | "int16" | "uint16" => PropKind::Skip(2),
+                    "int" | "uint" | "int32" | "uint32" => PropKind::Skip(4),
+                    other => return Err(PlyError::Unsupported(format!("property type {other:?}"))),
+                };
+                let name = tok
+                    .next()
+                    .ok_or_else(|| PlyError::BadHeader("property without a name".to_string()))?;
+                props.push((name.to_string(), kind));
+            }
+            Some("end_header") => break,
+            Some(other) => {
+                return Err(PlyError::BadHeader(format!("unknown keyword {other:?}")));
+            }
+        }
+    }
+    if !seen_format {
+        return Err(PlyError::BadHeader("missing format line".to_string()));
+    }
+    let vertex_count =
+        vertex_count.ok_or_else(|| PlyError::BadHeader("missing element vertex".to_string()))?;
+    Ok(Header {
+        vertex_count,
+        props,
+        body_offset: pos,
+    })
+}
+
+/// Deserializes a standard 3DGS binary-little-endian `.ply` into a scene.
+///
+/// Properties are resolved by name so any property order decodes; unknown
+/// scalar properties are skipped. Rejects every malformed-input class with
+/// a typed [`PlyError`], including any non-finite parameter. Deterministic:
+/// the same bytes always yield the same scene (vertex order preserved).
+pub fn decode_ply(data: &[u8]) -> Result<GaussianScene, PlyError> {
+    let header = parse_header(data)?;
+    // Byte offset (within a vertex record) of each required property.
+    let mut offsets: [Option<(usize, PropKind)>; 14] = [None; 14];
+    let mut stride = 0usize;
+    for (name, kind) in &header.props {
+        if let Some(slot) = PROPERTIES.iter().position(|p| p == name) {
+            if matches!(kind, PropKind::Skip(_)) {
+                return Err(PlyError::Unsupported(format!(
+                    "property {name:?} must be float or double"
+                )));
+            }
+            offsets[slot] = Some((stride, *kind));
+        }
+        stride += kind.size();
+    }
+    for (slot, name) in PROPERTIES.iter().enumerate() {
+        if offsets[slot].is_none() {
+            return Err(PlyError::MissingProperty(name));
+        }
+    }
+    let needed = header
+        .vertex_count
+        .checked_mul(stride)
+        .ok_or_else(|| PlyError::BadHeader("vertex count overflows".to_string()))?;
+    let available = data.len() - header.body_offset;
+    if available < needed {
+        return Err(PlyError::Truncated { needed, available });
+    }
+    if available > needed {
+        return Err(PlyError::TrailingBytes(available - needed));
+    }
+    let mut scene = GaussianScene::with_capacity(header.vertex_count);
+    for v in 0..header.vertex_count {
+        let base = header.body_offset + v * stride;
+        let mut vals = [0.0f64; 14];
+        for (slot, val) in vals.iter_mut().enumerate() {
+            let (off, kind) = offsets[slot].expect("checked above");
+            let p = base + off;
+            let x = match kind {
+                PropKind::F32 => {
+                    f32::from_le_bytes(data[p..p + 4].try_into().expect("sized")) as f64
+                }
+                PropKind::F64 => f64::from_le_bytes(data[p..p + 8].try_into().expect("sized")),
+                PropKind::Skip(_) => unreachable!("skip properties have no slot"),
+            };
+            if !x.is_finite() {
+                return Err(PlyError::NonFinite {
+                    vertex: v,
+                    property: PROPERTIES[slot],
+                });
+            }
+            *val = x;
+        }
+        scene.push(Gaussian {
+            mean: Vec3::new(vals[0], vals[1], vals[2]),
+            color: Vec3::new(vals[3], vals[4], vals[5]),
+            opacity_logit: vals[6],
+            log_scale: Vec3::new(vals[7], vals[8], vals[9]),
+            rotation: Quat {
+                w: vals[10],
+                x: vals[11],
+                y: vals[12],
+                z: vals[13],
+            },
+        });
+    }
+    Ok(scene)
+}
+
+/// Writes a scene to a `.ply` file atomically (temp file + rename), in the
+/// style of the snapshot writer: readers never observe a half-written
+/// file.
+pub fn write_ply_file(scene: &GaussianScene, path: impl AsRef<Path>) -> Result<(), PlyError> {
+    let path = path.as_ref();
+    let bytes = encode_ply(scene);
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    fs::write(&tmp, &bytes).map_err(|e| PlyError::Io(format!("{}: {e}", tmp.display())))?;
+    fs::rename(&tmp, path).map_err(|e| PlyError::Io(format!("{}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// Reads a scene from a `.ply` file.
+pub fn read_ply_file(path: impl AsRef<Path>) -> Result<GaussianScene, PlyError> {
+    let path = path.as_ref();
+    let data = fs::read(path).map_err(|e| PlyError::Io(format!("{}: {e}", path.display())))?;
+    decode_ply(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scene() -> GaussianScene {
+        let mut scene = GaussianScene::new();
+        for i in 0..17 {
+            let t = i as f64;
+            scene.push(Gaussian {
+                mean: Vec3::new(t * 0.3 - 1.0, (t * 0.7).sin(), 2.0 + t * 0.1),
+                log_scale: Vec3::new(-2.0 + t * 0.01, -2.5, -1.9),
+                rotation: Quat {
+                    w: 0.9,
+                    x: 0.1 * t,
+                    y: -0.05,
+                    z: 0.2,
+                },
+                opacity_logit: -1.0 + t * 0.2,
+                color: Vec3::new(0.1 * (i % 10) as f64, 0.5, 0.9),
+            });
+        }
+        scene
+    }
+
+    /// A scene whose parameters are all exactly f32-representable.
+    fn f32_scene() -> GaussianScene {
+        let mut scene = GaussianScene::new();
+        let full = sample_scene();
+        for g in full.iter() {
+            let f = |x: f64| x as f32 as f64;
+            scene.push(Gaussian {
+                mean: Vec3::new(f(g.mean.x), f(g.mean.y), f(g.mean.z)),
+                log_scale: Vec3::new(f(g.log_scale.x), f(g.log_scale.y), f(g.log_scale.z)),
+                rotation: Quat {
+                    w: f(g.rotation.w),
+                    x: f(g.rotation.x),
+                    y: f(g.rotation.y),
+                    z: f(g.rotation.z),
+                },
+                opacity_logit: f(g.opacity_logit),
+                color: Vec3::new(f(g.color.x), f(g.color.y), f(g.color.z)),
+            });
+        }
+        scene
+    }
+
+    fn bits(scene: &GaussianScene) -> Vec<u64> {
+        scene
+            .iter()
+            .flat_map(|g| vertex_values(&g).map(f64::to_bits))
+            .collect()
+    }
+
+    /// Hand-builds a PLY from a header string and raw body bytes.
+    fn build(header: &str, body: &[u8]) -> Vec<u8> {
+        let mut out = header.as_bytes().to_vec();
+        out.extend_from_slice(body);
+        out
+    }
+
+    fn minimal_header(count: usize) -> String {
+        let mut h = String::from("ply\nformat binary_little_endian 1.0\n");
+        h.push_str(&format!("element vertex {count}\n"));
+        for name in PROPERTIES {
+            h.push_str(&format!("property float {name}\n"));
+        }
+        h.push_str("end_header\n");
+        h
+    }
+
+    #[test]
+    fn round_trip_is_lossless_for_f32_scenes() {
+        let scene = f32_scene();
+        let decoded = decode_ply(&encode_ply(&scene)).unwrap();
+        assert_eq!(bits(&scene), bits(&decoded));
+    }
+
+    #[test]
+    fn second_round_trip_is_bitwise_identity() {
+        let scene = sample_scene();
+        let once = decode_ply(&encode_ply(&scene)).unwrap();
+        let twice = decode_ply(&encode_ply(&once)).unwrap();
+        assert_eq!(bits(&once), bits(&twice));
+        // And the exported bytes themselves are stable after one trip.
+        assert_eq!(encode_ply(&once), encode_ply(&twice));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let scene = sample_scene();
+        assert_eq!(encode_ply(&scene), encode_ply(&scene));
+    }
+
+    #[test]
+    fn empty_scene_round_trips() {
+        let scene = GaussianScene::new();
+        let decoded = decode_ply(&encode_ply(&scene)).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_ply(&sample_scene());
+        bytes[0] = b'x';
+        assert_eq!(decode_ply(&bytes), Err(PlyError::BadMagic));
+    }
+
+    #[test]
+    fn missing_end_header_rejected() {
+        let bytes = b"ply\nformat binary_little_endian 1.0\nelement vertex 0\n";
+        assert!(matches!(decode_ply(bytes), Err(PlyError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bad_vertex_count_rejected() {
+        let bytes = build(
+            "ply\nformat binary_little_endian 1.0\nelement vertex nope\nend_header\n",
+            &[],
+        );
+        assert!(matches!(decode_ply(&bytes), Err(PlyError::BadHeader(_))));
+    }
+
+    #[test]
+    fn ascii_format_rejected() {
+        let bytes = build("ply\nformat ascii 1.0\nend_header\n", &[]);
+        assert!(matches!(decode_ply(&bytes), Err(PlyError::Unsupported(_))));
+    }
+
+    #[test]
+    fn big_endian_format_rejected() {
+        let bytes = build("ply\nformat binary_big_endian 1.0\nend_header\n", &[]);
+        assert!(matches!(decode_ply(&bytes), Err(PlyError::Unsupported(_))));
+    }
+
+    #[test]
+    fn list_property_rejected() {
+        let h = "ply\nformat binary_little_endian 1.0\nelement vertex 1\n\
+                 property list uchar int vertex_indices\nend_header\n";
+        assert!(matches!(
+            decode_ply(&build(h, &[])),
+            Err(PlyError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn non_vertex_element_rejected() {
+        let h = "ply\nformat binary_little_endian 1.0\nelement face 3\nend_header\n";
+        assert!(matches!(
+            decode_ply(&build(h, &[])),
+            Err(PlyError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn integer_typed_required_property_rejected() {
+        let mut h = String::from("ply\nformat binary_little_endian 1.0\nelement vertex 0\n");
+        h.push_str("property uchar x\n");
+        for name in &PROPERTIES[1..] {
+            h.push_str(&format!("property float {name}\n"));
+        }
+        h.push_str("end_header\n");
+        assert!(matches!(
+            decode_ply(&build(&h, &[])),
+            Err(PlyError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn missing_property_rejected() {
+        let mut h = String::from("ply\nformat binary_little_endian 1.0\nelement vertex 0\n");
+        for name in &PROPERTIES[..13] {
+            h.push_str(&format!("property float {name}\n"));
+        }
+        h.push_str("end_header\n");
+        assert_eq!(
+            decode_ply(&build(&h, &[])),
+            Err(PlyError::MissingProperty("rot_3"))
+        );
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let bytes = encode_ply(&sample_scene());
+        let cut = &bytes[..bytes.len() - 5];
+        match decode_ply(cut) {
+            Err(PlyError::Truncated { needed, available }) => {
+                assert_eq!(needed, 17 * 14 * 4);
+                assert_eq!(available, needed - 5);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_ply(&sample_scene());
+        bytes.extend_from_slice(&[0u8; 3]);
+        assert_eq!(decode_ply(&bytes), Err(PlyError::TrailingBytes(3)));
+    }
+
+    #[test]
+    fn non_finite_value_rejected() {
+        let header = minimal_header(1);
+        let mut body = Vec::new();
+        for i in 0..14 {
+            let v: f32 = if i == 6 { f32::NAN } else { 1.0 };
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(
+            decode_ply(&build(&header, &body)),
+            Err(PlyError::NonFinite {
+                vertex: 0,
+                property: "opacity"
+            })
+        );
+        let mut body_inf = Vec::new();
+        for i in 0..14 {
+            let v: f32 = if i == 0 { f32::INFINITY } else { 1.0 };
+            body_inf.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(
+            decode_ply(&build(&header, &body_inf)),
+            Err(PlyError::NonFinite {
+                vertex: 0,
+                property: "x"
+            })
+        );
+    }
+
+    #[test]
+    fn property_order_is_resolved_by_name() {
+        let mut h = String::from("ply\nformat binary_little_endian 1.0\nelement vertex 1\n");
+        let mut reordered: Vec<&str> = PROPERTIES.to_vec();
+        reordered.reverse();
+        for name in &reordered {
+            h.push_str(&format!("property float {name}\n"));
+        }
+        h.push_str("end_header\n");
+        let scene = f32_scene();
+        let g = scene.gaussian(0);
+        let vals = vertex_values(&g);
+        let mut body = Vec::new();
+        for name in &reordered {
+            let slot = PROPERTIES.iter().position(|p| p == name).unwrap();
+            body.extend_from_slice(&(vals[slot] as f32).to_le_bytes());
+        }
+        let decoded = decode_ply(&build(&h, &body)).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(
+            vertex_values(&decoded.gaussian(0)).map(f64::to_bits),
+            vals.map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn unknown_scalar_properties_are_skipped() {
+        let mut h = String::from("ply\nformat binary_little_endian 1.0\nelement vertex 1\n");
+        h.push_str("property float nx\n");
+        for name in PROPERTIES {
+            h.push_str(&format!("property float {name}\n"));
+        }
+        h.push_str("property uchar red\n");
+        h.push_str("end_header\n");
+        let scene = f32_scene();
+        let vals = vertex_values(&scene.gaussian(0));
+        let mut body = Vec::new();
+        body.extend_from_slice(&7.5f32.to_le_bytes()); // nx, ignored
+        for v in vals {
+            body.extend_from_slice(&(v as f32).to_le_bytes());
+        }
+        body.push(255); // red, ignored
+        let decoded = decode_ply(&build(&h, &body)).unwrap();
+        assert_eq!(
+            vertex_values(&decoded.gaussian(0)).map(f64::to_bits),
+            vals.map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn double_typed_properties_decode_exactly() {
+        let mut h = String::from("ply\nformat binary_little_endian 1.0\nelement vertex 1\n");
+        for name in PROPERTIES {
+            h.push_str(&format!("property double {name}\n"));
+        }
+        h.push_str("end_header\n");
+        let scene = sample_scene();
+        let vals = vertex_values(&scene.gaussian(3));
+        let mut body = Vec::new();
+        for v in vals {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        let decoded = decode_ply(&build(&h, &body)).unwrap();
+        // double storage is lossless even for non-f32-representable values.
+        assert_eq!(
+            vertex_values(&decoded.gaussian(0)).map(f64::to_bits),
+            vals.map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn comments_and_crlf_are_tolerated() {
+        let h = minimal_header(0).replace(
+            "format binary_little_endian 1.0\n",
+            "comment made by a tool\r\nformat binary_little_endian 1.0\r\n",
+        );
+        assert!(decode_ply(&build(&h, &[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_exact() {
+        let dir = std::env::temp_dir().join(format!("splatonic-ply-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scene.ply");
+        let scene = sample_scene();
+        write_ply_file(&scene, &path).unwrap();
+        assert!(!path.with_extension("ply.tmp").exists());
+        let decoded = read_ply_file(&path).unwrap();
+        assert_eq!(encode_ply(&scene), encode_ply(&decoded));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        // Every variant renders a human-readable message.
+        let errs: Vec<PlyError> = vec![
+            PlyError::BadMagic,
+            PlyError::BadHeader("x".to_string()),
+            PlyError::Unsupported("y".to_string()),
+            PlyError::MissingProperty("x"),
+            PlyError::Truncated {
+                needed: 2,
+                available: 1,
+            },
+            PlyError::TrailingBytes(3),
+            PlyError::NonFinite {
+                vertex: 0,
+                property: "x",
+            },
+            PlyError::Io("z".to_string()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -110,6 +110,16 @@ pub struct AlgorithmConfig {
     pub color_lr: f64,
     /// Loss weighting.
     pub loss: LossConfig,
+    /// Per-mapping-invocation cap on Gaussians added by densification.
+    /// A pathological frame (e.g. a fully unseen viewpoint over a dense
+    /// depth image) would otherwise add one Gaussian per sampled pixel,
+    /// blowing up scene size and serve-layer latency. Candidates are
+    /// admitted in deterministic scan order (row-major, strided) until the
+    /// cap; the overflow is reported via the `mapping/densify_capped`
+    /// counter. Default `usize::MAX` (uncapped) preserves bit-exact
+    /// pre-cap behavior. Result-affecting when finite, so it is part of
+    /// the config fingerprint.
+    pub densify_max_per_frame: usize,
 }
 
 impl Default for AlgorithmConfig {
@@ -127,6 +137,7 @@ impl Default for AlgorithmConfig {
             opacity_lr: 2e-2,
             color_lr: 1e-2,
             loss: LossConfig::default(),
+            densify_max_per_frame: usize::MAX,
         }
     }
 }

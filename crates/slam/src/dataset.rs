@@ -28,6 +28,17 @@ pub struct DatasetConfig {
     pub fov: f64,
     /// Number of furniture boxes.
     pub furniture: usize,
+    /// Sensor depth-dropout threshold: a pixel reports valid depth only
+    /// when its coverage `1 − Γ_final` exceeds this value; otherwise the
+    /// simulated sensor emits `0.0` (invalid). Default `0.9` — a real depth
+    /// camera only returns range on solidly covered surfaces. Deliberately
+    /// stricter than the mapping-side unseen test (`Γ_final > 0.5`, see
+    /// `mapping::densify_unseen`): pixels in the `0.5..=0.9` coverage band
+    /// have no sensor depth yet are *not* treated as unseen, so
+    /// densification does not chase sensor dropouts at grazing incidence.
+    /// Bit-exactness: changes the generated frames, so it is
+    /// result-affecting for any run whose dataset it shapes.
+    pub depth_dropout_coverage: f64,
 }
 
 impl DatasetConfig {
@@ -40,6 +51,7 @@ impl DatasetConfig {
             spacing: 0.22,
             fov: 1.25,
             furniture: 3,
+            depth_dropout_coverage: 0.9,
         }
     }
 
@@ -52,6 +64,7 @@ impl DatasetConfig {
             spacing: 0.18,
             fov: 1.25,
             furniture: 4,
+            depth_dropout_coverage: 0.9,
         }
     }
 }
@@ -98,7 +111,12 @@ impl Dataset {
         let trajectory =
             Trajectory::generate(style.trajectory_kind(), world.extent, config.frames, seed);
         let intrinsics = Intrinsics::with_fov(config.width, config.height, config.fov);
-        let frames = render_sequence(&world.scene, trajectory.poses(), intrinsics);
+        let frames = render_sequence(
+            &world.scene,
+            trajectory.poses(),
+            intrinsics,
+            config.depth_dropout_coverage,
+        );
         Dataset {
             name: name.to_string(),
             frames,
@@ -120,10 +138,13 @@ impl Dataset {
 }
 
 /// Renders reference RGB-D frames from a Gaussian scene along poses.
+/// `depth_dropout_coverage` is the sensor dropout threshold (see
+/// [`DatasetConfig::depth_dropout_coverage`]).
 pub fn render_sequence(
     scene: &GaussianScene,
     poses: &[Pose],
     intrinsics: Intrinsics,
+    depth_dropout_coverage: f64,
 ) -> Vec<Frame> {
     let cfg = RenderConfig::default();
     let pixels = PixelSet::dense(intrinsics.width, intrinsics.height);
@@ -133,16 +154,18 @@ pub fn render_sequence(
         .map(|(i, pose)| {
             let cam = Camera::new(intrinsics, *pose);
             let out = render_forward(scene, &cam, &pixels, Pipeline::TileBased, &cfg);
-            frame_from_forward(&out, &pixels, i)
+            frame_from_forward(&out, &pixels, i, depth_dropout_coverage)
         })
         .collect()
 }
 
-/// Packs a dense forward result into a [`Frame`].
+/// Packs a dense forward result into a [`Frame`], applying the sensor
+/// depth-dropout threshold (see [`DatasetConfig::depth_dropout_coverage`]).
 pub fn frame_from_forward(
     out: &splatonic_render::ForwardResult,
     pixels: &PixelSet,
     index: usize,
+    depth_dropout_coverage: f64,
 ) -> Frame {
     let w = pixels.width();
     let h = pixels.height();
@@ -155,7 +178,7 @@ pub fn frame_from_forward(
         // the sensor model consistent with what the SLAM losses compare
         // against avoids irreducible depth residuals at grazing pixels.
         let coverage = 1.0 - out.final_transmittance[i];
-        depth[(p.x as usize, p.y as usize)] = if coverage > 0.9 {
+        depth[(p.x as usize, p.y as usize)] = if coverage > depth_dropout_coverage {
             out.depth[i]
         } else {
             0.0 // insufficient coverage → invalid depth (sensor dropout)
@@ -176,6 +199,7 @@ mod tests {
             spacing: 0.45,
             fov: 1.25,
             furniture: 1,
+            depth_dropout_coverage: 0.9,
         }
     }
 
@@ -219,6 +243,37 @@ mod tests {
         let b = Dataset::replica_like("t", 5, tiny());
         assert_eq!(a.frames[0].color, b.frames[0].color);
         assert_eq!(a.gt_poses, b.gt_poses);
+    }
+
+    #[test]
+    fn dropout_threshold_is_configurable() {
+        let strict = Dataset::replica_like("t", 11, tiny());
+        let lax = Dataset::replica_like(
+            "t",
+            11,
+            DatasetConfig {
+                depth_dropout_coverage: 0.0,
+                ..tiny()
+            },
+        );
+        // A lower threshold can only add valid depth, never remove it.
+        let valid = |d: &Dataset| {
+            d.frames
+                .iter()
+                .flat_map(|f| f.depth.as_slice())
+                .filter(|&&z| z > 0.0)
+                .count()
+        };
+        assert!(valid(&lax) > valid(&strict));
+        for (fs, fl) in strict.frames.iter().zip(lax.frames.iter()) {
+            for (&zs, &zl) in fs.depth.as_slice().iter().zip(fl.depth.as_slice()) {
+                if zs > 0.0 {
+                    assert_eq!(zs.to_bits(), zl.to_bits());
+                }
+            }
+        }
+        // Color is untouched by the depth sensor model.
+        assert_eq!(strict.frames[0].color, lax.frames[0].color);
     }
 
     #[test]

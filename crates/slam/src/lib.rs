@@ -34,6 +34,7 @@
 
 pub mod adam;
 pub mod algorithm;
+pub mod assets;
 pub mod dataset;
 pub mod mapping;
 pub mod metrics;
@@ -44,7 +45,7 @@ pub mod tracking;
 
 pub use algorithm::{AlgorithmConfig, AlgorithmPreset};
 pub use dataset::{Dataset, DatasetConfig};
-pub use metrics::{ate_rmse_cm, psnr_db};
+pub use metrics::{ate_rmse_cm, evaluate_scene_psnr, psnr_db, scene_frame_psnr};
 pub use serve::{ServeConfig, ServeError, SessionManager, SessionOutcome, StepReport};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use system::{SlamConfig, SlamResult, SlamSystem};
@@ -53,7 +54,7 @@ pub use system::{SlamConfig, SlamResult, SlamSystem};
 pub mod prelude {
     pub use crate::algorithm::{AlgorithmConfig, AlgorithmPreset};
     pub use crate::dataset::{Dataset, DatasetConfig};
-    pub use crate::metrics::{ate_rmse_cm, psnr_db};
+    pub use crate::metrics::{ate_rmse_cm, evaluate_scene_psnr, psnr_db, scene_frame_psnr};
     pub use crate::snapshot::{Snapshot, SnapshotError};
     pub use crate::system::{SlamConfig, SlamResult, SlamSystem};
     pub use splatonic_render::{Pipeline, SamplingStrategy};

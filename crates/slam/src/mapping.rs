@@ -49,6 +49,9 @@ pub struct MappingOutput {
     pub trace: RenderTrace,
     /// Gaussians added by densification.
     pub densified: usize,
+    /// Eligible densification candidates rejected by
+    /// [`AlgorithmConfig::densify_max_per_frame`].
+    pub densified_capped: usize,
     /// Gaussians pruned at the end.
     pub pruned: usize,
     /// Iterations executed.
@@ -107,8 +110,11 @@ fn backproject_gaussian(
 }
 
 /// Densifies the scene from unseen pixels of `frame` (Eq. 2): back-projects
-/// every `stride`-th unseen pixel with valid depth. Returns the number of
-/// Gaussians added.
+/// every `stride`-th unseen pixel with valid depth, admitting at most
+/// `max_new` Gaussians in deterministic scan order (row-major, strided).
+/// Returns `(added, capped)`: how many Gaussians were pushed and how many
+/// eligible candidates the cap rejected. With `max_new = usize::MAX` the
+/// behavior (and the scene, bitwise) is identical to the uncapped pass.
 pub fn densify_unseen(
     scene: &mut GaussianScene,
     frame: &Frame,
@@ -116,10 +122,12 @@ pub fn densify_unseen(
     pose: Pose,
     transmittance: &Image<f64>,
     stride: usize,
-) -> usize {
+    max_new: usize,
+) -> (usize, usize) {
     let cam = Camera::new(intrinsics, pose);
     let stride = stride.max(1);
     let mut added = 0;
+    let mut capped = 0;
     for y in (0..frame.height()).step_by(stride) {
         for x in (0..frame.width()).step_by(stride) {
             if transmittance[(x, y)] <= 0.5 {
@@ -129,11 +137,18 @@ pub fn densify_unseen(
             if z <= 0.0 {
                 continue;
             }
+            // Keep scanning past the cap so the overflow is counted — the
+            // `mapping/densify_capped` counter reports real pressure, not
+            // just a saturated flag.
+            if added >= max_new {
+                capped += 1;
+                continue;
+            }
             scene.push(backproject_gaussian(frame, &cam, x, y, z, stride));
             added += 1;
         }
     }
-    added
+    (added, capped)
 }
 
 /// The mapping process: densify from the newest keyframe, then optimize the
@@ -222,14 +237,15 @@ pub fn map_scene_with_state(
         transmittance[(p.x as usize, p.y as usize)] = dense_out.final_transmittance[i];
     }
 
-    // 2. Densification from unseen pixels.
-    let densified = densify_unseen(
+    // 2. Densification from unseen pixels, bounded per invocation.
+    let (densified, densified_capped) = densify_unseen(
         scene,
         &newest.frame,
         intrinsics,
         newest.pose,
         &transmittance,
         2,
+        algo.densify_max_per_frame,
     );
 
     // 3. Optimization over the window.
@@ -326,10 +342,12 @@ pub fn map_scene_with_state(
     let pruned = before - scene.len();
     telemetry.counter_add("mapping/gaussians_densified", densified as u64);
     telemetry.counter_add("mapping/gaussians_pruned", pruned as u64);
+    telemetry.counter_add("mapping/densify_capped", densified_capped as u64);
 
     MappingOutput {
         trace,
         densified,
+        densified_capped,
         pruned,
         iters: algo.mapping_iters,
         pixels_per_iter: pixels_total as f64 / algo.mapping_iters.max(1) as f64,
@@ -356,6 +374,7 @@ mod tests {
                 spacing: 0.3,
                 fov: 1.25,
                 furniture: 2,
+                depth_dropout_coverage: 0.9,
             },
         )
     }
@@ -444,6 +463,7 @@ mod tests {
                 spacing: 0.3,
                 fov: 1.25,
                 furniture: 2,
+                depth_dropout_coverage: 0.9,
             },
         );
         let mut scene = seed_scene_from_frame(&d.frames[0], d.intrinsics, d.gt_poses[0], 2);
@@ -469,6 +489,84 @@ mod tests {
         );
         assert!(out.densified > 0, "no densification happened");
         assert!(scene.len() > n0 - out.pruned);
+    }
+
+    #[test]
+    fn densify_cap_is_a_deterministic_prefix() {
+        let d = tiny_dataset();
+        // Fully unseen transmittance: every strided valid-depth pixel is a
+        // densification candidate.
+        let t = Image::filled(d.intrinsics.width, d.intrinsics.height, 1.0);
+        let mut full = GaussianScene::new();
+        let (added_full, capped_full) = densify_unseen(
+            &mut full,
+            &d.frames[0],
+            d.intrinsics,
+            d.gt_poses[0],
+            &t,
+            2,
+            usize::MAX,
+        );
+        assert!(added_full > 10);
+        assert_eq!(capped_full, 0, "usize::MAX must never cap");
+        let cap = added_full / 2;
+        let mut capped = GaussianScene::new();
+        let (added, overflow) = densify_unseen(
+            &mut capped,
+            &d.frames[0],
+            d.intrinsics,
+            d.gt_poses[0],
+            &t,
+            2,
+            cap,
+        );
+        assert_eq!(added, cap);
+        assert_eq!(overflow, added_full - cap);
+        // The capped pass admits exactly the bitwise prefix of the
+        // uncapped one — scan order is the deterministic priority.
+        for i in 0..cap {
+            assert_eq!(capped.gaussian(i), full.gaussian(i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn mapping_reports_capped_densification() {
+        let d = Dataset::replica_like(
+            "map-test-long",
+            13,
+            DatasetConfig {
+                width: 64,
+                height: 48,
+                frames: 60,
+                spacing: 0.3,
+                fov: 1.25,
+                furniture: 2,
+                depth_dropout_coverage: 0.9,
+            },
+        );
+        let mut scene = seed_scene_from_frame(&d.frames[0], d.intrinsics, d.gt_poses[0], 2);
+        let kf = Keyframe {
+            frame: d.frames[59].clone(),
+            pose: d.gt_poses[59],
+        };
+        let algo = AlgorithmConfig {
+            mapping_iters: 2,
+            densify_max_per_frame: 5,
+            ..AlgorithmConfig::default()
+        };
+        let sampler = MappingSampler::new(4, MappingStrategy::Combined);
+        let out = map_scene(
+            &mut scene,
+            &[kf],
+            d.intrinsics,
+            &sampler,
+            &algo,
+            Pipeline::PixelBased,
+            &RenderConfig::default(),
+            4,
+        );
+        assert_eq!(out.densified, 5, "cap must bound densification");
+        assert!(out.densified_capped > 0, "overflow must be reported");
     }
 
     #[test]

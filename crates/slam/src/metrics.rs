@@ -1,7 +1,9 @@
 //! Evaluation metrics: absolute trajectory error and PSNR (paper Sec. VI).
 
-use splatonic_math::{Mat3, Pose, Vec3};
-use splatonic_scene::ColorImage;
+use crate::dataset::Dataset;
+use splatonic_math::{Image, Mat3, Pose, Vec3};
+use splatonic_render::{render_forward, Pipeline, PixelSet, RenderConfig};
+use splatonic_scene::{Camera, ColorImage, Frame, GaussianScene, Intrinsics};
 
 /// Umeyama alignment (rotation + translation, no scale) of `est` onto `gt`
 /// camera centers. Returns the aligning pose `T` such that `T(est) ≈ gt`.
@@ -125,10 +127,68 @@ pub fn psnr_db(rendered: &ColorImage, reference: &ColorImage) -> f64 {
     10.0 * (1.0 / mse).log10()
 }
 
+/// PSNR (dB) of `scene` rendered densely (tile-based pipeline) at `pose`
+/// against `frame`'s color image.
+///
+/// This is the per-frame reconstruction-quality probe behind the run
+/// report's PSNR column; it is public so standalone pipelines (the bench
+/// plan runner's `eval_psnr` step, `.ply`-imported scenes) evaluate with
+/// exactly the arithmetic `SlamSystem::finalize` uses.
+pub fn scene_frame_psnr(
+    scene: &GaussianScene,
+    intrinsics: Intrinsics,
+    render_cfg: &RenderConfig,
+    frame: &Frame,
+    pose: Pose,
+) -> f64 {
+    let pixels = PixelSet::dense(intrinsics.width, intrinsics.height);
+    let cam = Camera::new(intrinsics, pose);
+    let out = render_forward(scene, &cam, &pixels, Pipeline::TileBased, render_cfg);
+    let mut img = Image::filled(intrinsics.width, intrinsics.height, Vec3::ZERO);
+    for (i, p) in pixels.iter_all().enumerate() {
+        img[(p.x as usize, p.y as usize)] = out.color[i];
+    }
+    psnr_db(&img, &frame.color)
+}
+
+/// Mean [`scene_frame_psnr`] over every `stride`-th frame of `dataset`,
+/// rendered at the corresponding `est_poses` entry. Non-finite per-frame
+/// values (identical images) are excluded from the mean; returns `0.0`
+/// when no frame produced a finite value.
+pub fn evaluate_scene_psnr(
+    scene: &GaussianScene,
+    intrinsics: Intrinsics,
+    render_cfg: &RenderConfig,
+    dataset: &Dataset,
+    est_poses: &[Pose],
+    stride: usize,
+) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0;
+    for t in (0..dataset.len()).step_by(stride.max(1)) {
+        let v = scene_frame_psnr(
+            scene,
+            intrinsics,
+            render_cfg,
+            &dataset.frames[t],
+            est_poses[t],
+        );
+        if v.is_finite() {
+            total += v;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use splatonic_math::{Image, Se3};
+    use splatonic_math::Se3;
 
     fn make_traj(n: usize, offset: Vec3) -> Vec<Pose> {
         (0..n)

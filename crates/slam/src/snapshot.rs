@@ -171,8 +171,27 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Serializes to the versioned wire format (header + payload).
+    /// Serializes to the versioned wire format (header + payload) at the
+    /// current [`FORMAT_VERSION`].
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_versioned(FORMAT_VERSION)
+    }
+
+    /// Serializes at a specific still-supported format version
+    /// (`1..=FORMAT_VERSION`). Version 1 predates the PR 9
+    /// `sort_group_reuse` trace counter and simply omits it. Production
+    /// code always writes the current version; this exists so the
+    /// compatibility tests and the committed v1 fixture can be generated
+    /// from real encoder code instead of hand-patched bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is 0 or newer than [`FORMAT_VERSION`].
+    pub fn to_bytes_versioned(&self, version: u32) -> Vec<u8> {
+        assert!(
+            (1..=FORMAT_VERSION).contains(&version),
+            "cannot encode snapshot version {version}"
+        );
         let mut payload = Vec::with_capacity(256 + self.gaussians.len() * 14 * 8);
         let w = &mut payload;
         put_u64(w, self.seed);
@@ -201,12 +220,12 @@ impl Snapshot {
         put_u64(w, self.tracking_iters as u64);
         put_u64(w, self.mapping_iters as u64);
         put_u64(w, self.mapping_invocations as u64);
-        put_trace(w, &self.tracking_trace);
-        put_trace(w, &self.mapping_trace);
+        put_trace(w, &self.tracking_trace, version);
+        put_trace(w, &self.mapping_trace, version);
 
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
         out.extend_from_slice(&payload);
@@ -228,7 +247,11 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
+        // Older still-supported versions decode with their missing fields
+        // defaulted (see `Cursor::trace`); only version 0 (never shipped)
+        // and versions newer than this build are rejected, which makes the
+        // `UnsupportedVersion` message ("reads <= {FORMAT_VERSION}") true.
+        if version == 0 || version > FORMAT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
@@ -279,8 +302,8 @@ impl Snapshot {
         let tracking_iters = c.u64()? as usize;
         let mapping_iters = c.u64()? as usize;
         let mapping_invocations = c.u64()? as usize;
-        let tracking_trace = c.trace()?;
-        let mapping_trace = c.trace()?;
+        let tracking_trace = c.trace(version)?;
+        let mapping_trace = c.trace(version)?;
         if c.remaining() != 0 {
             return Err(SnapshotError::TrailingBytes(c.remaining()));
         }
@@ -390,8 +413,9 @@ fn put_u32_list(w: &mut Vec<u8>, v: &[u32]) {
 /// Serializes a trace. The destructuring is deliberately exhaustive (no
 /// `..`), mirroring [`RenderTrace::merge`]: adding a counter to the trace
 /// structs fails compilation here until the snapshot format handles it (and
-/// [`FORMAT_VERSION`] is bumped).
-fn put_trace(w: &mut Vec<u8>, t: &RenderTrace) {
+/// [`FORMAT_VERSION`] is bumped). `version` selects which fields are on the
+/// wire: `sort_group_reuse` joined in version 2.
+fn put_trace(w: &mut Vec<u8>, t: &RenderTrace, version: u32) {
     let RenderTrace {
         forward,
         backward,
@@ -429,7 +453,13 @@ fn put_trace(w: &mut Vec<u8>, t: &RenderTrace) {
         proj_pairs_kept,
         sort_elems,
         sort_lists,
-        sort_group_reuse,
+    ] {
+        put_u64(w, *v);
+    }
+    if version >= 2 {
+        put_u64(w, *sort_group_reuse);
+    }
+    for v in [
         raster_alpha_checks,
         pairs_integrated,
         pixels_shaded,
@@ -583,7 +613,10 @@ impl<'a> Cursor<'a> {
         Ok(v)
     }
 
-    fn trace(&mut self) -> Result<RenderTrace, SnapshotError> {
+    /// Decodes a trace written at `version`: snapshots older than version 2
+    /// predate `sort_group_reuse`, so the field defaults to zero (the value
+    /// a pre-PR-9 build would have observed).
+    fn trace(&mut self, version: u32) -> Result<RenderTrace, SnapshotError> {
         let mut t = RenderTrace::new();
         {
             let f = &mut t.forward;
@@ -596,7 +629,7 @@ impl<'a> Cursor<'a> {
             f.proj_pairs_kept = self.u64()?;
             f.sort_elems = self.u64()?;
             f.sort_lists = self.u64()?;
-            f.sort_group_reuse = self.u64()?;
+            f.sort_group_reuse = if version >= 2 { self.u64()? } else { 0 };
             f.raster_alpha_checks = self.u64()?;
             f.pairs_integrated = self.u64()?;
             f.pixels_shaded = self.u64()?;
@@ -694,6 +727,93 @@ mod tests {
             Snapshot::from_bytes(&bytes),
             Err(SnapshotError::UnsupportedVersion(99))
         );
+        // Version 0 never shipped — it is not "older", it is garbage.
+        let mut zero = sample_snapshot().to_bytes();
+        zero[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            Snapshot::from_bytes(&zero),
+            Err(SnapshotError::UnsupportedVersion(0))
+        );
+    }
+
+    /// The snapshot the committed v1 fixture is generated from. Fully
+    /// deterministic so `regen_v1_fixture` always reproduces the same
+    /// bytes. `sort_group_reuse` is deliberately nonzero: version 1 cannot
+    /// carry it, so decoding must zero it.
+    fn v1_fixture_snapshot() -> Snapshot {
+        let mut s = sample_snapshot();
+        s.tracking_trace.forward.sort_group_reuse = 777;
+        s.mapping_trace.forward.sort_group_reuse = 31;
+        s
+    }
+
+    /// What a v1 decode of [`v1_fixture_snapshot`] must produce: identical
+    /// state with the post-v1 counters at their pre-PR-9 value of zero.
+    fn v1_expected_snapshot() -> Snapshot {
+        let mut s = v1_fixture_snapshot();
+        s.tracking_trace.forward.sort_group_reuse = 0;
+        s.mapping_trace.forward.sort_group_reuse = 0;
+        s
+    }
+
+    fn v1_fixture_path() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../plans/fixtures/snapshot_v1.snap")
+    }
+
+    #[test]
+    fn v1_snapshot_decodes_with_defaulted_sort_counters() {
+        let s = v1_fixture_snapshot();
+        let bytes = s.to_bytes_versioned(1);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        // v1 payloads are 16 bytes shorter: one u64 per trace.
+        assert_eq!(bytes.len() + 16, s.to_bytes().len());
+        let decoded = Snapshot::from_bytes(&bytes).expect("v1 must decode");
+        assert_eq!(decoded, v1_expected_snapshot());
+    }
+
+    #[test]
+    fn v1_decode_still_validates_checksum_and_truncation() {
+        let bytes = v1_fixture_snapshot().to_bytes_versioned(1);
+        let mut corrupt = bytes.clone();
+        corrupt[HEADER_LEN + 40] ^= 0x10;
+        assert!(matches!(
+            Snapshot::from_bytes(&corrupt),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn committed_v1_fixture_decodes() {
+        // Regression gate for the compatibility promise: a snapshot file
+        // written by a pre-PR-9 build (committed at
+        // plans/fixtures/snapshot_v1.snap, regenerated by
+        // `regen_v1_fixture`) keeps decoding on every future build.
+        let bytes = std::fs::read(v1_fixture_path())
+            .expect("committed fixture plans/fixtures/snapshot_v1.snap must exist");
+        let decoded = Snapshot::from_bytes(&bytes).expect("committed v1 fixture must decode");
+        assert_eq!(decoded, v1_expected_snapshot());
+    }
+
+    /// Regenerates the committed v1 fixture. Run explicitly after a
+    /// deliberate change to the fixture contents:
+    /// `cargo test -p splatonic-slam regen_v1_fixture -- --ignored`
+    #[test]
+    #[ignore = "writes the committed fixture; run on purpose only"]
+    fn regen_v1_fixture() {
+        let path = v1_fixture_path();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, v1_fixture_snapshot().to_bytes_versioned(1)).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot encode snapshot version")]
+    fn encoding_a_future_version_panics() {
+        let _ = sample_snapshot().to_bytes_versioned(FORMAT_VERSION + 1);
     }
 
     #[test]

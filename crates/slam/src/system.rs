@@ -15,19 +15,17 @@
 use crate::adam::AdamVector;
 use crate::algorithm::AlgorithmConfig;
 use crate::mapping::{map_scene_with_state, seed_scene_from_frame, Keyframe};
-use crate::metrics::{ate_rmse_cm, psnr_db};
+use crate::metrics::ate_rmse_cm;
 use crate::snapshot::{fnv1a, Snapshot, SnapshotError};
 use crate::tracking::{constant_velocity_init, track_frame_with_telemetry};
 use crate::Dataset;
 use splatonic_math::pool::WorkerStats;
-use splatonic_math::{Image, Pose, Vec3};
+use splatonic_math::Pose;
 use splatonic_render::projcache;
 use splatonic_render::sampling::MappingStrategy;
 use splatonic_render::tilesort;
-use splatonic_render::{
-    render_forward, MappingSampler, Pipeline, PixelSet, RenderConfig, RenderTrace, SamplingStrategy,
-};
-use splatonic_scene::{Camera, Frame, GaussianScene, Intrinsics};
+use splatonic_render::{MappingSampler, Pipeline, RenderConfig, RenderTrace, SamplingStrategy};
+use splatonic_scene::{Frame, GaussianScene, Intrinsics};
 use splatonic_telemetry::{FrameRecord, Telemetry};
 use std::time::Instant;
 
@@ -60,6 +58,15 @@ pub struct SlamConfig {
     /// [`SlamSystem::run_with_checkpoints`] (`0` disables checkpointing).
     /// Frame 0 (the anchor + initial mapping) always falls on the cadence.
     pub checkpoint_every: usize,
+    /// Post-mapping LOD budget: when nonzero, [`SlamSystem::finalize`]
+    /// decimates the scene to at most this many Gaussians
+    /// ([`splatonic_scene::lod::decimate`]) *after* the accuracy
+    /// evaluation — the reported PSNR measures the full map; the decimated
+    /// scene is what callers export or keep serving. `0` (default)
+    /// disables the pass. Runs strictly after the last frame, so it is
+    /// not result-affecting for tracking/mapping and stays outside the
+    /// config fingerprint.
+    pub lod_budget: usize,
 }
 
 impl Default for SlamConfig {
@@ -74,6 +81,7 @@ impl Default for SlamConfig {
             seed: 0,
             seed_stride: 1,
             checkpoint_every: 0,
+            lod_budget: 0,
         }
     }
 }
@@ -116,9 +124,10 @@ impl SlamConfig {
     /// Execution knobs that are bitwise-transparent by contract are
     /// deliberately excluded — `render.threads`, `render.binning`,
     /// `render.cache`, `render.bin_size`, `render.kernels` (scalar and SIMD
-    /// kernels are bit-identical, DESIGN.md §13), and `checkpoint_every`
-    /// itself — so a snapshot taken at one thread width or kernel mode
-    /// resumes at any other.
+    /// kernels are bit-identical, DESIGN.md §13), `checkpoint_every`
+    /// itself, and `lod_budget` (a post-run pass that never shapes
+    /// per-frame results) — so a snapshot taken at one thread width or
+    /// kernel mode resumes at any other.
     pub fn fingerprint(&self) -> u64 {
         let mut buf: Vec<u8> = Vec::with_capacity(256);
         let u = |buf: &mut Vec<u8>, v: u64| buf.extend_from_slice(&v.to_le_bytes());
@@ -129,6 +138,7 @@ impl SlamConfig {
         u(&mut buf, a.mapping_iters as u64);
         u(&mut buf, a.mapping_every as u64);
         u(&mut buf, a.keyframe_window as u64);
+        u(&mut buf, a.densify_max_per_frame as u64);
         for lr in [
             a.pose_lr,
             a.mean_lr,
@@ -195,7 +205,8 @@ pub struct SlamResult {
     pub frames: usize,
     /// Number of mapping invocations.
     pub mapping_invocations: usize,
-    /// Final scene size (Gaussians).
+    /// Final scene size (Gaussians), after the optional
+    /// [`SlamConfig::lod_budget`] decimation pass.
     pub scene_size: usize,
 }
 
@@ -427,6 +438,21 @@ impl SlamSystem {
         telemetry.counter_add("slam/tracking_iters", state.tracking_iters as u64);
         telemetry.counter_add("slam/mapping_iters", state.mapping_iters as u64);
         telemetry.counter_add("slam/mapping_invocations", state.mapping_invocations as u64);
+
+        // Optional post-mapping LOD pass (after the PSNR evaluation, so the
+        // reported accuracy measures the full map). The counter is emitted
+        // even when the pass is off — `lod/pruned == 0` distinguishes
+        // "nothing pruned" from "telemetry missing" in the report gates.
+        let lod = if self.config.lod_budget > 0 {
+            let _span = telemetry.span_flat("lod_decimate");
+            splatonic_scene::lod::decimate(&mut self.scene, self.config.lod_budget)
+        } else {
+            splatonic_scene::LodStats {
+                kept: self.scene.len(),
+                pruned: 0,
+            }
+        };
+        telemetry.counter_add("lod/pruned", lod.pruned as u64);
         telemetry.gauge_set("slam/scene_size", self.scene.len() as f64);
         telemetry.record_pool_worker_deltas(&state.pool_accum);
 
@@ -840,38 +866,27 @@ impl SlamSystem {
 
     /// PSNR of the current map rendered densely at `pose` versus `frame`.
     fn frame_psnr(&self, frame: &Frame, pose: Pose) -> f64 {
-        let pixels = PixelSet::dense(self.intrinsics.width, self.intrinsics.height);
-        let cam = Camera::new(self.intrinsics, pose);
-        let out = render_forward(
+        crate::metrics::scene_frame_psnr(
             &self.scene,
-            &cam,
-            &pixels,
-            Pipeline::TileBased,
+            self.intrinsics,
             &self.config.render,
-        );
-        let mut img = Image::filled(self.intrinsics.width, self.intrinsics.height, Vec3::ZERO);
-        for (i, p) in pixels.iter_all().enumerate() {
-            img[(p.x as usize, p.y as usize)] = out.color[i];
-        }
-        psnr_db(&img, &frame.color)
+            frame,
+            pose,
+        )
     }
 
     /// Mean PSNR of final-map renders at every `stride`-th frame pose.
+    /// Delegates to [`crate::metrics::evaluate_scene_psnr`] so standalone
+    /// pipelines evaluate with identical arithmetic.
     fn evaluate_psnr(&self, dataset: &Dataset, est_poses: &[Pose], stride: usize) -> f64 {
-        let mut total = 0.0;
-        let mut count = 0;
-        for t in (0..dataset.len()).step_by(stride.max(1)) {
-            let v = self.frame_psnr(&dataset.frames[t], est_poses[t]);
-            if v.is_finite() {
-                total += v;
-                count += 1;
-            }
-        }
-        if count == 0 {
-            0.0
-        } else {
-            total / count as f64
-        }
+        crate::metrics::evaluate_scene_psnr(
+            &self.scene,
+            self.intrinsics,
+            &self.config.render,
+            dataset,
+            est_poses,
+            stride,
+        )
     }
 }
 
@@ -891,6 +906,7 @@ mod tests {
                 spacing: 0.3,
                 fov: 1.25,
                 furniture: 2,
+                depth_dropout_coverage: 0.9,
             },
         )
     }
@@ -1229,7 +1245,44 @@ mod tests {
         b2.render.binning = false;
         b2.render.cache = false;
         b2.checkpoint_every = 5;
+        b2.lod_budget = 1000;
         assert_eq!(b.fingerprint(), b2.fingerprint());
+        // The densify cap IS result-affecting, so it must separate.
+        let mut b3 = b;
+        b3.algorithm.densify_max_per_frame = 64;
+        assert_ne!(b.fingerprint(), b3.fingerprint());
+    }
+
+    #[test]
+    fn lod_budget_decimates_after_evaluation() {
+        let d = tiny();
+        // Baseline run: full scene size and PSNR.
+        let mut full_sys = SlamSystem::new(SlamConfig::default(), d.intrinsics);
+        let full = full_sys.run(&d);
+        assert!(full.scene_size > 50);
+        let budget = full.scene_size / 2;
+        let telemetry = splatonic_telemetry::Telemetry::enabled();
+        let mut sys = SlamSystem::new(
+            SlamConfig {
+                lod_budget: budget,
+                ..SlamConfig::default()
+            },
+            d.intrinsics,
+        );
+        let r = sys.run_with_telemetry(&d, &telemetry);
+        // Same run bitwise (LOD is post-run): poses and PSNR unchanged.
+        assert_eq!(r.est_poses, full.est_poses);
+        assert_eq!(r.psnr_db.to_bits(), full.psnr_db.to_bits());
+        // Scene decimated to the budget, and the counter reports it.
+        assert_eq!(r.scene_size, budget);
+        assert_eq!(sys.scene().len(), budget);
+        let report = telemetry.finish("lod-test", Default::default());
+        let pruned = report
+            .counters
+            .iter()
+            .find(|(n, _)| n == "lod/pruned")
+            .map(|(_, v)| *v);
+        assert_eq!(pruned, Some((full.scene_size - budget) as u64));
     }
 
     #[test]

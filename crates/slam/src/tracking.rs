@@ -282,6 +282,7 @@ mod tests {
                 spacing: 0.3,
                 fov: 1.25,
                 furniture: 2,
+                depth_dropout_coverage: 0.9,
             },
         )
     }
@@ -302,6 +303,7 @@ mod tests {
                 spacing: 0.25,
                 fov: 1.25,
                 furniture: 2,
+                depth_dropout_coverage: 0.9,
             },
         );
         let mut scene =

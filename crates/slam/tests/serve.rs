@@ -18,6 +18,7 @@ fn tiny(frames: usize) -> DatasetConfig {
         spacing: 0.3,
         fov: 1.25,
         furniture: 2,
+        depth_dropout_coverage: 0.9,
     }
 }
 

@@ -18,6 +18,7 @@ fn main() {
             spacing: 0.2,
             fov: 1.25,
             furniture: 5,
+            depth_dropout_coverage: 0.9,
         },
     );
     println!(

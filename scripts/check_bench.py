@@ -66,15 +66,23 @@ REQUIRED_COUNTERS = [
     "render/sort_merges",
     "render/sort_cold_elems",
     "render/sort_merged_elems",
+    "assets/ply_gaussians_written",
+    "assets/ply_gaussians_read",
+    "lod/pruned",
+    "mapping/densify_capped",
 ]
 # The subset that must additionally be nonzero: any instrumented run
-# checkpoints and performs at least one cold tile-sort build (the per-frame
-# PSNR evaluation renders the tile schedule). Exact hits/merges depend on
-# the run shape, so the remaining sort counters are presence-only.
+# checkpoints, performs at least one cold tile-sort build (the per-frame
+# PSNR evaluation renders the tile schedule), and roundtrips the scene
+# through the `.ply` codec. Exact hits/merges depend on the run shape —
+# and lod/pruned / mapping/densify_capped are zero whenever their knobs
+# are off — so those are presence-only.
 REQUIRED_NONZERO = [
     "slam/checkpoints_written",
     "render/sort_misses",
     "render/sort_cold_elems",
+    "assets/ply_gaussians_written",
+    "assets/ply_gaussians_read",
 ]
 REQUIRED_GAUGES = ["slam/snapshot_bytes", "render/simd_lanes"]
 

@@ -14,6 +14,7 @@ fn dataset() -> Dataset {
             spacing: 0.26,
             fov: 1.25,
             furniture: 3,
+            depth_dropout_coverage: 0.9,
         },
     )
 }
@@ -165,6 +166,7 @@ fn four_algorithm_presets_run() {
             spacing: 0.3,
             fov: 1.25,
             furniture: 2,
+            depth_dropout_coverage: 0.9,
         },
     );
     for preset in AlgorithmPreset::all() {
@@ -187,6 +189,7 @@ fn tum_like_fast_motion_still_tracks() {
             spacing: 0.26,
             fov: 1.25,
             furniture: 3,
+            depth_dropout_coverage: 0.9,
         },
     );
     let mut sys = SlamSystem::new(
